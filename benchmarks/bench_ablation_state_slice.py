@@ -1,0 +1,89 @@
+"""Ablation — single-invocation packet slice vs. the full Algorithm-1
+slice (packet ∪ state, computed on the packet-processing loop).
+
+Two ingredients make the synthesized model *stateful*: the
+state-transition slice (Alg. 1 lines 6–9) and computing dependences on
+the packet loop (StateAlyzer's persistence assumption), which lets a
+state store in one invocation reach a read in a later one.  This bench
+removes both — slicing a single invocation from the outputs only — and
+shows the failure mode: the crippled model forwards the *first* packet
+of every flow correctly but never updates its tables, so a second flow
+gets the same backend/port instead of the next ones.
+"""
+
+from __future__ import annotations
+
+from common import print_table, synthesize
+from repro.interp.values import deep_copy
+from repro.model.simulator import ModelSimulator
+from repro.net.packet import Packet
+from repro.nfactor.algorithm import NFactor
+from repro.nfactor.refactor import build_model
+from repro.nfs import get_nf
+from repro.pdg.pdg import build_pdg
+from repro.slicing.static import StaticSlicer
+
+
+def build_variants():
+    result = synthesize("loadbalancer")
+    stmts = result.flat.stmts()
+    full_model = result.model
+
+    # Single-invocation packet-only slice (no loop view, no state slice).
+    nf = NFactor(get_nf("loadbalancer").source, name="lb")
+    flat, _, _ = nf.flatten()
+    pdg = build_pdg(flat.block, flat.entry_vars())
+    single_slice = StaticSlicer(pdg).backward_many(nf.output_criteria(flat))
+    crippled_model = build_model(
+        "lb-single-invocation",
+        result.paths,
+        stmts,
+        single_slice,
+        set(),
+        ois_vars=result.categories.ois_vars,
+    )
+    return result, full_model, crippled_model, single_slice
+
+
+def test_state_slice_ablation(benchmark):
+    result, full_model, crippled_model, single_slice = benchmark.pedantic(
+        build_variants, rounds=1, iterations=1
+    )
+
+    def n_state_updates(model):
+        return sum(len(e.state_action_stmts) for e in model.all_entries())
+
+    print_table(
+        "Ablation — single-invocation pkt slice vs. packet ∪ state slice (LB)",
+        ["variant", "slice stmts", "state-update stmts"],
+        [
+            ["packet ∪ state slice (loop view)", len(result.union_slice),
+             n_state_updates(full_model)],
+            ["packet slice, single invocation", len(single_slice),
+             n_state_updates(crippled_model)],
+        ],
+    )
+    assert n_state_updates(full_model) > 0
+    assert n_state_updates(crippled_model) == 0
+    assert len(single_slice) < len(result.union_slice)
+
+    # Behavioural failure: with no state transitions the round-robin
+    # index never advances, so a second flow lands on the same backend.
+    flow1 = dict(dport=80, ip_src=3, sport=44, ip_dst=50529027)
+    flow2 = dict(dport=80, ip_src=4, sport=55, ip_dst=50529027)
+    ref = result.make_reference()
+    ref_out1 = ref.process_packet(Packet(**flow1))
+    ref_out2 = ref.process_packet(Packet(**flow2))
+    assert ref_out1[0][0].ip_dst != ref_out2[0][0].ip_dst  # RR alternates
+
+    crippled = ModelSimulator(crippled_model, deep_copy(result.module_env))
+    bad_out1 = crippled.process(Packet(**flow1))
+    bad_out2 = crippled.process(Packet(**flow2))
+    assert bad_out1 == ref_out1                    # first flow still right
+    assert bad_out2 != ref_out2                    # statefulness is lost
+    assert bad_out2[0][0].ip_dst == bad_out1[0][0].ip_dst
+    benchmark.extra_info["stateless_model_diverges"] = True
+
+    healthy = result.make_simulator()
+    assert healthy.process(Packet(**flow1)) == ref_out1
+    assert healthy.process(Packet(**flow2)) == ref_out2

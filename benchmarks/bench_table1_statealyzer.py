@@ -1,0 +1,47 @@
+"""E3 — paper Table 1: NFactor variable categorisation on the LB.
+
+Regenerates the table
+
+    Category | Features                                   | In code example
+    pktVar   | packet I/O parameter/return value          | pkt
+    cfgVar   | persistent, top-level, not updateable      | mode, LB_IP
+    oisVar   | persistent, top-level, updateable, o-i     | f2b_nat, rr_idx
+    logVar   | persistent, top-level, updateable, not o-i | pass_stat, drop_stat
+
+and asserts the paper's example variables land in the right rows.
+"""
+
+from __future__ import annotations
+
+from common import print_table, synthesize
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: synthesize("loadbalancer"), rounds=1, iterations=1
+    )
+    cats = result.categories
+    table = cats.as_table()
+
+    print_table(
+        "Table 1 (reproduced) — NFactor variable categorisation, load balancer",
+        ["Category", "Features", "Variables found"],
+        [
+            ["pktVar", "packet I/O function parameter/return value",
+             ", ".join(sorted(table["pktVar"]))],
+            ["cfgVar", "persistent, top-level, not updateable",
+             ", ".join(sorted(table["cfgVar"]))],
+            ["oisVar", "persistent, top-level, updateable, output-impacting",
+             ", ".join(sorted(table["oisVar"]))],
+            ["logVar", "persistent, top-level, updateable, not output-impacting",
+             ", ".join(sorted(table["logVar"]))],
+        ],
+    )
+    for key in ("pktVar", "cfgVar", "oisVar", "logVar"):
+        benchmark.extra_info[key] = sorted(table[key])
+
+    # The paper's exact examples:
+    assert "pkt" in table["pktVar"]
+    assert {"mode", "LB_IP"} <= table["cfgVar"]
+    assert {"f2b_nat", "rr_idx"} <= table["oisVar"]
+    assert {"pass_stat", "drop_stat"} <= table["logVar"]

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one artifact of the paper's evaluation
+(tables/figures, DESIGN.md §4) and prints a paper-style table.  Heavy
+syntheses are cached per process so benches can share them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.nfactor.algorithm import NFactor, NFactorConfig, SynthesisResult
+from repro.nfs import get_nf
+from repro.symbolic.engine import EngineConfig
+
+_CACHE: Dict[str, SynthesisResult] = {}
+
+
+def synthesize(name: str, max_paths: int = 16384) -> SynthesisResult:
+    """Synthesize (and cache) the model of a corpus NF."""
+    if name not in _CACHE:
+        spec = get_nf(name)
+        config = NFactorConfig(engine=EngineConfig(max_paths=max_paths))
+        _CACHE[name] = NFactor(spec.source, name=name, config=config).synthesize()
+    return _CACHE[name]
+
+
+def print_table(title: str, headers: Sequence[str], rows: List[Sequence[str]]) -> None:
+    """Print an aligned text table (the bench output artifact)."""
+    widths = [len(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Concrete service chains and vendor-model diffing.
+
+Two capabilities layered on synthesized models beyond the paper's §4:
+
+1. **Concrete chain execution** — wire NF instances into a pipeline
+   (reference implementations or model simulators, freely mixed) and
+   push a workload through.  The order the composition analysis
+   recommends can then be *executed* and compared with a rejected
+   order: with the LB first, the IDS no longer sees the original
+   headers, so the telnet-blocking policy is no longer enforced by the
+   IDS — the probe's fate is decided by whatever the LB happens to do.
+2. **Model diffing** — the paper's motivation mentions that different
+   vendors implement the "same" NF differently; with a synthesized
+   model per implementation the differences become checkable.  Here:
+   the Fig.-1 load balancer vs. *balance*.
+
+Run:  python examples/chain_execution.py
+"""
+
+from repro.model.diff import diff_models
+from repro.net.chain import ServiceChain
+from repro.net.packet import Packet, TCP_SYN
+from repro.nfactor.algorithm import synthesize_model
+from repro.nfs import get_nf
+
+
+def main() -> None:
+    print("synthesizing models ...")
+    ids = synthesize_model(get_nf("snortlite").source, name="snortlite")
+    lb = synthesize_model(get_nf("loadbalancer").source, name="loadbalancer")
+    balance = synthesize_model(get_nf("balance").source, name="balance")
+    print("done\n")
+
+    print("=" * 72)
+    print("1. Executing both composition orders on the same packet")
+    print("=" * 72)
+    # A telnet connection to the LB's virtual service.  Policy intent:
+    # the IDS must block telnet into the server pool (rule 1001 matches
+    # dport 23 towards HOME_NET after the LB maps it to a backend —
+    # but only if the IDS still sees a telnet port).
+    telnet = Packet(
+        tcp_flags=TCP_SYN, proto=6,
+        ip_src=3232235777, sport=40000,
+        ip_dst=50529027, dport=80,  # vip:80, mapped to backend:80
+    )
+    blocked_probe = Packet(
+        tcp_flags=TCP_SYN, proto=6,
+        ip_src=3232235777, sport=40001,
+        ip_dst=167772161, dport=23,  # telnet into HOME_NET
+    )
+
+    for order_name, results in [
+        ("IDS -> LB (recommended)", [ids, lb]),
+        ("LB -> IDS (rejected)", [lb, ids]),
+    ]:
+        chain = ServiceChain.of_references(results)
+        t1 = chain.process(blocked_probe.copy())
+        verdict = (
+            f"dropped at {t1.dropped_at}" if t1.dropped_at else "DELIVERED(!)"
+        )
+        enforced = "IDS policy enforced" if t1.dropped_at == "snortlite" else (
+            "IDS policy NOT enforced (masked by the upstream rewrite)"
+        )
+        print(f"   {order_name:26s}: telnet probe -> {verdict}  [{enforced}]")
+
+    print()
+    print("=" * 72)
+    print("2. Model simulators compose like the real NFs")
+    print("=" * 72)
+    ref_chain = ServiceChain.of_references([ids, lb])
+    sim_chain = ServiceChain.of_simulators([ids, lb])
+    ref_out = ref_chain.process(telnet.copy()).delivered
+    sim_out = sim_chain.process(telnet.copy()).delivered
+    agree = "agree" if ref_out == sim_out else "DISAGREE"
+    print(f"   web flow through IDS->LB: programs vs models {agree}")
+    if ref_out:
+        print(f"   delivered to backend: {ref_out[0]}")
+
+    print()
+    print("=" * 72)
+    print("3. Diffing two load-balancer implementations")
+    print("=" * 72)
+    diff = diff_models(lb, balance, n_packets=300)
+    print(f"   {diff.summary()}")
+    print(f"   state only in {diff.name_a}: {sorted(diff.state_tables_only_a)}")
+    print(f"   state only in {diff.name_b}: {sorted(diff.state_tables_only_b)}")
+    print(f"   fields only {diff.name_a} rewrites: "
+          f"{sorted(diff.rewrite_fields_only_a)}")
+    print("   -> the Fig.-1 LB is a full NAT (rewrites the source too);")
+    print("      balance terminates TCP and only re-targets the backend.")
+
+
+if __name__ == "__main__":
+    main()

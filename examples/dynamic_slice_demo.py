@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Paper Figure 1: highlight the dynamic slice of a forwarding path.
+
+Runs the load balancer on the first packet of a new flow with tracing
+enabled, computes the dynamic backward slice from the ``send_packet``
+call, and prints the source with the slice highlighted — the exact
+presentation of the paper's Figure 1.
+
+Run:  python examples/dynamic_slice_demo.py
+"""
+
+from repro.interp import Env, Interpreter
+from repro.interp.values import deep_copy
+from repro.lang.ir import ECall, SExpr, iter_block
+from repro.net.packet import Packet
+from repro.nfactor.algorithm import synthesize_model
+from repro.nfs import get_nf
+from repro.slicing.criteria import SliceCriterion
+from repro.slicing.dynamic import dynamic_slice
+
+
+def main() -> None:
+    spec = get_nf("loadbalancer")
+    result = synthesize_model(spec.source, name="loadbalancer")
+
+    # Execute one packet with tracing on the flattened program.
+    interp = Interpreter(trace=True)
+    state = deep_copy(result.module_env)
+    state["pkt"] = Packet(dport=80, ip_src=167772161, sport=4242, ip_dst=50529027)
+    interp.run_block(result.flat.block, Env(globals=state))
+    print(f"executed {len(interp.trace)} statement occurrences; "
+          f"sent {len(interp.sent)} packet(s)\n")
+
+    send_stmt = next(
+        s for s in iter_block(result.flat.block)
+        if isinstance(s, SExpr)
+        and isinstance(s.value, ECall)
+        and s.value.func == "send_packet"
+    )
+    dyn_sids = dynamic_slice(interp.trace, SliceCriterion(send_stmt.sid, None))
+    dyn_lines = result.flat.source_lines(dyn_sids)
+    static_lines = result.slice_source_lines()
+
+    print("Load balancer source — dynamic slice of the first-packet path")
+    print("('>>' = in the dynamic slice, '+ ' = only in the static slice)\n")
+    for lineno, line in enumerate(spec.source.splitlines(), start=1):
+        if lineno in dyn_lines:
+            prefix = ">> "
+        elif lineno in static_lines:
+            prefix = "+  "
+        else:
+            prefix = "   "
+        print(prefix + line)
+
+    print(f"\ndynamic slice: {len(dyn_lines)} lines; "
+          f"static packet+state slice: {len(static_lines)} lines")
+
+
+if __name__ == "__main__":
+    main()

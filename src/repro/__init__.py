@@ -1,0 +1,44 @@
+"""NFactor — automatic synthesis of NF forwarding models by program analysis.
+
+Reproduction of: Wu, Zhang, Banerjee, "Automatic Synthesis of NF Models by
+Program Analysis", HotNets-XV, 2016.
+
+The package is organised as a compiler-style pipeline:
+
+- :mod:`repro.lang` — frontend for NFPy (the analyzable Python subset) and
+  the statement-level IR every analysis operates on.
+- :mod:`repro.cfg`, :mod:`repro.dataflow`, :mod:`repro.pdg` — control-flow
+  graphs, dataflow analyses and program dependence graphs.
+- :mod:`repro.slicing` — static (PDG-based) and dynamic (trace-based)
+  program slicing.
+- :mod:`repro.interp` — a concrete IR interpreter with execution tracing.
+- :mod:`repro.symbolic` — a symbolic executor and constraint solver.
+- :mod:`repro.statealyzer` — StateAlyzer-style variable classification.
+- :mod:`repro.nfactor` — the NFactor algorithm itself (paper Algorithm 1)
+  plus code-structure transforms and TCP unfolding.
+- :mod:`repro.model` — the stateful match/action model, FSM view and an
+  executable model simulator.
+- :mod:`repro.net` — packets, flows, the TCP state machine and workload
+  generators (the substrate replacing real NIC I/O).
+- :mod:`repro.nfs` — the corpus of network functions under analysis.
+- :mod:`repro.apps` — verification, composition and testing applications.
+- :mod:`repro.equiv` — model/program equivalence checking.
+"""
+
+__version__ = "1.0.0"
+
+# Re-export the headline API lazily so subpackages can be imported while
+# the package is under construction and to keep import cost low.
+def __getattr__(name):
+    if name in ("NFactor", "synthesize_model"):
+        from repro.nfactor import algorithm
+        return getattr(algorithm, name)
+    if name in ("NFModel", "TableEntry"):
+        from repro.model import matchaction
+        return getattr(matchaction, name)
+    if name == "Packet":
+        from repro.net.packet import Packet
+        return Packet
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__all__ = ["NFactor", "synthesize_model", "NFModel", "TableEntry", "Packet"]

@@ -1,0 +1,18 @@
+"""Control-flow graphs, dominance and control dependence."""
+
+from repro.cfg.graph import CFG, ENTRY, EXIT, Edge
+from repro.cfg.builder import build_cfg
+from repro.cfg.dominance import dominators, postdominators, immediate_dominators
+from repro.cfg.control_dependence import control_dependence
+
+__all__ = [
+    "CFG",
+    "ENTRY",
+    "EXIT",
+    "Edge",
+    "build_cfg",
+    "dominators",
+    "postdominators",
+    "immediate_dominators",
+    "control_dependence",
+]

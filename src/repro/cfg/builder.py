@@ -1,0 +1,106 @@
+"""Building a CFG from the structured IR.
+
+The builder threads a set of "dangling" labelled exits through the block
+structure: each statement consumes the previous dangling exits as its
+predecessors and produces its own.  ``break``/``continue`` route their
+exits to the enclosing loop's continuation/header; ``return`` routes to
+EXIT.  ``while True`` loops additionally get a *virtual* edge from the
+header to the loop continuation so that every node can reach EXIT in the
+augmented graph (required for post-dominance; see
+:mod:`repro.cfg.graph`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.cfg.graph import CFG, ENTRY, EXIT, EdgeLabel
+from repro.lang.ir import (
+    EConst,
+    SBreak,
+    SContinue,
+    SIf,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+
+#: A dangling exit: (source node, label the out-edge should carry).
+Dangling = Tuple[int, EdgeLabel]
+
+
+@dataclass
+class _LoopContext:
+    """Break/continue routing for one enclosing loop."""
+
+    header: int
+    breaks: List[Dangling] = field(default_factory=list)
+
+
+def build_cfg(block: Sequence[Stmt]) -> CFG:
+    """Build the CFG of a statement block (typically a function body)."""
+    cfg = CFG()
+    loops: List[_LoopContext] = []
+
+    def wire(dangling: List[Dangling], target: int) -> None:
+        for src, label in dangling:
+            cfg.add_edge(src, target, label)
+
+    def walk(stmts: Sequence[Stmt], incoming: List[Dangling]) -> List[Dangling]:
+        dangling = incoming
+        for stmt in stmts:
+            dangling = walk_stmt(stmt, dangling)
+        return dangling
+
+    def walk_stmt(stmt: Stmt, incoming: List[Dangling]) -> List[Dangling]:
+        cfg.add_node(stmt.sid)
+        wire(incoming, stmt.sid)
+
+        if isinstance(stmt, SIf):
+            then_exits = walk(stmt.then, [(stmt.sid, True)])
+            if stmt.orelse:
+                else_exits = walk(stmt.orelse, [(stmt.sid, False)])
+            else:
+                else_exits = [(stmt.sid, False)]
+            return then_exits + else_exits
+
+        if isinstance(stmt, SWhile):
+            ctx = _LoopContext(header=stmt.sid)
+            loops.append(ctx)
+            body_exits = walk(stmt.body, [(stmt.sid, True)])
+            loops.pop()
+            wire(body_exits, stmt.sid)  # back edge
+            infinite = isinstance(stmt.cond, EConst) and stmt.cond.value is True
+            exits: List[Dangling] = list(ctx.breaks)
+            if infinite:
+                exits.append((stmt.sid, "virtual"))
+            else:
+                exits.append((stmt.sid, False))
+            return exits
+
+        if isinstance(stmt, SReturn):
+            cfg.add_edge(stmt.sid, EXIT)
+            # Ball–Horwitz pseudo-fallthrough: makes the jump a
+            # pseudo-predicate so control dependence on it is computed.
+            return [(stmt.sid, "pseudo")]
+
+        if isinstance(stmt, SBreak):
+            if not loops:
+                raise ValueError(f"break outside loop at sid {stmt.sid}")
+            loops[-1].breaks.append((stmt.sid, None))
+            return [(stmt.sid, "pseudo")]
+
+        if isinstance(stmt, SContinue):
+            if not loops:
+                raise ValueError(f"continue outside loop at sid {stmt.sid}")
+            cfg.add_edge(stmt.sid, loops[-1].header)
+            return [(stmt.sid, "pseudo")]
+
+        return [(stmt.sid, None)]
+
+    final = walk(block, [(ENTRY, None)])
+    wire(final, EXIT)
+    if not block:
+        cfg.add_edge(ENTRY, EXIT)
+    return cfg

@@ -1,0 +1,52 @@
+"""Control dependence (Ferrante–Ottenstein–Warren).
+
+Node *n* is control dependent on branch node *b* iff *b* has successors
+*s1*, *s2* such that *n* post-dominates *s1* but not *b* itself.  The
+standard PDG construction: for each CFG edge ``(a, b)`` where ``b`` does
+not post-dominate ``a``, every node on the post-dominator-tree path from
+``b`` up to (but excluding) ``ipdom(a)`` is control dependent on ``a``.
+
+This is exactly the notion of control dependence Algorithm 1's backward
+slices close over: a sliced statement drags in the conditionals that
+decide whether it executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.cfg.dominance import immediate_postdominators
+from repro.cfg.graph import CFG, ENTRY, EXIT
+
+
+def control_dependence(cfg: CFG) -> Dict[int, Set[int]]:
+    """Map each node to the set of branch nodes it is control dependent on.
+
+    ENTRY/EXIT never appear as dependents.  Virtual exit edges *are*
+    followed so that statements after a ``while True`` loop (reachable
+    only via ``break``) acquire the right dependences.
+    """
+    ipdom = immediate_postdominators(cfg)
+    deps: Dict[int, Set[int]] = {n: set() for n in cfg.nodes}
+
+    for edge in cfg.edges():
+        a, b = edge.src, edge.dst
+        if a not in ipdom or b not in ipdom:
+            continue
+        stop = ipdom.get(a)
+        runner = b
+        while runner != stop and runner != EXIT:
+            # No self-exclusion: a loop header is control dependent on
+            # itself (its condition decides whether it runs again).
+            deps[runner].add(a)
+            nxt = ipdom.get(runner)
+            if nxt is None or nxt == runner:
+                break
+            runner = nxt
+
+    for synthetic in (ENTRY, EXIT):
+        deps.pop(synthetic, None)
+        for dep_set in deps.values():
+            dep_set.discard(ENTRY)
+            dep_set.discard(EXIT)
+    return deps

@@ -1,0 +1,74 @@
+"""Dominator and post-dominator computation.
+
+Uses the Cooper–Harvey–Kennedy iterative algorithm over reverse
+postorder — simple, and fast enough at the CFG sizes NF programs reach.
+Post-dominators are dominators of the reversed graph rooted at EXIT;
+the virtual exit edges added by the builder guarantee EXIT reaches
+every node in that reversed view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.cfg.graph import CFG, ENTRY, EXIT
+
+
+def immediate_dominators(cfg: CFG, root: int = ENTRY) -> Dict[int, int]:
+    """Immediate dominator of every node reachable from ``root``.
+
+    The root maps to itself.  Unreachable nodes are absent.
+    """
+    order = cfg.reverse_postorder(root)
+    index = {node: i for i, node in enumerate(order)}
+    idom: Dict[int, Optional[int]] = {node: None for node in order}
+    idom[root] = root
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == root:
+                continue
+            preds = [p for p in cfg.preds(node) if p in index and idom[p] is not None]
+            if not preds:
+                continue
+            new = preds[0]
+            for p in preds[1:]:
+                new = intersect(new, p)
+            if idom[node] != new:
+                idom[node] = new
+                changed = True
+    return {n: d for n, d in idom.items() if d is not None}
+
+
+def dominators(cfg: CFG, root: int = ENTRY) -> Dict[int, Set[int]]:
+    """Full dominator sets (computed from the idom tree)."""
+    idom = immediate_dominators(cfg, root)
+    doms: Dict[int, Set[int]] = {}
+    for node in idom:
+        chain = {node}
+        cur = node
+        while idom[cur] != cur:
+            cur = idom[cur]
+            chain.add(cur)
+        doms[node] = chain
+    return doms
+
+
+def immediate_postdominators(cfg: CFG) -> Dict[int, int]:
+    """Immediate post-dominator of every node (EXIT maps to itself)."""
+    return immediate_dominators(cfg.reversed_view(), EXIT)
+
+
+def postdominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """Full post-dominator sets."""
+    return dominators(cfg.reversed_view(), EXIT)

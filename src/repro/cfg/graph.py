@@ -1,0 +1,151 @@
+"""The control-flow graph data structure.
+
+Nodes are statement sids; two synthetic nodes :data:`ENTRY` and
+:data:`EXIT` bracket the graph.  Edges carry a label:
+
+* ``True`` / ``False`` — branch outcomes of ``if``/``while`` headers;
+* ``None`` — unconditional fallthrough;
+* ``"virtual"`` — synthetic exit edges added for non-terminating loops
+  (``while True``) so post-dominance stays well-defined;
+* ``"pseudo"`` — Ball–Horwitz pseudo-fallthrough edges from jump
+  statements (``return``/``break``/``continue``) to their textual
+  successor.  They make jumps act as pseudo-predicates, so control
+  dependence *on* jumps is computed and slices that must preserve a
+  jump include it — without this, removing an unsliced ``return``
+  would change which statements execute in the sliced program.
+
+Execution layers ignore virtual and pseudo edges; dominance and control
+dependence follow them.  Dataflow analyses exclude them (values do not
+actually flow along them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+ENTRY = -1
+EXIT = -2
+
+EdgeLabel = Union[bool, None, str]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A labelled CFG edge."""
+
+    src: int
+    dst: int
+    label: EdgeLabel = None
+
+    @property
+    def virtual(self) -> bool:
+        """True for synthetic edges (virtual exits and pseudo fallthroughs)."""
+        return self.label in ("virtual", "pseudo")
+
+
+@dataclass
+class CFG:
+    """A directed control-flow graph over statement sids."""
+
+    nodes: Set[int] = field(default_factory=lambda: {ENTRY, EXIT})
+    _succs: Dict[int, List[Edge]] = field(default_factory=dict)
+    _preds: Dict[int, List[Edge]] = field(default_factory=dict)
+
+    def add_node(self, node: int) -> None:
+        """Add a node (idempotent)."""
+        self.nodes.add(node)
+
+    def add_edge(self, src: int, dst: int, label: EdgeLabel = None) -> None:
+        """Add a labelled edge, creating endpoints as needed."""
+        self.nodes.add(src)
+        self.nodes.add(dst)
+        edge = Edge(src, dst, label)
+        self._succs.setdefault(src, []).append(edge)
+        self._preds.setdefault(dst, []).append(edge)
+
+    def succ_edges(self, node: int, virtual: bool = True) -> List[Edge]:
+        """Outgoing edges (optionally excluding virtual ones)."""
+        edges = self._succs.get(node, [])
+        if virtual:
+            return list(edges)
+        return [e for e in edges if not e.virtual]
+
+    def pred_edges(self, node: int, virtual: bool = True) -> List[Edge]:
+        """Incoming edges (optionally excluding virtual ones)."""
+        edges = self._preds.get(node, [])
+        if virtual:
+            return list(edges)
+        return [e for e in edges if not e.virtual]
+
+    def succs(self, node: int, virtual: bool = True) -> List[int]:
+        """Successor node ids."""
+        return [e.dst for e in self.succ_edges(node, virtual)]
+
+    def preds(self, node: int, virtual: bool = True) -> List[int]:
+        """Predecessor node ids."""
+        return [e.src for e in self.pred_edges(node, virtual)]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        for edges in self._succs.values():
+            yield from edges
+
+    def branch_label(self, src: int, dst: int) -> EdgeLabel:
+        """Label of the (first) edge from ``src`` to ``dst``."""
+        for e in self._succs.get(src, []):
+            if e.dst == dst:
+                return e.label
+        raise KeyError(f"no edge {src} -> {dst}")
+
+    def reverse_postorder(self, start: int = ENTRY) -> List[int]:
+        """Nodes in reverse postorder from ``start`` (virtual edges included)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        stack: List[Tuple[int, Iterator[int]]] = [(start, iter(self.succs(start)))]
+        seen.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(self.succs(succ))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def reachable(self, start: int = ENTRY, virtual: bool = True) -> Set[int]:
+        """Nodes reachable from ``start``."""
+        seen: Set[int] = {start}
+        work = [start]
+        while work:
+            node = work.pop()
+            for succ in self.succs(node, virtual):
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    def reversed_view(self) -> "CFG":
+        """A new CFG with every edge reversed (for post-dominance)."""
+        rev = CFG(nodes=set(self.nodes))
+        for edge in self.edges():
+            rev.add_edge(edge.dst, edge.src, edge.label)
+        return rev
+
+    def to_dot(self, names: Optional[Dict[int, str]] = None) -> str:
+        """Render as Graphviz dot (debug aid)."""
+        lines = ["digraph cfg {"]
+        for node in sorted(self.nodes):
+            label = (names or {}).get(node) or {ENTRY: "ENTRY", EXIT: "EXIT"}.get(node, str(node))
+            lines.append(f'  n{node & 0xFFFFFFFF} [label="{label}"];')
+        for edge in self.edges():
+            attr = "" if edge.label is None else f' [label="{edge.label}"]'
+            lines.append(f"  n{edge.src & 0xFFFFFFFF} -> n{edge.dst & 0xFFFFFFFF}{attr};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Turns the library into the tool the paper describes — a vendor runs it
+on NF source and ships the resulting model::
+
+    python -m repro list
+    python -m repro synthesize loadbalancer
+    python -m repro synthesize path/to/my_nf.py --entry my_handler --json
+    python -m repro slice loadbalancer
+    python -m repro categories snortlite
+    python -m repro difftest nat -n 1000
+    python -m repro testgen firewall
+    python -m repro fsm loadbalancer --dot
+    python -m repro workload loadbalancer out.pcap -n 200
+
+Positional NF arguments accept either a corpus name (see ``list``) or a
+path to an NFPy source file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.apps.testing import generate_tests, validate_suite
+from repro.equiv.differential import differential_test
+from repro.model.fsm import build_fsm
+from repro.model.serialize import model_to_json, render_model
+from repro.nfactor.algorithm import NFactor, SynthesisResult
+from repro.nfs import get_nf, nf_names
+from repro.nfs.registry import NFSpec
+
+
+def load_spec(target: str, entry: Optional[str] = None) -> NFSpec:
+    """Resolve a corpus name or a source-file path to an NFSpec."""
+    path = Path(target)
+    if path.suffix == ".py" and path.exists():
+        return NFSpec(
+            name=path.stem,
+            source=path.read_text(),
+            description=f"user NF from {path}",
+            entry=entry,
+        )
+    try:
+        return get_nf(target)
+    except KeyError:
+        raise SystemExit(
+            f"error: {target!r} is neither a corpus NF ({', '.join(nf_names())}) "
+            "nor an existing .py file"
+        )
+
+
+def synthesize(spec: NFSpec, entry: Optional[str] = None) -> SynthesisResult:
+    return NFactor(spec.source, name=spec.name, entry=entry or spec.entry).synthesize()
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name in nf_names():
+        spec = get_nf(name)
+        print(f"{name:14s} {spec.description}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    print(load_spec(args.nf).source)
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    spec = load_spec(args.nf, args.entry)
+    result = synthesize(spec, args.entry)
+    if args.json:
+        print(model_to_json(result.model))
+    else:
+        print(render_model(result.model))
+    if args.stats:
+        stats = result.stats
+        print(
+            f"LoC {stats.source_loc} -> slice {stats.slice_loc}; "
+            f"slicing {stats.slicing_time_s * 1000:.1f} ms; "
+            f"{stats.n_paths} paths in {stats.se_time_s * 1000:.1f} ms SE "
+            f"({stats.solver_checks} solver checks)"
+        )
+    return 0
+
+
+def cmd_slice(args: argparse.Namespace) -> int:
+    spec = load_spec(args.nf, args.entry)
+    result = synthesize(spec, args.entry)
+    lines = result.slice_source_lines()
+    for lineno, line in enumerate(result.program.source.splitlines(), start=1):
+        marker = ">> " if lineno in lines else "   "
+        print(marker + line)
+    print(
+        f"\n{len(lines)} of "
+        f"{result.stats.source_loc} source lines in the packet+state slice"
+    )
+    return 0
+
+
+def cmd_categories(args: argparse.Namespace) -> int:
+    spec = load_spec(args.nf, args.entry)
+    result = synthesize(spec, args.entry)
+    for category, variables in result.categories.as_table().items():
+        print(f"{category:8s}: {', '.join(sorted(variables)) or '-'}")
+    return 0
+
+
+def cmd_difftest(args: argparse.Namespace) -> int:
+    spec = load_spec(args.nf, args.entry)
+    result = synthesize(spec, args.entry)
+    report = differential_test(
+        result, n_packets=args.packets, seed=args.seed, interesting=spec.interesting
+    )
+    print(report.summary())
+    for mismatch in report.mismatches[:5]:
+        print(f"  packet #{mismatch.index}: {mismatch.packet}")
+        print(f"    program: {mismatch.reference}")
+        print(f"    model:   {mismatch.model}")
+    return 0 if report.identical else 1
+
+
+def cmd_testgen(args: argparse.Namespace) -> int:
+    spec = load_spec(args.nf, args.entry)
+    result = synthesize(spec, args.entry)
+    suite = generate_tests(result)
+    print(suite.summary())
+    for case in suite.cases:
+        pkt = case.packets[-1]
+        expect = "forward" if case.expectations[-1] else "drop"
+        print(f"  {case.name:24s} -> expect {expect}  ({pkt})")
+    report = validate_suite(suite, result)
+    print(report.summary())
+    return 0 if report.all_passed else 1
+
+
+def cmd_fsm(args: argparse.Namespace) -> int:
+    spec = load_spec(args.nf, args.entry)
+    result = synthesize(spec, args.entry)
+    fsm = build_fsm(result.model)
+    if args.dot:
+        print(fsm.to_dot())
+        return 0
+    print(f"state predicates: {', '.join(fsm.atoms) or '(stateless)'}")
+    for state in sorted(fsm.reachable_states(), key=sorted):
+        print(f"  {fsm.render_state(state)}")
+        for t in fsm.successors(state):
+            action = "forward" if t.forwards else "drop"
+            print(f"     --entry {t.entry_id} ({action})--> {fsm.render_state(t.dst)}")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.net.generator import TrafficGenerator, WorkloadSpec
+    from repro.net.pcap import write_pcap
+
+    spec = load_spec(args.nf, args.entry)
+    generator = TrafficGenerator(
+        WorkloadSpec(n_packets=args.packets, seed=args.seed, interesting=spec.interesting)
+    )
+    count = write_pcap(args.output, generator.packets())
+    print(f"wrote {count} packets to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NFactor: synthesize NF forwarding models by program analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def nf_command(name: str, handler, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("nf", help="corpus NF name or path to an NFPy .py file")
+        p.add_argument("--entry", help="per-packet entry function (auto-detected)")
+        p.set_defaults(func=handler)
+        return p
+
+    p = sub.add_parser("list", help="list the corpus NFs")
+    p.set_defaults(func=cmd_list)
+
+    nf_command("show", cmd_show, "print an NF's source")
+
+    p = nf_command("synthesize", cmd_synthesize, "synthesize and print the model")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p.add_argument("--stats", action="store_true", help="print pipeline statistics")
+
+    nf_command("slice", cmd_slice, "print the source with the slice highlighted")
+    nf_command("categories", cmd_categories, "print the Table-1 variable categories")
+
+    p = nf_command("difftest", cmd_difftest, "model vs. program on random packets")
+    p.add_argument("-n", "--packets", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=7)
+
+    nf_command("testgen", cmd_testgen, "generate + validate model-guided tests")
+
+    p = nf_command("fsm", cmd_fsm, "print the model's per-flow state machine")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz dot")
+
+    p = nf_command("workload", cmd_workload, "generate a pcap workload for an NF")
+    p.add_argument("output", help="output .pcap path")
+    p.add_argument("-n", "--packets", type=int, default=100)
+    p.add_argument("--seed", type=int, default=7)
+    # reorder: nf positional already added by nf_command before output
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""A small monotone dataflow framework.
+
+Each concrete analysis supplies lattice operations (bottom, join,
+equality is plain ``==`` over frozensets) and a transfer function; the
+framework runs a worklist to fixpoint in either direction.  NF-scale
+CFGs are small, so set-based lattices are plenty fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Generic, Tuple, TypeVar
+
+from repro.cfg.graph import CFG, ENTRY, EXIT
+
+Fact = TypeVar("Fact")
+
+
+class DataflowProblem(Generic[Fact]):
+    """Specification of a forward or backward dataflow problem."""
+
+    direction: str = "forward"  # or "backward"
+
+    def bottom(self) -> Fact:
+        """The initial fact for every node."""
+        raise NotImplementedError
+
+    def boundary(self) -> Fact:
+        """The fact at the boundary node (ENTRY forward, EXIT backward)."""
+        return self.bottom()
+
+    def join(self, a: Fact, b: Fact) -> Fact:
+        """Lattice join (confluence)."""
+        raise NotImplementedError
+
+    def transfer(self, node: int, fact: Fact) -> Fact:
+        """Flow function of one statement."""
+        raise NotImplementedError
+
+
+def solve(
+    cfg: CFG, problem: DataflowProblem[Fact]
+) -> Tuple[Dict[int, Fact], Dict[int, Fact]]:
+    """Run ``problem`` to fixpoint; return ``(in_facts, out_facts)``.
+
+    For backward problems the roles are flipped: ``in_facts[n]`` is the
+    fact at the *exit* of ``n`` and ``out_facts[n]`` at its entry, so
+    callers can treat the pair uniformly as (before-transfer,
+    after-transfer).
+    """
+    forward = problem.direction == "forward"
+    boundary_node = ENTRY if forward else EXIT
+
+    # Values never flow along virtual/pseudo edges — exclude them.
+    def preds(n: int):
+        return cfg.preds(n, virtual=False) if forward else cfg.succs(n, virtual=False)
+
+    def succs(n: int):
+        return cfg.succs(n, virtual=False) if forward else cfg.preds(n, virtual=False)
+
+    in_facts: Dict[int, Fact] = {n: problem.bottom() for n in cfg.nodes}
+    out_facts: Dict[int, Fact] = {n: problem.bottom() for n in cfg.nodes}
+    in_facts[boundary_node] = problem.boundary()
+    out_facts[boundary_node] = problem.transfer(boundary_node, in_facts[boundary_node])
+
+    work = deque(n for n in cfg.nodes if n != boundary_node)
+    in_queue = set(work)
+    while work:
+        node = work.popleft()
+        in_queue.discard(node)
+        incoming = problem.bottom()
+        for p in preds(node):
+            incoming = problem.join(incoming, out_facts[p])
+        in_facts[node] = incoming
+        new_out = problem.transfer(node, incoming)
+        if new_out != out_facts[node]:
+            out_facts[node] = new_out
+            for s in succs(node):
+                if s not in in_queue:
+                    work.append(s)
+                    in_queue.add(s)
+    return in_facts, out_facts

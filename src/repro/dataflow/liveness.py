@@ -1,0 +1,50 @@
+"""Live-variable analysis (backward may)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.cfg.graph import CFG
+from repro.dataflow.framework import DataflowProblem, solve
+from repro.dataflow.reaching import _strong_defs
+from repro.lang.ir import Stmt, stmt_uses
+
+Facts = FrozenSet[str]
+
+
+class _Liveness(DataflowProblem[Facts]):
+    direction = "backward"
+
+    def __init__(self, stmts: Dict[int, Stmt], live_out_exit: Set[str]) -> None:
+        self._stmts = stmts
+        self._live_out_exit = live_out_exit
+
+    def bottom(self) -> Facts:
+        return frozenset()
+
+    def boundary(self) -> Facts:
+        return frozenset(self._live_out_exit)
+
+    def join(self, a: Facts, b: Facts) -> Facts:
+        return a | b
+
+    def transfer(self, node: int, fact: Facts) -> Facts:
+        stmt = self._stmts.get(node)
+        if stmt is None:
+            return fact
+        # live-in = uses ∪ (live-out − strong defs); weak updates keep
+        # the base live because the old value flows through.
+        return frozenset(stmt_uses(stmt)) | (fact - frozenset(_strong_defs(stmt)))
+
+
+def live_variables(
+    cfg: CFG,
+    stmts: Dict[int, Stmt],
+    live_out_exit: Set[str] = frozenset(),
+) -> Tuple[Dict[int, Facts], Dict[int, Facts]]:
+    """Solve liveness; returns ``(live_out, live_in)`` per node.
+
+    ``live_out_exit`` lists the variables observable after the block —
+    for a packet callback, the module-level state variables.
+    """
+    return solve(cfg, _Liveness(stmts, set(live_out_exit)))

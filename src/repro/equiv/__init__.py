@@ -1,0 +1,11 @@
+"""Model/program equivalence checking (paper §5, "Accuracy")."""
+
+from repro.equiv.differential import DifferentialReport, differential_test
+from repro.equiv.paths import PathSetReport, compare_path_sets
+
+__all__ = [
+    "DifferentialReport",
+    "differential_test",
+    "PathSetReport",
+    "compare_path_sets",
+]

@@ -1,0 +1,125 @@
+"""Path-set equivalence: original program vs. sliced program.
+
+Paper §5: "To test whether NFactor outputs a logically equivalent
+forwarding model with the original program, we use symbolic execution
+to exercise all possible execution paths on both sides.  We have
+compared and confirmed that the two sets of paths are the same."
+
+The original program's paths are strictly finer than the slice's: every
+log-counter branch splits a path without changing forwarding.  The
+comparison therefore *projects* each original path condition onto the
+constraint universe of the sliced run — keeping exactly the constraints
+whose canonical form appears in some sliced path (branch conditions of
+sliced statements are syntactically identical on both sides, so
+canonical matching is exact) — merges original paths with identical
+projected signature, and then demands a bijection between merged
+signatures and sliced-path signatures: same condition, same forwarding
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.symbolic.expr import canon
+from repro.symbolic.state import PathResult
+
+Signature = Tuple[FrozenSet[str], Tuple[str, ...]]
+
+
+@dataclass
+class PathSetReport:
+    """Outcome of one path-set comparison."""
+
+    n_original: int = 0
+    n_sliced: int = 0
+    n_merged: int = 0
+    only_in_original: List[Signature] = field(default_factory=list)
+    only_in_sliced: List[Signature] = field(default_factory=list)
+    behaviour_conflicts: List[Signature] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        """True when both sides induce the same behaviour partition."""
+        return (
+            not self.only_in_original
+            and not self.only_in_sliced
+            and not self.behaviour_conflicts
+        )
+
+    def summary(self) -> str:
+        status = "EQUAL" if self.equivalent else "DIFFERENT"
+        return (
+            f"paths: original {self.n_original} -> merged {self.n_merged}, "
+            f"sliced {self.n_sliced} -> {status}"
+        )
+
+
+def _behaviour(path: PathResult) -> Tuple[str, ...]:
+    """Canonical forwarding behaviour of a path (drop = empty tuple)."""
+    out: List[str] = []
+    for fields, port in path.sent:
+        rendered = ",".join(
+            f"{name}={canon(value)}" for name, value in sorted(fields.items())
+        )
+        out.append(f"send({rendered})@{port}")
+    return tuple(out)
+
+
+def _projected_condition(
+    path: PathResult, universe: Set[str]
+) -> FrozenSet[str]:
+    """Keep the constraints whose canonical form the slice also uses."""
+    kept: Set[str] = set()
+    for c in path.constraints:
+        key = canon(c)
+        if key in universe:
+            kept.add(key)
+    return frozenset(kept)
+
+
+def compare_path_sets(
+    original: Sequence[PathResult],
+    sliced: Sequence[PathResult],
+) -> PathSetReport:
+    """Compare the path sets of the original and the sliced program."""
+    report = PathSetReport(
+        n_original=sum(1 for p in original if p.status == "done"),
+        n_sliced=sum(1 for p in sliced if p.status == "done"),
+    )
+
+    universe: Set[str] = set()
+    for path in sliced:
+        if path.status != "done":
+            continue
+        for c in path.constraints:
+            universe.add(canon(c))
+
+    sliced_sigs: Dict[FrozenSet[str], Tuple[str, ...]] = {}
+    for path in sliced:
+        if path.status != "done":
+            continue
+        sliced_sigs[frozenset(canon(c) for c in path.constraints)] = _behaviour(path)
+
+    merged: Dict[FrozenSet[str], Set[Tuple[str, ...]]] = {}
+    for path in original:
+        if path.status != "done":
+            continue
+        cond = _projected_condition(path, universe)
+        merged.setdefault(cond, set()).add(_behaviour(path))
+    report.n_merged = len(merged)
+
+    for cond, behaviours in merged.items():
+        if len(behaviours) > 1:
+            report.behaviour_conflicts.append((cond, tuple(sorted(b for bs in behaviours for b in bs))))
+            continue
+        behaviour = next(iter(behaviours))
+        if cond not in sliced_sigs:
+            report.only_in_original.append((cond, behaviour))
+        elif sliced_sigs[cond] != behaviour:
+            report.behaviour_conflicts.append((cond, behaviour))
+    for cond, behaviour in sliced_sigs.items():
+        if cond not in merged:
+            report.only_in_sliced.append((cond, behaviour))
+    return report

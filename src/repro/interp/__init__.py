@@ -1,0 +1,16 @@
+"""Concrete execution of the IR, with optional tracing.
+
+The interpreter serves three roles:
+
+* it is the *reference semantics* of NFPy — differential tests compare
+  the synthesized model against it;
+* its traces drive dynamic slicing (paper Fig. 1 highlights a dynamic
+  slice);
+* it executes the action programs of model table entries inside the
+  model simulator.
+"""
+
+from repro.interp.interpreter import Interpreter, NFRuntimeError, Env
+from repro.interp.trace import Trace, TraceEvent
+
+__all__ = ["Interpreter", "NFRuntimeError", "Env", "Trace", "TraceEvent"]

@@ -1,0 +1,105 @@
+"""Builtin functions and method intrinsics available to NFPy programs.
+
+``hash`` deliberately maps to :func:`repro.util.hashing.stable_hash` so
+that hash-mode NFs (e.g. a hash load balancer) behave identically across
+processes, in the interpreter, the model simulator and symbolic witness
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.util.hashing import stable_hash
+
+
+def _nf_hash(value: Any) -> int:
+    if isinstance(value, (list, dict)):
+        raise TypeError("unhashable NFPy value")
+    return stable_hash(_hashable(value))
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+def _nf_range(*args: int) -> List[int]:
+    return list(range(*args))
+
+
+#: Plain builtin functions: name → callable.
+BUILTINS: Dict[str, Callable[..., Any]] = {
+    "len": len,
+    "hash": _nf_hash,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "int": int,
+    "bool": bool,
+    "range": _nf_range,
+    "tuple": tuple,
+    "list": list,
+    "sorted": sorted,
+    "sum": sum,
+}
+
+
+def _method_append(receiver: list, item: Any) -> None:
+    receiver.append(item)
+
+
+def _method_pop(receiver: Any, *args: Any) -> Any:
+    return receiver.pop(*args)
+
+
+def _method_get(receiver: dict, key: Any, *default: Any) -> Any:
+    return receiver.get(key, *default)
+
+
+def _method_keys(receiver: dict) -> List[Any]:
+    return list(receiver.keys())
+
+
+def _method_values(receiver: dict) -> List[Any]:
+    return list(receiver.values())
+
+
+def _method_clear(receiver: Any) -> None:
+    receiver.clear()
+
+
+def _method_insert(receiver: list, index: int, item: Any) -> None:
+    receiver.insert(index, item)
+
+
+def _method_remove(receiver: list, item: Any) -> None:
+    receiver.remove(item)
+
+
+def _method_index(receiver: Any, item: Any) -> int:
+    return receiver.index(item)
+
+
+def _method_count(receiver: Any, item: Any) -> int:
+    return receiver.count(item)
+
+
+#: Method intrinsics: name → callable taking the receiver first.
+METHODS: Dict[str, Callable[..., Any]] = {
+    "append": _method_append,
+    "pop": _method_pop,
+    "get": _method_get,
+    "keys": _method_keys,
+    "values": _method_values,
+    "clear": _method_clear,
+    "insert": _method_insert,
+    "remove": _method_remove,
+    "index": _method_index,
+    "count": _method_count,
+}
+
+#: Packet I/O intrinsics — recognised by name across the toolchain.
+PKT_INPUT_FUNC = "recv_packet"
+PKT_OUTPUT_FUNC = "send_packet"

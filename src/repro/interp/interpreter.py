@@ -1,0 +1,500 @@
+"""The concrete IR interpreter.
+
+Executes NFPy programs with Python-compatible semantics (the corpus
+files also run under CPython; tests cross-check).  Supports:
+
+* whole-program use: ``run_module()`` then ``process_packet(pkt)``;
+* flat-block use: ``run_block(block, env)`` for the flattened views the
+  analyses operate on;
+* tracing for dynamic slicing (:mod:`repro.interp.trace`).
+
+Packet I/O is virtualised: ``recv_packet()`` pops from ``self.inputs``
+and ``send_packet(pkt[, port])`` appends a *copy* to ``self.sent`` —
+copying matters because NFs keep mutating the packet object they hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.interp.builtins import BUILTINS, METHODS, PKT_INPUT_FUNC, PKT_OUTPUT_FUNC
+from repro.interp.trace import Trace, TraceEvent
+from repro.interp.values import deep_copy, truthy
+from repro.lang.ir import (
+    Block,
+    EAttr,
+    EBin,
+    EBool,
+    ECall,
+    ECmp,
+    ECond,
+    EConst,
+    EDict,
+    EList,
+    EName,
+    ESub,
+    ETuple,
+    EUn,
+    Expr,
+    Function,
+    LAttr,
+    LName,
+    LSub,
+    LTuple,
+    LValue,
+    Program,
+    SAssign,
+    SBreak,
+    SContinue,
+    SDelete,
+    SExpr,
+    SIf,
+    SPass,
+    SReturn,
+    SWhile,
+    Stmt,
+    iter_block,
+    stmt_defs,
+    stmt_scope_names,
+    stmt_uses,
+)
+from repro.net.packet import Packet
+
+
+class NFRuntimeError(Exception):
+    """Raised for runtime errors in NFPy execution (with source line)."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+@dataclass
+class Env:
+    """A name environment: optional locals over shared globals."""
+
+    globals: Dict[str, Any] = field(default_factory=dict)
+    locals: Optional[Dict[str, Any]] = None
+    local_names: Set[str] = field(default_factory=set)
+
+    def load(self, name: str, line: int = 0) -> Any:
+        if self.locals is not None and name in self.locals:
+            return self.locals[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise NFRuntimeError(f"name {name!r} is not defined", line)
+
+    def store(self, name: str, value: Any) -> None:
+        if self.locals is not None and name in self.local_names:
+            self.locals[name] = value
+        else:
+            self.globals[name] = value
+
+
+class Interpreter:
+    """Executes IR programs and blocks.
+
+    ``max_steps`` bounds total statement executions, turning accidental
+    infinite loops into errors instead of hangs.
+    """
+
+    def __init__(
+        self,
+        program: Optional[Program] = None,
+        trace: bool = False,
+        max_steps: int = 2_000_000,
+        intrinsics: Optional[Dict[str, Callable[..., Any]]] = None,
+    ) -> None:
+        self.program = program
+        self.tracing = trace
+        self.trace = Trace()
+        self.max_steps = max_steps
+        self.steps = 0
+        self.globals: Dict[str, Any] = {}
+        self.inputs: List[Packet] = []
+        self.sent: List[Tuple[Packet, Optional[int]]] = []
+        self.intrinsics: Dict[str, Callable[..., Any]] = dict(intrinsics or {})
+        self._last_def: Dict[str, int] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def run_module(self) -> None:
+        """Execute module-level assignments (state initialisation).
+
+        Top-level *calls* (main-loop starters like ``LoadBalancer()``)
+        are skipped: they exist so the source also runs under CPython,
+        but in the analysis harness packets arrive via
+        :meth:`process_packet`.
+        """
+        if self.program is None:
+            raise ValueError("no program attached")
+        env = Env(globals=self.globals)
+        for stmt in self.program.module_body:
+            if isinstance(stmt, SExpr) and isinstance(stmt.value, ECall):
+                call = stmt.value
+                if not call.method and (
+                    self.program is not None and call.func in self.program.functions
+                ):
+                    continue
+            self.exec_stmt(stmt, env, None)
+
+    def process_packet(self, pkt: Packet) -> List[Tuple[Packet, Optional[int]]]:
+        """Run the entry function on one packet; return packets sent for it."""
+        if self.program is None or self.program.entry is None:
+            raise ValueError("program has no entry function")
+        before = len(self.sent)
+        self.call(self.program.entry, [pkt])
+        return self.sent[before:]
+
+    def call(self, fname: str, args: Sequence[Any]) -> Any:
+        """Call a user function by name."""
+        assert self.program is not None
+        fn = self.program.functions[fname]
+        if len(args) != len(fn.params):
+            raise NFRuntimeError(
+                f"{fname}() takes {len(fn.params)} args, got {len(args)}", fn.line
+            )
+        local_names = set(fn.params)
+        for stmt in iter_block(fn.body):
+            local_names |= stmt_scope_names(stmt)
+        local_names -= fn.global_names
+        local_names |= set(fn.params)
+        env = Env(
+            globals=self.globals,
+            locals=dict(zip(fn.params, args)),
+            local_names=local_names,
+        )
+        try:
+            self.exec_block(fn.body, env, None)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    def run_block(self, block: Block, env: Optional[Env] = None) -> Env:
+        """Execute a flat block (e.g. a FlatView) in a single namespace."""
+        env = env or Env(globals=self.globals)
+        try:
+            self.exec_block(block, env, None)
+        except _Return:
+            pass
+        return env
+
+    # -- execution ----------------------------------------------------------
+
+    def exec_block(self, block: Sequence[Stmt], env: Env, ctrl: Optional[int]) -> None:
+        for stmt in block:
+            self.exec_stmt(stmt, env, ctrl)
+
+    def exec_stmt(self, stmt: Stmt, env: Env, ctrl: Optional[int]) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise NFRuntimeError(
+                f"execution exceeded {self.max_steps} steps (infinite loop?)",
+                stmt.line,
+            )
+
+        if isinstance(stmt, SAssign):
+            value = self.eval_expr(stmt.value, env)
+            if stmt.aug is not None:
+                target = stmt.targets[0]
+                old = self._load_lvalue(target, env, stmt.line)
+                value = _binop(stmt.aug, old, value, stmt.line)
+            self._record(stmt, env, ctrl)
+            for target in stmt.targets:
+                self._store_lvalue(target, value, env, stmt.line)
+            return
+        if isinstance(stmt, SExpr):
+            self._record(stmt, env, ctrl)
+            self.eval_expr(stmt.value, env)
+            return
+        if isinstance(stmt, SIf):
+            outcome = truthy(self.eval_expr(stmt.cond, env))
+            my_idx = self._record(stmt, env, ctrl, branch=outcome)
+            if outcome:
+                self.exec_block(stmt.then, env, my_idx)
+            else:
+                self.exec_block(stmt.orelse, env, my_idx)
+            return
+        if isinstance(stmt, SWhile):
+            while True:
+                outcome = truthy(self.eval_expr(stmt.cond, env))
+                my_idx = self._record(stmt, env, ctrl, branch=outcome)
+                if not outcome:
+                    return
+                try:
+                    self.exec_block(stmt.body, env, my_idx)
+                except _Break:
+                    return
+                except _Continue:
+                    continue
+        if isinstance(stmt, SReturn):
+            self._record(stmt, env, ctrl)
+            value = self.eval_expr(stmt.value, env) if stmt.value is not None else None
+            raise _Return(value)
+        if isinstance(stmt, SBreak):
+            self._record(stmt, env, ctrl)
+            raise _Break()
+        if isinstance(stmt, SContinue):
+            self._record(stmt, env, ctrl)
+            raise _Continue()
+        if isinstance(stmt, SPass):
+            self._record(stmt, env, ctrl)
+            return
+        if isinstance(stmt, SDelete):
+            assert stmt.target is not None
+            self._record(stmt, env, ctrl)
+            base = env.load(stmt.target.base, stmt.line)
+            key = self.eval_expr(stmt.target.index, env)
+            try:
+                del base[key]
+            except KeyError:
+                raise NFRuntimeError(f"del: key {key!r} not found", stmt.line) from None
+            return
+        raise NFRuntimeError(f"cannot execute {type(stmt).__name__}", stmt.line)
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _record(
+        self, stmt: Stmt, env: Env, ctrl: Optional[int], branch: Optional[bool] = None
+    ) -> Optional[int]:
+        if not self.tracing:
+            return None
+        uses = stmt_uses(stmt)
+        use_defs = {var: self._last_def.get(var) for var in uses}
+        defs = tuple(sorted(stmt_defs(stmt)))
+        index = len(self.trace.events)
+        self.trace.append(
+            TraceEvent(index=index, sid=stmt.sid, defs=defs, use_defs=use_defs, ctrl=ctrl, branch=branch)
+        )
+        for var in defs:
+            self._last_def[var] = index
+        return index
+
+    # -- l-values ---------------------------------------------------------------
+
+    def _load_lvalue(self, target: LValue, env: Env, line: int) -> Any:
+        if isinstance(target, LName):
+            return env.load(target.id, line)
+        if isinstance(target, LSub):
+            base = env.load(target.base, line)
+            key = self.eval_expr(target.index, env)
+            try:
+                return base[key]
+            except (KeyError, IndexError, TypeError) as exc:
+                raise NFRuntimeError(f"subscript failed: {exc}", line) from None
+        if isinstance(target, LAttr):
+            base = env.load(target.base, line)
+            try:
+                return getattr(base, target.attr)
+            except AttributeError as exc:
+                raise NFRuntimeError(str(exc), line) from None
+        raise NFRuntimeError("cannot read this assignment target", line)
+
+    def _store_lvalue(self, target: LValue, value: Any, env: Env, line: int) -> None:
+        if isinstance(target, LName):
+            env.store(target.id, value)
+            return
+        if isinstance(target, LSub):
+            base = env.load(target.base, line)
+            key = self.eval_expr(target.index, env)
+            try:
+                base[key] = value
+            except (IndexError, TypeError) as exc:
+                raise NFRuntimeError(f"subscript store failed: {exc}", line) from None
+            return
+        if isinstance(target, LAttr):
+            base = env.load(target.base, line)
+            try:
+                setattr(base, target.attr, value)
+            except (AttributeError, TypeError, ValueError) as exc:
+                raise NFRuntimeError(str(exc), line) from None
+            return
+        if isinstance(target, LTuple):
+            try:
+                items = list(value)
+            except TypeError:
+                raise NFRuntimeError("cannot unpack non-sequence", line) from None
+            if len(items) != len(target.elts):
+                raise NFRuntimeError(
+                    f"unpack mismatch: {len(target.elts)} targets, {len(items)} values",
+                    line,
+                )
+            for sub, item in zip(target.elts, items):
+                self._store_lvalue(sub, item, env, line)
+            return
+        raise NFRuntimeError("cannot store to this target", line)
+
+    # -- expressions --------------------------------------------------------------
+
+    def eval_expr(self, expr: Expr, env: Env) -> Any:
+        if isinstance(expr, EConst):
+            return expr.value
+        if isinstance(expr, EName):
+            return env.load(expr.id)
+        if isinstance(expr, ETuple):
+            return tuple(self.eval_expr(e, env) for e in expr.elts)
+        if isinstance(expr, EList):
+            return [self.eval_expr(e, env) for e in expr.elts]
+        if isinstance(expr, EDict):
+            return {
+                self.eval_expr(k, env): self.eval_expr(v, env) for k, v in expr.items
+            }
+        if isinstance(expr, EBin):
+            left = self.eval_expr(expr.left, env)
+            right = self.eval_expr(expr.right, env)
+            return _binop(expr.op, left, right, 0)
+        if isinstance(expr, EUn):
+            operand = self.eval_expr(expr.operand, env)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "+":
+                return +operand
+            if expr.op == "not":
+                return not truthy(operand)
+            if expr.op == "~":
+                return ~operand
+            raise NFRuntimeError(f"unknown unary operator {expr.op}")
+        if isinstance(expr, ECmp):
+            left = self.eval_expr(expr.left, env)
+            right = self.eval_expr(expr.right, env)
+            return _cmpop(expr.op, left, right)
+        if isinstance(expr, EBool):
+            if expr.op == "and":
+                result: Any = True
+                for e in expr.values:
+                    result = self.eval_expr(e, env)
+                    if not truthy(result):
+                        return result
+                return result
+            result = False
+            for e in expr.values:
+                result = self.eval_expr(e, env)
+                if truthy(result):
+                    return result
+            return result
+        if isinstance(expr, ECall):
+            return self._call(expr, env)
+        if isinstance(expr, ESub):
+            base = self.eval_expr(expr.base, env)
+            key = self.eval_expr(expr.index, env)
+            try:
+                return base[key]
+            except (KeyError, IndexError, TypeError) as exc:
+                raise NFRuntimeError(f"subscript failed: {exc!r}") from None
+        if isinstance(expr, EAttr):
+            base = self.eval_expr(expr.base, env)
+            try:
+                return getattr(base, expr.attr)
+            except AttributeError as exc:
+                raise NFRuntimeError(str(exc)) from None
+        if isinstance(expr, ECond):
+            if truthy(self.eval_expr(expr.test, env)):
+                return self.eval_expr(expr.body, env)
+            return self.eval_expr(expr.orelse, env)
+        raise NFRuntimeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _call(self, expr: ECall, env: Env) -> Any:
+        name = expr.func
+        if expr.method:
+            receiver = self.eval_expr(expr.args[0], env)
+            args = [self.eval_expr(a, env) for a in expr.args[1:]]
+            method = METHODS.get(name)
+            if method is None:
+                raise NFRuntimeError(f"unknown method {name!r}")
+            try:
+                return method(receiver, *args)
+            except (KeyError, IndexError, ValueError, TypeError) as exc:
+                raise NFRuntimeError(f"{name}() failed: {exc}") from None
+
+        args = [self.eval_expr(a, env) for a in expr.args]
+        if name == PKT_OUTPUT_FUNC:
+            pkt = args[0]
+            port = args[1] if len(args) > 1 else None
+            self.sent.append((deep_copy(pkt), port))
+            return None
+        if name == PKT_INPUT_FUNC:
+            if not self.inputs:
+                raise NFRuntimeError("recv_packet(): input queue is empty")
+            return self.inputs.pop(0)
+        if name in self.intrinsics:
+            return self.intrinsics[name](*args)
+        if self.program is not None and name in self.program.functions:
+            return self.call(name, args)
+        builtin = BUILTINS.get(name)
+        if builtin is not None:
+            try:
+                return builtin(*args)
+            except (ValueError, TypeError) as exc:
+                raise NFRuntimeError(f"{name}() failed: {exc}") from None
+        raise NFRuntimeError(f"unknown function {name!r}")
+
+
+def _binop(op: str, left: Any, right: Any, line: int) -> Any:
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "//":
+            return left // right
+        if op == "%":
+            return left % right
+        if op == "<<":
+            return left << right
+        if op == ">>":
+            return left >> right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "**":
+            return left**right
+    except (TypeError, ZeroDivisionError, ValueError) as exc:
+        raise NFRuntimeError(f"operator {op} failed: {exc}", line) from None
+    raise NFRuntimeError(f"unknown operator {op}", line)
+
+
+def _cmpop(op: str, left: Any, right: Any) -> bool:
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "in":
+        return left in right
+    if op == "notin":
+        return left not in right
+    if op == "is":
+        return left is right
+    if op == "isnot":
+        return left is not right
+    raise NFRuntimeError(f"unknown comparison {op}")

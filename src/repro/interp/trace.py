@@ -1,0 +1,63 @@
+"""Execution traces for dynamic slicing.
+
+Each executed statement becomes a :class:`TraceEvent` carrying the
+*dynamic* dependences the occurrence had:
+
+* ``use_defs`` — for every variable the statement read, the index of the
+  trace event that produced the value (``None`` if it flowed in from the
+  initial environment);
+* ``ctrl`` — the index of the branch occurrence this statement was
+  dynamically control dependent on (the nearest enclosing taken branch);
+* ``defs`` — the variables the occurrence (weakly or strongly) defined.
+
+With these links, a dynamic slice is plain backward reachability over
+trace events — Agrawal & Horgan's dynamic dependence graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class TraceEvent:
+    """One executed statement occurrence."""
+
+    index: int
+    sid: int
+    defs: Tuple[str, ...]
+    use_defs: Dict[str, Optional[int]]
+    ctrl: Optional[int]
+    branch: Optional[bool] = None  # outcome, for branch statements
+
+
+@dataclass
+class Trace:
+    """A complete execution trace."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def last_occurrence(self, sid: int) -> Optional[TraceEvent]:
+        """The latest occurrence of statement ``sid`` (None if never ran)."""
+        for event in reversed(self.events):
+            if event.sid == sid:
+                return event
+        return None
+
+    def occurrences(self, sid: int) -> List[TraceEvent]:
+        """All occurrences of statement ``sid`` in execution order."""
+        return [e for e in self.events if e.sid == sid]
+
+    def executed_sids(self) -> Set[int]:
+        """The set of statements that executed at least once."""
+        return {e.sid for e in self.events}

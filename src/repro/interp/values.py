@@ -1,0 +1,34 @@
+"""Runtime value helpers for the interpreter."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.packet import Packet
+
+
+def deep_copy(value: Any) -> Any:
+    """Structural copy of an NFPy runtime value.
+
+    Handles exactly the value universe NFPy programs can build:
+    immutables, tuples, lists, dicts and packets.
+    """
+    if isinstance(value, Packet):
+        return value.copy()
+    if isinstance(value, list):
+        return [deep_copy(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(deep_copy(v) for v in value)
+    if isinstance(value, dict):
+        return {k: deep_copy(v) for k, v in value.items()}
+    return value
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Structural equality over NFPy values (packets compare by fields)."""
+    return a == b
+
+
+def truthy(value: Any) -> bool:
+    """NFPy truthiness (same as Python's)."""
+    return bool(value)

@@ -1,0 +1,37 @@
+"""NFPy frontend: parsing the analyzable Python subset into the IR.
+
+NFPy is a strict subset of Python (paper §5 analyzes C with LLVM; we
+analyze NFPy with our own toolchain — see DESIGN.md §2).  A program is a
+module of constant/configuration/state assignments plus function
+definitions; one function is the per-packet entry point, either directly
+or after the code-structure transforms of :mod:`repro.nfactor.transforms`.
+"""
+
+from repro.lang.parser import parse_program, parse_function
+from repro.lang.ir import (
+    Program,
+    Function,
+    Stmt,
+    Expr,
+    stmt_defs,
+    stmt_uses,
+    expr_names,
+)
+from repro.lang.errors import NFPyError
+from repro.lang.pretty import pretty_program, pretty_stmt, pretty_expr
+
+__all__ = [
+    "parse_program",
+    "parse_function",
+    "Program",
+    "Function",
+    "Stmt",
+    "Expr",
+    "stmt_defs",
+    "stmt_uses",
+    "expr_names",
+    "NFPyError",
+    "pretty_program",
+    "pretty_stmt",
+    "pretty_expr",
+]

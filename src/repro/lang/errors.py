@@ -1,0 +1,28 @@
+"""Frontend error types."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class NFPyError(Exception):
+    """Raised when source code falls outside the NFPy subset.
+
+    Carries the offending source line so NF authors can find the
+    construct that needs rewriting (the paper assumes NFs are written
+    in, or rewritten into, an analyzable style — §3.2).
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class NFPyNameError(NFPyError):
+    """An undefined name or function was referenced."""
+
+
+class NFPyRecursionError(NFPyError):
+    """Direct or mutual recursion — not expressible in NFPy."""

@@ -1,0 +1,608 @@
+"""The NFactor intermediate representation.
+
+Every analysis in the repository — CFG construction, dataflow, slicing,
+concrete interpretation, symbolic execution, StateAlyzer classification
+and model extraction — operates on this statement-level IR rather than on
+Python ``ast`` nodes.  Keeping statements (not three-address code) as the
+unit preserves the source-line mapping that program slices are reported
+in (paper Fig. 1 highlights source lines).
+
+Design notes
+------------
+* Expressions are immutable; statements carry a unique ``sid`` and the
+  originating source ``line``.
+* Control flow is structured (``SIf``/``SWhile`` own their blocks);
+  ``for`` loops are lowered to ``while`` by the frontend so downstream
+  passes see exactly one looping construct.
+* L-values distinguish whole-variable stores (``LName``) from element
+  stores (``LSub``/``LAttr``), which are *weak* updates: they both define
+  and use the base variable.  That conservative treatment is what makes
+  dictionary-typed NF state (NAT tables, flow tables) slice correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for IR expressions (immutable)."""
+
+
+@dataclass(frozen=True)
+class EConst(Expr):
+    """A literal constant: int, bool, str or None."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class EName(Expr):
+    """A variable reference."""
+
+    id: str
+
+
+@dataclass(frozen=True)
+class ETuple(Expr):
+    """A tuple literal."""
+
+    elts: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class EList(Expr):
+    """A list literal."""
+
+    elts: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class EDict(Expr):
+    """A dict literal (keys/values in source order)."""
+
+    items: Tuple[Tuple[Expr, Expr], ...]
+
+
+@dataclass(frozen=True)
+class EBin(Expr):
+    """A binary arithmetic/bitwise operation."""
+
+    op: str  # + - * / // % << >> & | ^ **
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class EUn(Expr):
+    """A unary operation: ``-``, ``not``, ``~``, ``+``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class ECmp(Expr):
+    """A single comparison (chains are expanded by the frontend)."""
+
+    op: str  # == != < <= > >= in notin is isnot
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class EBool(Expr):
+    """Short-circuit ``and`` / ``or`` over two or more operands."""
+
+    op: str  # and | or
+    values: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ECall(Expr):
+    """A call to a builtin, intrinsic, user function or method intrinsic.
+
+    Method calls (``xs.append(v)``) are normalised to
+    ``ECall(func="append", args=(EName("xs"), v), method=True)``.
+    """
+
+    func: str
+    args: Tuple[Expr, ...]
+    method: bool = False
+
+
+@dataclass(frozen=True)
+class ESub(Expr):
+    """A subscript read: ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class EAttr(Expr):
+    """An attribute read, e.g. a packet header field ``pkt.ip_src``."""
+
+    base: Expr
+    attr: str
+
+
+@dataclass(frozen=True)
+class ECond(Expr):
+    """A conditional expression ``body if test else orelse``."""
+
+    test: Expr
+    body: Expr
+    orelse: Expr
+
+
+# ---------------------------------------------------------------------------
+# L-values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LValue:
+    """Base class for assignment targets."""
+
+
+@dataclass(frozen=True)
+class LName(LValue):
+    """Whole-variable store."""
+
+    id: str
+
+
+@dataclass(frozen=True)
+class LSub(LValue):
+    """Element store ``base[index] = ...`` (weak update of ``base``)."""
+
+    base: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class LAttr(LValue):
+    """Field store ``base.attr = ...`` (weak update of ``base``)."""
+
+    base: str
+    attr: str
+
+
+@dataclass(frozen=True)
+class LTuple(LValue):
+    """Tuple-unpacking target."""
+
+    elts: Tuple[LValue, ...]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+Block = List["Stmt"]
+
+
+@dataclass
+class Stmt:
+    """Base class for IR statements.
+
+    ``sid`` is unique within a :class:`Program`; ``line`` is the original
+    source line (several IR statements may share a line after lowering).
+    """
+
+    sid: int = field(default=-1, compare=False)
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class SAssign(Stmt):
+    """``targets = value`` (or augmented: ``target op= value``)."""
+
+    targets: Tuple[LValue, ...] = ()
+    value: Expr = EConst(None)
+    aug: Optional[str] = None  # op for augmented assignment, else None
+
+
+@dataclass
+class SExpr(Stmt):
+    """An expression evaluated for its side effect (a call)."""
+
+    value: Expr = EConst(None)
+
+
+@dataclass
+class SIf(Stmt):
+    """``if cond: then else: orelse``."""
+
+    cond: Expr = EConst(True)
+    then: Block = field(default_factory=list)
+    orelse: Block = field(default_factory=list)
+
+
+@dataclass
+class SWhile(Stmt):
+    """``while cond: body``."""
+
+    cond: Expr = EConst(True)
+    body: Block = field(default_factory=list)
+
+
+@dataclass
+class SReturn(Stmt):
+    """``return [value]`` — in a packet callback, an implicit drop."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class SBreak(Stmt):
+    """``break``."""
+
+
+@dataclass
+class SContinue(Stmt):
+    """``continue``."""
+
+
+@dataclass
+class SPass(Stmt):
+    """``pass`` — kept so slices preserve block structure."""
+
+
+@dataclass
+class SDelete(Stmt):
+    """``del base[index]`` — weak update of ``base`` (flow expiry etc.)."""
+
+    target: Optional[LSub] = None
+
+
+# ---------------------------------------------------------------------------
+# Containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Function:
+    """A function definition."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Block
+    global_names: Set[str] = field(default_factory=set)
+    line: int = 0
+
+    def stmts(self) -> Iterator[Stmt]:
+        """Iterate over all statements, depth-first, in source order."""
+        yield from iter_block(self.body)
+
+
+@dataclass
+class Program:
+    """A whole NFPy module: globals initialisation plus functions.
+
+    ``module_body`` holds the top-level statements (constant /
+    configuration / state initialisation); ``entry`` names the per-packet
+    processing function once the structure transforms have run.
+    """
+
+    name: str
+    functions: Dict[str, Function]
+    module_body: Block
+    entry: Optional[str] = None
+    source: str = ""
+    _by_sid: Dict[int, Stmt] = field(default_factory=dict, repr=False)
+
+    def all_stmts(self) -> Iterator[Stmt]:
+        """All statements: module body first, then each function."""
+        yield from iter_block(self.module_body)
+        for fn in self.functions.values():
+            yield from fn.stmts()
+
+    def stmt(self, sid: int) -> Stmt:
+        """Look up a statement by its sid."""
+        if not self._by_sid:
+            self.reindex()
+        return self._by_sid[sid]
+
+    def reindex(self) -> None:
+        """Rebuild the sid → statement index (after transforms)."""
+        self._by_sid = {s.sid: s for s in self.all_stmts()}
+
+    def max_sid(self) -> int:
+        """Largest sid in the program (for allocating fresh ones)."""
+        return max((s.sid for s in self.all_stmts()), default=-1)
+
+    @property
+    def entry_function(self) -> Function:
+        """The per-packet entry function (requires ``entry`` to be set)."""
+        if self.entry is None:
+            raise ValueError(f"program {self.name!r} has no entry function")
+        return self.functions[self.entry]
+
+    def loc(self) -> int:
+        """Number of IR statements — the 'lines of code' unit of Table 2."""
+        return sum(1 for _ in self.all_stmts())
+
+    def source_lines(self, sids: Set[int]) -> Set[int]:
+        """Map a set of sids back to source line numbers."""
+        self.reindex()
+        return {self._by_sid[sid].line for sid in sids if sid in self._by_sid}
+
+
+def iter_block(block: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Depth-first iteration over a block and all nested blocks."""
+    for stmt in block:
+        yield stmt
+        if isinstance(stmt, SIf):
+            yield from iter_block(stmt.then)
+            yield from iter_block(stmt.orelse)
+        elif isinstance(stmt, SWhile):
+            yield from iter_block(stmt.body)
+
+
+# ---------------------------------------------------------------------------
+# Def/use computation
+# ---------------------------------------------------------------------------
+
+#: Method intrinsics that mutate their receiver (first argument).
+MUTATING_METHODS = frozenset({"append", "pop", "clear", "add", "update", "remove", "insert"})
+
+
+def expr_names(expr: Expr) -> Set[str]:
+    """All variable names read by ``expr``."""
+    names: Set[str] = set()
+    _collect_names(expr, names)
+    return names
+
+
+def _collect_names(expr: Expr, out: Set[str]) -> None:
+    if isinstance(expr, EName):
+        out.add(expr.id)
+    elif isinstance(expr, EConst):
+        pass
+    elif isinstance(expr, (ETuple, EList)):
+        for e in expr.elts:
+            _collect_names(e, out)
+    elif isinstance(expr, EDict):
+        for k, v in expr.items:
+            _collect_names(k, out)
+            _collect_names(v, out)
+    elif isinstance(expr, EBin):
+        _collect_names(expr.left, out)
+        _collect_names(expr.right, out)
+    elif isinstance(expr, EUn):
+        _collect_names(expr.operand, out)
+    elif isinstance(expr, ECmp):
+        _collect_names(expr.left, out)
+        _collect_names(expr.right, out)
+    elif isinstance(expr, EBool):
+        for e in expr.values:
+            _collect_names(e, out)
+    elif isinstance(expr, ECall):
+        for e in expr.args:
+            _collect_names(e, out)
+    elif isinstance(expr, ESub):
+        _collect_names(expr.base, out)
+        _collect_names(expr.index, out)
+    elif isinstance(expr, EAttr):
+        _collect_names(expr.base, out)
+    elif isinstance(expr, ECond):
+        _collect_names(expr.test, out)
+        _collect_names(expr.body, out)
+        _collect_names(expr.orelse, out)
+    else:  # pragma: no cover - exhaustive over IR
+        raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def lvalue_defs(target: LValue) -> Set[str]:
+    """Variables defined (possibly weakly) by storing to ``target``."""
+    if isinstance(target, LName):
+        return {target.id}
+    if isinstance(target, (LSub, LAttr)):
+        return {target.base}
+    if isinstance(target, LTuple):
+        out: Set[str] = set()
+        for t in target.elts:
+            out |= lvalue_defs(t)
+        return out
+    raise TypeError(f"unknown lvalue: {target!r}")
+
+
+def lvalue_uses(target: LValue) -> Set[str]:
+    """Variables *read* while storing to ``target``.
+
+    An element store ``d[k] = v`` reads ``d`` (weak update) and every
+    name in ``k``; a whole-variable store reads nothing.
+    """
+    if isinstance(target, LName):
+        return set()
+    if isinstance(target, LSub):
+        return {target.base} | expr_names(target.index)
+    if isinstance(target, LAttr):
+        return {target.base}
+    if isinstance(target, LTuple):
+        out: Set[str] = set()
+        for t in target.elts:
+            out |= lvalue_uses(t)
+        return out
+    raise TypeError(f"unknown lvalue: {target!r}")
+
+
+def call_mutated_names(expr: Expr) -> Set[str]:
+    """Receiver names mutated by method-intrinsic calls inside ``expr``."""
+    out: Set[str] = set()
+    _collect_mutations(expr, out)
+    return out
+
+
+def _collect_mutations(expr: Expr, out: Set[str]) -> None:
+    if isinstance(expr, ECall):
+        if expr.method and expr.func in MUTATING_METHODS and expr.args:
+            receiver = expr.args[0]
+            if isinstance(receiver, EName):
+                out.add(receiver.id)
+        for a in expr.args:
+            _collect_mutations(a, out)
+    elif isinstance(expr, (ETuple, EList)):
+        for e in expr.elts:
+            _collect_mutations(e, out)
+    elif isinstance(expr, EDict):
+        for k, v in expr.items:
+            _collect_mutations(k, out)
+            _collect_mutations(v, out)
+    elif isinstance(expr, EBin):
+        _collect_mutations(expr.left, out)
+        _collect_mutations(expr.right, out)
+    elif isinstance(expr, EUn):
+        _collect_mutations(expr.operand, out)
+    elif isinstance(expr, ECmp):
+        _collect_mutations(expr.left, out)
+        _collect_mutations(expr.right, out)
+    elif isinstance(expr, EBool):
+        for e in expr.values:
+            _collect_mutations(e, out)
+    elif isinstance(expr, ESub):
+        _collect_mutations(expr.base, out)
+        _collect_mutations(expr.index, out)
+    elif isinstance(expr, EAttr):
+        _collect_mutations(expr.base, out)
+    elif isinstance(expr, ECond):
+        _collect_mutations(expr.test, out)
+        _collect_mutations(expr.body, out)
+        _collect_mutations(expr.orelse, out)
+
+
+def stmt_defs(stmt: Stmt) -> Set[str]:
+    """Variables defined by ``stmt`` (weak updates included)."""
+    if isinstance(stmt, SAssign):
+        defs: Set[str] = set()
+        for t in stmt.targets:
+            defs |= lvalue_defs(t)
+        defs |= call_mutated_names(stmt.value)
+        return defs
+    if isinstance(stmt, SExpr):
+        return call_mutated_names(stmt.value)
+    if isinstance(stmt, SDelete) and stmt.target is not None:
+        return {stmt.target.base}
+    return set()
+
+
+def stmt_scope_names(stmt: Stmt) -> Set[str]:
+    """Names the statement *binds* in Python scoping terms.
+
+    Only whole-name assignments (``x = ...``, ``x op= ...``, tuple
+    targets) make a name function-local; element stores (``d[k] = v``),
+    field stores and mutating method calls merely mutate an existing
+    object and do not bind the name.
+    """
+    if not isinstance(stmt, SAssign):
+        return set()
+    out: Set[str] = set()
+
+    def visit(target: LValue) -> None:
+        if isinstance(target, LName):
+            out.add(target.id)
+        elif isinstance(target, LTuple):
+            for sub in target.elts:
+                visit(sub)
+
+    for target in stmt.targets:
+        visit(target)
+    return out
+
+
+def stmt_uses(stmt: Stmt) -> Set[str]:
+    """Variables used by ``stmt`` (conditions included, bodies excluded)."""
+    if isinstance(stmt, SAssign):
+        uses = expr_names(stmt.value)
+        for t in stmt.targets:
+            uses |= lvalue_uses(t)
+        if stmt.aug is not None:
+            for t in stmt.targets:
+                uses |= lvalue_defs(t)
+        return uses
+    if isinstance(stmt, SExpr):
+        return expr_names(stmt.value)
+    if isinstance(stmt, (SIf, SWhile)):
+        return expr_names(stmt.cond)
+    if isinstance(stmt, SReturn):
+        return expr_names(stmt.value) if stmt.value is not None else set()
+    if isinstance(stmt, SDelete) and stmt.target is not None:
+        return {stmt.target.base} | expr_names(stmt.target.index)
+    return set()
+
+
+def expr_calls(expr: Expr) -> List[ECall]:
+    """All call nodes inside ``expr``, in evaluation order."""
+    out: List[ECall] = []
+    _collect_calls(expr, out)
+    return out
+
+
+def _collect_calls(expr: Expr, out: List[ECall]) -> None:
+    if isinstance(expr, ECall):
+        for a in expr.args:
+            _collect_calls(a, out)
+        out.append(expr)
+    elif isinstance(expr, (ETuple, EList)):
+        for e in expr.elts:
+            _collect_calls(e, out)
+    elif isinstance(expr, EDict):
+        for k, v in expr.items:
+            _collect_calls(k, out)
+            _collect_calls(v, out)
+    elif isinstance(expr, EBin):
+        _collect_calls(expr.left, out)
+        _collect_calls(expr.right, out)
+    elif isinstance(expr, EUn):
+        _collect_calls(expr.operand, out)
+    elif isinstance(expr, ECmp):
+        _collect_calls(expr.left, out)
+        _collect_calls(expr.right, out)
+    elif isinstance(expr, EBool):
+        for e in expr.values:
+            _collect_calls(e, out)
+    elif isinstance(expr, ESub):
+        _collect_calls(expr.base, out)
+        _collect_calls(expr.index, out)
+    elif isinstance(expr, EAttr):
+        _collect_calls(expr.base, out)
+    elif isinstance(expr, ECond):
+        _collect_calls(expr.test, out)
+        _collect_calls(expr.body, out)
+        _collect_calls(expr.orelse, out)
+
+
+def stmt_calls(stmt: Stmt) -> List[ECall]:
+    """All call nodes appearing directly in ``stmt`` (not nested blocks)."""
+    if isinstance(stmt, SAssign):
+        calls = expr_calls(stmt.value)
+        for t in stmt.targets:
+            if isinstance(t, LSub):
+                calls.extend(expr_calls(t.index))
+        return calls
+    if isinstance(stmt, SExpr):
+        return expr_calls(stmt.value)
+    if isinstance(stmt, (SIf, SWhile)):
+        return expr_calls(stmt.cond)
+    if isinstance(stmt, SReturn) and stmt.value is not None:
+        return expr_calls(stmt.value)
+    if isinstance(stmt, SDelete) and stmt.target is not None:
+        return expr_calls(stmt.target.index)
+    return []
+
+
+def assign_sids(program: Program) -> None:
+    """(Re)number every statement with a fresh, dense sid sequence."""
+    counter = 0
+    for stmt in program.all_stmts():
+        stmt.sid = counter
+        counter += 1
+    program.reindex()

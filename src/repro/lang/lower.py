@@ -1,0 +1,366 @@
+"""Lowering: Python ``ast`` nodes → NFactor IR.
+
+The lowering pass is also the NFPy *validator*: any construct outside the
+subset raises :class:`~repro.lang.errors.NFPyError` with the offending
+line.  Two normalisations happen here so every later pass sees a smaller
+language:
+
+* ``for`` loops become explicit ``while`` loops over an index temp, so
+  the CFG/symbolic layers handle exactly one looping construct;
+* comparison chains (``a < b < c``) become conjunctions of binary
+  comparisons.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.lang.errors import NFPyError
+from repro.lang.ir import (
+    Block,
+    EAttr,
+    EBin,
+    EBool,
+    ECall,
+    ECmp,
+    ECond,
+    EConst,
+    EDict,
+    EList,
+    EName,
+    ESub,
+    ETuple,
+    EUn,
+    Expr,
+    Function,
+    LAttr,
+    LName,
+    LSub,
+    LTuple,
+    LValue,
+    SAssign,
+    SBreak,
+    SContinue,
+    SDelete,
+    SExpr,
+    SIf,
+    SPass,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+
+_BINOPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+    ast.BitAnd: "&",
+    ast.BitOr: "|",
+    ast.BitXor: "^",
+    ast.Pow: "**",
+}
+
+_CMPOPS = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.In: "in",
+    ast.NotIn: "notin",
+    ast.Is: "is",
+    ast.IsNot: "isnot",
+}
+
+_UNOPS = {
+    ast.USub: "-",
+    ast.UAdd: "+",
+    ast.Not: "not",
+    ast.Invert: "~",
+}
+
+
+class Lowerer:
+    """Stateful lowering of one module (tracks fresh-temp allocation)."""
+
+    def __init__(self) -> None:
+        self._temp_counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        """Allocate a fresh compiler-temporary name."""
+        self._temp_counter += 1
+        return f"__{prefix}_{self._temp_counter}"
+
+    # -- expressions -------------------------------------------------------
+
+    def lower_expr(self, node: ast.expr) -> Expr:
+        """Lower one Python expression node to an IR expression."""
+        if isinstance(node, ast.Constant):
+            if node.value is Ellipsis:
+                raise NFPyError("Ellipsis is not NFPy", node.lineno)
+            return EConst(node.value)
+        if isinstance(node, ast.Name):
+            return EName(node.id)
+        if isinstance(node, ast.Tuple):
+            return ETuple(tuple(self.lower_expr(e) for e in node.elts))
+        if isinstance(node, ast.List):
+            return EList(tuple(self.lower_expr(e) for e in node.elts))
+        if isinstance(node, ast.Dict):
+            items: List[Tuple[Expr, Expr]] = []
+            for k, v in zip(node.keys, node.values):
+                if k is None:
+                    raise NFPyError("dict unpacking is not NFPy", node.lineno)
+                items.append((self.lower_expr(k), self.lower_expr(v)))
+            return EDict(tuple(items))
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise NFPyError(
+                    f"operator {type(node.op).__name__} is not NFPy", node.lineno
+                )
+            return EBin(op, self.lower_expr(node.left), self.lower_expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            op = _UNOPS.get(type(node.op))
+            if op is None:
+                raise NFPyError(
+                    f"unary {type(node.op).__name__} is not NFPy", node.lineno
+                )
+            return EUn(op, self.lower_expr(node.operand))
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            return EBool(op, tuple(self.lower_expr(v) for v in node.values))
+        if isinstance(node, ast.Compare):
+            return self._lower_compare(node)
+        if isinstance(node, ast.Call):
+            return self._lower_call(node)
+        if isinstance(node, ast.Subscript):
+            return ESub(self.lower_expr(node.value), self._lower_index(node))
+        if isinstance(node, ast.Attribute):
+            return EAttr(self.lower_expr(node.value), node.attr)
+        if isinstance(node, ast.IfExp):
+            return ECond(
+                self.lower_expr(node.test),
+                self.lower_expr(node.body),
+                self.lower_expr(node.orelse),
+            )
+        raise NFPyError(
+            f"expression {type(node).__name__} is not NFPy", getattr(node, "lineno", None)
+        )
+
+    def _lower_index(self, node: ast.Subscript) -> Expr:
+        if isinstance(node.slice, ast.Slice):
+            raise NFPyError("slicing is not NFPy (index with integers)", node.lineno)
+        return self.lower_expr(node.slice)
+
+    def _lower_compare(self, node: ast.Compare) -> Expr:
+        parts: List[Expr] = []
+        left = node.left
+        for op_node, right in zip(node.ops, node.comparators):
+            op = _CMPOPS.get(type(op_node))
+            if op is None:
+                raise NFPyError(
+                    f"comparison {type(op_node).__name__} is not NFPy", node.lineno
+                )
+            parts.append(ECmp(op, self.lower_expr(left), self.lower_expr(right)))
+            left = right
+        if len(parts) == 1:
+            return parts[0]
+        return EBool("and", tuple(parts))
+
+    def _lower_call(self, node: ast.Call) -> Expr:
+        if node.keywords:
+            raise NFPyError("keyword arguments are not NFPy", node.lineno)
+        args = tuple(self.lower_expr(a) for a in node.args)
+        if isinstance(node.func, ast.Name):
+            return ECall(node.func.id, args)
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.lower_expr(node.func.value)
+            return ECall(node.func.attr, (receiver,) + args, method=True)
+        raise NFPyError("computed call targets are not NFPy", node.lineno)
+
+    # -- l-values ----------------------------------------------------------
+
+    def lower_target(self, node: ast.expr) -> LValue:
+        """Lower an assignment target."""
+        if isinstance(node, ast.Name):
+            return LName(node.id)
+        if isinstance(node, ast.Subscript):
+            if not isinstance(node.value, ast.Name):
+                raise NFPyError(
+                    "subscript store base must be a variable", node.lineno
+                )
+            return LSub(node.value.id, self._lower_index(node))
+        if isinstance(node, ast.Attribute):
+            if not isinstance(node.value, ast.Name):
+                raise NFPyError(
+                    "attribute store base must be a variable", node.lineno
+                )
+            return LAttr(node.value.id, node.attr)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return LTuple(tuple(self.lower_target(e) for e in node.elts))
+        raise NFPyError(
+            f"assignment target {type(node).__name__} is not NFPy",
+            getattr(node, "lineno", None),
+        )
+
+    # -- statements --------------------------------------------------------
+
+    def lower_block(self, nodes: List[ast.stmt], globals_out: Set[str]) -> Block:
+        """Lower a statement list (collecting ``global`` declarations)."""
+        out: Block = []
+        for node in nodes:
+            out.extend(self.lower_stmt(node, globals_out))
+        return out
+
+    def lower_stmt(self, node: ast.stmt, globals_out: Set[str]) -> List[Stmt]:
+        """Lower one Python statement (may expand to several IR stmts)."""
+        line = getattr(node, "lineno", 0)
+        if isinstance(node, ast.Assign):
+            targets = tuple(self.lower_target(t) for t in node.targets)
+            return [SAssign(line=line, targets=targets, value=self.lower_expr(node.value))]
+        if isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                return []
+            return [
+                SAssign(
+                    line=line,
+                    targets=(self.lower_target(node.target),),
+                    value=self.lower_expr(node.value),
+                )
+            ]
+        if isinstance(node, ast.AugAssign):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise NFPyError(
+                    f"augmented operator {type(node.op).__name__} is not NFPy", line
+                )
+            return [
+                SAssign(
+                    line=line,
+                    targets=(self.lower_target(node.target),),
+                    value=self.lower_expr(node.value),
+                    aug=op,
+                )
+            ]
+        if isinstance(node, ast.Expr):
+            value = self.lower_expr(node.value)
+            if isinstance(value, EConst) and isinstance(value.value, str):
+                return []  # docstring
+            return [SExpr(line=line, value=value)]
+        if isinstance(node, ast.If):
+            return [
+                SIf(
+                    line=line,
+                    cond=self.lower_expr(node.test),
+                    then=self.lower_block(node.body, globals_out),
+                    orelse=self.lower_block(node.orelse, globals_out),
+                )
+            ]
+        if isinstance(node, ast.While):
+            if node.orelse:
+                raise NFPyError("while/else is not NFPy", line)
+            return [
+                SWhile(
+                    line=line,
+                    cond=self.lower_expr(node.test),
+                    body=self.lower_block(node.body, globals_out),
+                )
+            ]
+        if isinstance(node, ast.For):
+            return self._lower_for(node, globals_out)
+        if isinstance(node, ast.Return):
+            value = self.lower_expr(node.value) if node.value is not None else None
+            return [SReturn(line=line, value=value)]
+        if isinstance(node, ast.Break):
+            return [SBreak(line=line)]
+        if isinstance(node, ast.Continue):
+            return [SContinue(line=line)]
+        if isinstance(node, ast.Pass):
+            return [SPass(line=line)]
+        if isinstance(node, ast.Global):
+            globals_out.update(node.names)
+            return []
+        if isinstance(node, ast.Delete):
+            out: List[Stmt] = []
+            for tgt in node.targets:
+                lowered = self.lower_target(tgt)
+                if not isinstance(lowered, LSub):
+                    raise NFPyError("only `del d[k]` deletion is NFPy", line)
+                out.append(SDelete(line=line, target=lowered))
+            return out
+        if isinstance(node, ast.Import) or isinstance(node, ast.ImportFrom):
+            return []  # imports are for running under CPython; analysis ignores them
+        if isinstance(node, ast.Assert):
+            raise NFPyError("assert is not NFPy (use if/return)", line)
+        raise NFPyError(f"statement {type(node).__name__} is not NFPy", line)
+
+    def _lower_for(self, node: ast.For, globals_out: Set[str]) -> List[Stmt]:
+        """Rewrite ``for x in seq: body`` into an index-driven while loop."""
+        line = node.lineno
+        if node.orelse:
+            raise NFPyError("for/else is not NFPy", line)
+        seq_name = self.fresh("seq")
+        idx_name = self.fresh("i")
+        target = self.lower_target(node.target)
+        body: Block = [
+            SAssign(
+                line=line,
+                targets=(target,),
+                value=ESub(EName(seq_name), EName(idx_name)),
+            ),
+            SAssign(
+                line=line,
+                targets=(LName(idx_name),),
+                value=EBin("+", EName(idx_name), EConst(1)),
+            ),
+        ]
+        body.extend(self.lower_block(node.body, globals_out))
+        return [
+            SAssign(line=line, targets=(LName(seq_name),), value=self.lower_expr(node.iter)),
+            SAssign(line=line, targets=(LName(idx_name),), value=EConst(0)),
+            SWhile(
+                line=line,
+                cond=ECmp("<", EName(idx_name), ECall("len", (EName(seq_name),))),
+                body=body,
+            ),
+        ]
+
+    # -- module ------------------------------------------------------------
+
+    def lower_function(self, node: ast.FunctionDef) -> Function:
+        """Lower one function definition."""
+        args = node.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.defaults or args.posonlyargs:
+            raise NFPyError(
+                "only plain positional parameters are NFPy", node.lineno
+            )
+        if node.decorator_list:
+            raise NFPyError("decorators are not NFPy", node.lineno)
+        global_names: Set[str] = set()
+        body = self.lower_block(node.body, global_names)
+        return Function(
+            name=node.name,
+            params=tuple(a.arg for a in args.args),
+            body=body,
+            global_names=global_names,
+            line=node.lineno,
+        )
+
+
+def is_main_guard(node: ast.stmt) -> bool:
+    """Detect ``if __name__ == "__main__":`` so it can be skipped."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "__name__"
+    )

@@ -1,0 +1,132 @@
+"""Parsing NFPy source into a :class:`~repro.lang.ir.Program`."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from repro.lang.errors import NFPyError, NFPyRecursionError
+from repro.lang.ir import (
+    Block,
+    Function,
+    Program,
+    SExpr,
+    Stmt,
+    assign_sids,
+    iter_block,
+    stmt_calls,
+)
+from repro.lang.lower import Lowerer, is_main_guard
+
+
+def parse_program(
+    source: str,
+    name: str = "<nf>",
+    entry: Optional[str] = None,
+) -> Program:
+    """Parse NFPy source text into an IR :class:`Program`.
+
+    ``entry`` optionally names the per-packet processing function; when
+    omitted it can be set later (e.g. by the structure transforms that
+    locate the packet loop).  Statements inside an
+    ``if __name__ == "__main__"`` guard are skipped — they exist so the
+    corpus files can also run under CPython.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise NFPyError(f"syntax error: {exc.msg}", exc.lineno) from exc
+
+    lowerer = Lowerer()
+    functions: Dict[str, Function] = {}
+    module_globals: Set[str] = set()
+    module_body: Block = []
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            fn = lowerer.lower_function(node)
+            if fn.name in functions:
+                raise NFPyError(f"duplicate function {fn.name!r}", node.lineno)
+            functions[fn.name] = fn
+        elif isinstance(node, ast.AsyncFunctionDef):
+            raise NFPyError("async functions are not NFPy", node.lineno)
+        elif isinstance(node, ast.ClassDef):
+            raise NFPyError("classes are not NFPy", node.lineno)
+        elif is_main_guard(node):
+            continue
+        else:
+            module_body.extend(lowerer.lower_stmt(node, module_globals))
+
+    program = Program(
+        name=name,
+        functions=functions,
+        module_body=module_body,
+        entry=entry,
+        source=source,
+    )
+    if entry is not None and entry not in functions:
+        raise NFPyError(f"entry function {entry!r} is not defined")
+    check_no_recursion(program)
+    assign_sids(program)
+    return program
+
+
+def parse_function(source: str, name: Optional[str] = None) -> Function:
+    """Parse source containing function definitions; return one of them.
+
+    Convenience for tests: returns the function called ``name``, or the
+    only function if the module defines exactly one.
+    """
+    program = parse_program(source)
+    if name is not None:
+        if name not in program.functions:
+            raise NFPyError(f"function {name!r} is not defined")
+        return program.functions[name]
+    if len(program.functions) != 1:
+        raise NFPyError(
+            f"expected exactly one function, found {sorted(program.functions)}"
+        )
+    return next(iter(program.functions.values()))
+
+
+def call_graph(program: Program) -> Dict[str, Set[str]]:
+    """Map each function to the user functions it calls."""
+    graph: Dict[str, Set[str]] = {}
+    for fname, fn in program.functions.items():
+        callees: Set[str] = set()
+        for stmt in iter_block(fn.body):
+            for call in stmt_calls(stmt):
+                if not call.method and call.func in program.functions:
+                    callees.add(call.func)
+        graph[fname] = callees
+    return graph
+
+
+def check_no_recursion(program: Program) -> None:
+    """Reject directly or mutually recursive programs.
+
+    NFactor's whole-program analyses inline user calls, which requires
+    the call graph to be a DAG (NF packet-processing code is loop-driven,
+    not recursion-driven — the same assumption StateAlyzer makes).
+    """
+    graph = call_graph(program)
+    state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(node: str, stack: tuple) -> None:
+        mark = state.get(node)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join(stack + (node,))
+            raise NFPyRecursionError(f"recursive call cycle: {cycle}")
+        state[node] = 0
+        for callee in sorted(graph.get(node, ())):
+            visit(callee, stack + (node,))
+        state[node] = 1
+
+    for fname in graph:
+        visit(fname, ())
+
+
+def module_call_stmts(program: Program) -> list[Stmt]:
+    """Top-level call statements (e.g. ``LoadBalancer()`` starters)."""
+    return [s for s in program.module_body if isinstance(s, SExpr)]

@@ -1,0 +1,219 @@
+"""Pretty-printing IR back to readable NFPy source.
+
+Slices, model actions and refactored programs are all reported as code
+(paper Fig. 1 shows a slice as highlighted source lines), so the printer
+must produce valid, readable NFPy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.lang.ir import (
+    EAttr,
+    EBin,
+    EBool,
+    ECall,
+    ECmp,
+    ECond,
+    EConst,
+    EDict,
+    EList,
+    EName,
+    ESub,
+    ETuple,
+    EUn,
+    Expr,
+    Function,
+    LAttr,
+    LName,
+    LSub,
+    LTuple,
+    LValue,
+    Program,
+    SAssign,
+    SBreak,
+    SContinue,
+    SDelete,
+    SExpr,
+    SIf,
+    SPass,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+
+_CMP_TEXT = {
+    "==": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "in": "in",
+    "notin": "not in",
+    "is": "is",
+    "isnot": "is not",
+}
+
+
+def pretty_expr(expr: Expr) -> str:
+    """Render an IR expression as NFPy source text."""
+    if isinstance(expr, EConst):
+        return repr(expr.value)
+    if isinstance(expr, EName):
+        return expr.id
+    if isinstance(expr, ETuple):
+        inner = ", ".join(pretty_expr(e) for e in expr.elts)
+        if len(expr.elts) == 1:
+            inner += ","
+        return f"({inner})"
+    if isinstance(expr, EList):
+        return "[" + ", ".join(pretty_expr(e) for e in expr.elts) + "]"
+    if isinstance(expr, EDict):
+        inner = ", ".join(
+            f"{pretty_expr(k)}: {pretty_expr(v)}" for k, v in expr.items
+        )
+        return "{" + inner + "}"
+    if isinstance(expr, EBin):
+        return f"({pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)})"
+    if isinstance(expr, EUn):
+        if expr.op == "not":
+            return f"(not {pretty_expr(expr.operand)})"
+        return f"({expr.op}{pretty_expr(expr.operand)})"
+    if isinstance(expr, ECmp):
+        return f"({pretty_expr(expr.left)} {_CMP_TEXT[expr.op]} {pretty_expr(expr.right)})"
+    if isinstance(expr, EBool):
+        joiner = f" {expr.op} "
+        return "(" + joiner.join(pretty_expr(v) for v in expr.values) + ")"
+    if isinstance(expr, ECall):
+        if expr.method:
+            receiver = pretty_expr(expr.args[0])
+            args = ", ".join(pretty_expr(a) for a in expr.args[1:])
+            return f"{receiver}.{expr.func}({args})"
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ESub):
+        return f"{pretty_expr(expr.base)}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, EAttr):
+        return f"{pretty_expr(expr.base)}.{expr.attr}"
+    if isinstance(expr, ECond):
+        return (
+            f"({pretty_expr(expr.body)} if {pretty_expr(expr.test)}"
+            f" else {pretty_expr(expr.orelse)})"
+        )
+    raise TypeError(f"unknown expression: {expr!r}")
+
+
+def pretty_lvalue(target: LValue) -> str:
+    """Render an assignment target."""
+    if isinstance(target, LName):
+        return target.id
+    if isinstance(target, LSub):
+        return f"{target.base}[{pretty_expr(target.index)}]"
+    if isinstance(target, LAttr):
+        return f"{target.base}.{target.attr}"
+    if isinstance(target, LTuple):
+        return ", ".join(pretty_lvalue(t) for t in target.elts)
+    raise TypeError(f"unknown lvalue: {target!r}")
+
+
+def pretty_stmt(stmt: Stmt, indent: int = 0) -> str:
+    """Render one statement (and nested blocks) as indented source."""
+    pad = "    " * indent
+    if isinstance(stmt, SAssign):
+        lhs = " = ".join(pretty_lvalue(t) for t in stmt.targets)
+        if stmt.aug is not None:
+            return f"{pad}{lhs} {stmt.aug}= {pretty_expr(stmt.value)}"
+        return f"{pad}{lhs} = {pretty_expr(stmt.value)}"
+    if isinstance(stmt, SExpr):
+        return f"{pad}{pretty_expr(stmt.value)}"
+    if isinstance(stmt, SIf):
+        lines = [f"{pad}if {pretty_expr(stmt.cond)}:"]
+        lines.extend(_pretty_block(stmt.then, indent + 1))
+        if stmt.orelse:
+            lines.append(f"{pad}else:")
+            lines.extend(_pretty_block(stmt.orelse, indent + 1))
+        return "\n".join(lines)
+    if isinstance(stmt, SWhile):
+        lines = [f"{pad}while {pretty_expr(stmt.cond)}:"]
+        lines.extend(_pretty_block(stmt.body, indent + 1))
+        return "\n".join(lines)
+    if isinstance(stmt, SReturn):
+        if stmt.value is None:
+            return f"{pad}return"
+        return f"{pad}return {pretty_expr(stmt.value)}"
+    if isinstance(stmt, SBreak):
+        return f"{pad}break"
+    if isinstance(stmt, SContinue):
+        return f"{pad}continue"
+    if isinstance(stmt, SPass):
+        return f"{pad}pass"
+    if isinstance(stmt, SDelete):
+        assert stmt.target is not None
+        return f"{pad}del {stmt.target.base}[{pretty_expr(stmt.target.index)}]"
+    raise TypeError(f"unknown statement: {stmt!r}")
+
+
+def _pretty_block(block: Sequence[Stmt], indent: int) -> List[str]:
+    if not block:
+        return ["    " * indent + "pass"]
+    return [pretty_stmt(s, indent) for s in block]
+
+
+def pretty_function(fn: Function) -> str:
+    """Render a function definition."""
+    header = f"def {fn.name}({', '.join(fn.params)}):"
+    lines = [header]
+    if fn.global_names:
+        lines.append("    global " + ", ".join(sorted(fn.global_names)))
+    lines.extend(_pretty_block(fn.body, 1))
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a whole program."""
+    parts: List[str] = []
+    if program.module_body:
+        parts.append("\n".join(pretty_stmt(s) for s in program.module_body))
+    for fn in program.functions.values():
+        parts.append(pretty_function(fn))
+    return "\n\n".join(parts) + "\n"
+
+
+def pretty_slice(
+    program: Program,
+    sids: Set[int],
+    mark: str = ">> ",
+    keep: str = "   ",
+) -> str:
+    """Render a program with sliced statements highlighted.
+
+    This reproduces the presentation of paper Fig. 1: the full program
+    with the slice marked.  Structured statements are marked if their
+    header (condition) is in the slice.
+    """
+    lines: List[str] = []
+
+    def walk(block: Sequence[Stmt], indent: int) -> None:
+        pad = "    " * indent
+        for stmt in block:
+            prefix = mark if stmt.sid in sids else keep
+            if isinstance(stmt, SIf):
+                lines.append(f"{prefix}{pad}if {pretty_expr(stmt.cond)}:")
+                walk(stmt.then, indent + 1)
+                if stmt.orelse:
+                    lines.append(f"{prefix}{pad}else:")
+                    walk(stmt.orelse, indent + 1)
+            elif isinstance(stmt, SWhile):
+                lines.append(f"{prefix}{pad}while {pretty_expr(stmt.cond)}:")
+                walk(stmt.body, indent + 1)
+            else:
+                lines.append(prefix + pretty_stmt(stmt, indent))
+
+    walk(program.module_body, 0)
+    for fn in program.functions.values():
+        header_prefix = keep
+        lines.append(f"{header_prefix}def {fn.name}({', '.join(fn.params)}):")
+        walk(fn.body, 1)
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""The NFactor NF model: stateful match/action tables (paper Fig. 2a/6).
+
+The model is OpenFlow-like with a stateful extension: each table entry
+matches on flow fields *and* internal state, and its action both
+transforms/forwards the packet and transitions the state.  Tables are
+grouped by configuration constraints (one table per config, Fig. 2a).
+"""
+
+from repro.model.matchaction import (
+    NFModel,
+    Table,
+    TableEntry,
+    classify_leaf,
+    split_constraints,
+)
+from repro.model.simulator import ModelSimulator
+from repro.model.fsm import StateMachine, build_fsm
+from repro.model.serialize import model_to_dict, render_model
+from repro.model.lint import LintReport, lint_model
+from repro.model.diff import ModelDiff, diff_models
+
+__all__ = [
+    "NFModel",
+    "Table",
+    "TableEntry",
+    "classify_leaf",
+    "split_constraints",
+    "ModelSimulator",
+    "StateMachine",
+    "build_fsm",
+    "model_to_dict",
+    "render_model",
+    "LintReport",
+    "lint_model",
+    "ModelDiff",
+    "diff_models",
+]

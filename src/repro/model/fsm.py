@@ -1,0 +1,176 @@
+"""A finite-state-machine view of the model (paper §2.4).
+
+"The state transition logic can be used to build a finite state
+machine, which is proposed and used in network testing solutions
+[BUZZ]."  The FSM abstracts a single flow's journey through the NF:
+
+* an FSM **state** is a truth assignment to the model's state
+  predicates — the dict-membership atoms (is the flow in the NAT
+  table?) plus any scalar-state equality atoms appearing in matches;
+* a **transition** is a table entry: it fires in states satisfying the
+  entry's state match, and moves to the state updated by the entry's
+  state action (a store into a dict sets its membership atom, a delete
+  clears it).
+
+The test-generation application walks this FSM to build packet
+sequences that drive the NF into every reachable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lang.ir import LSub, SAssign, SDelete
+from repro.model.matchaction import NFModel, TableEntry
+from repro.symbolic.expr import SApp, SDictVal, Sym, sym_vars
+
+#: An FSM state: frozen set of (dict_name, is_member) truth literals.
+FsmState = FrozenSet[Tuple[str, bool]]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One FSM edge: entry ``entry_id`` moves ``src`` to ``dst``."""
+
+    src: FsmState
+    dst: FsmState
+    entry_id: int
+    forwards: bool
+
+
+@dataclass
+class StateMachine:
+    """The per-flow state machine extracted from a model."""
+
+    atoms: Tuple[str, ...]
+    initial: FsmState
+    states: Set[FsmState] = field(default_factory=set)
+    transitions: List[Transition] = field(default_factory=list)
+
+    def successors(self, state: FsmState) -> List[Transition]:
+        return [t for t in self.transitions if t.src == state]
+
+    def reachable_states(self) -> Set[FsmState]:
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        work = [self.initial]
+        while work:
+            cur = work.pop()
+            for t in self.successors(cur):
+                if t.dst not in seen:
+                    seen.add(t.dst)
+                    work.append(t.dst)
+        return seen
+
+    def paths_to_all_states(self) -> Dict[FsmState, List[Transition]]:
+        """A shortest transition sequence from initial to each state."""
+        paths: Dict[FsmState, List[Transition]] = {self.initial: []}
+        frontier = [self.initial]
+        while frontier:
+            nxt: List[FsmState] = []
+            for state in frontier:
+                for t in self.successors(state):
+                    if t.dst not in paths:
+                        paths[t.dst] = paths[state] + [t]
+                        nxt.append(t.dst)
+            frontier = nxt
+        return paths
+
+    def render_state(self, state: FsmState) -> str:
+        parts = [f"{name}∋f" if member else f"{name}∌f" for name, member in sorted(state)]
+        return "{" + ", ".join(parts) + "}" if parts else "{∅}"
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the reachable part of the FSM."""
+        reachable = self.reachable_states()
+        index = {state: i for i, state in enumerate(sorted(reachable, key=sorted))}
+        lines = ["digraph fsm {", "  rankdir=LR;"]
+        for state, i in index.items():
+            shape = "doublecircle" if state == self.initial else "circle"
+            label = self.render_state(state).replace("∋", " has ").replace("∌", " w/o ")
+            lines.append(f'  s{i} [shape={shape}, label="{label}"];')
+        for t in self.transitions:
+            if t.src not in index or t.dst not in index:
+                continue
+            style = "solid" if t.forwards else "dashed"
+            lines.append(
+                f'  s{index[t.src]} -> s{index[t.dst]} '
+                f'[label="e{t.entry_id}", style={style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _entry_atom_requirements(entry: TableEntry) -> Dict[str, bool]:
+    """Membership truth values the entry's state match requires."""
+    required: Dict[str, bool] = {}
+    for c in entry.match_state:
+        polarity = True
+        inner = c
+        if isinstance(c, SApp) and c.op == "not":
+            polarity = False
+            inner = c.args[0]
+        if isinstance(inner, SApp) and inner.op == "member":
+            required[inner.args[0]] = polarity
+    return required
+
+
+def _entry_atom_effects(entry: TableEntry) -> Dict[str, bool]:
+    """Membership changes the entry's state action performs."""
+    from repro.lang.ir import SExpr, call_mutated_names, ECall
+
+    effects: Dict[str, bool] = {}
+    for stmt in entry.state_action_stmts:
+        if isinstance(stmt, SAssign):
+            for target in stmt.targets:
+                if isinstance(target, LSub):
+                    effects[target.base] = True
+        elif isinstance(stmt, SDelete) and stmt.target is not None:
+            effects[stmt.target.base] = False
+        elif isinstance(stmt, SExpr) and isinstance(stmt.value, ECall):
+            call = stmt.value
+            if call.method and call.func == "clear":
+                for var in call_mutated_names(call):
+                    effects[var] = False
+    return effects
+
+
+def build_fsm(model: NFModel) -> StateMachine:
+    """Build the per-flow FSM of a model.
+
+    Only dict-membership predicates are tracked (scalar state like a
+    round-robin index is flow-independent and does not partition the
+    per-flow state space).
+    """
+    atom_names: Set[str] = set()
+    for entry in model.all_entries():
+        atom_names |= set(_entry_atom_requirements(entry))
+        atom_names |= set(_entry_atom_effects(entry))
+    atoms = tuple(sorted(atom_names))
+
+    initial: FsmState = frozenset((name, False) for name in atoms)
+    fsm = StateMachine(atoms=atoms, initial=initial)
+    fsm.states.add(initial)
+
+    # Enumerate all assignments (few atoms per NF) and apply entries.
+    n = len(atoms)
+    for mask in range(1 << n):
+        src: FsmState = frozenset(
+            (atoms[i], bool(mask >> i & 1)) for i in range(n)
+        )
+        src_map = dict(src)
+        for entry in model.all_entries():
+            required = _entry_atom_requirements(entry)
+            if any(src_map.get(name) != value for name, value in required.items()):
+                continue
+            effects = _entry_atom_effects(entry)
+            dst_map = dict(src_map)
+            dst_map.update(effects)
+            dst: FsmState = frozenset(dst_map.items())
+            fsm.states.add(src)
+            fsm.states.add(dst)
+            fsm.transitions.append(
+                Transition(src=src, dst=dst, entry_id=entry.entry_id, forwards=not entry.drops)
+            )
+    return fsm

@@ -1,0 +1,108 @@
+"""Model well-formedness checking.
+
+A synthesized model should behave like the deterministic program it
+came from: within one configuration, entry guards must be *mutually
+exclusive* (no packet/state matches two entries) and the action of
+every reachable entry must be replayable.  Violations indicate a bug in
+the pipeline — or a model edited by hand before deployment, which is
+exactly when a vendor shipping models (the paper's deployment story)
+wants a linter.
+
+Exclusivity is checked two ways:
+
+* **symbolically** — pairwise guard-conjunction satisfiability (a SAT
+  result is a definite overlap witness; ``unknown`` pairs are reported
+  separately because the sampling solver cannot refute them);
+* **empirically** — on a seeded workload, every packet must match at
+  most one entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.model.matchaction import NFModel, TableEntry
+from repro.net.generator import TrafficGenerator, WorkloadSpec
+from repro.symbolic.solver import Solver
+
+
+@dataclass
+class LintReport:
+    """Outcome of one model lint."""
+
+    model_name: str
+    n_entries: int = 0
+    pairs_checked: int = 0
+    overlaps: List[Tuple[int, int]] = field(default_factory=list)
+    undecided: List[Tuple[int, int]] = field(default_factory=list)
+    empty_guards: List[int] = field(default_factory=list)
+    empirical_overlaps: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No definite problem found (undecided pairs are tolerated)."""
+        return not self.overlaps and not self.empirical_overlaps
+
+    def summary(self) -> str:
+        status = "clean" if self.clean else (
+            f"{len(self.overlaps)} symbolic + "
+            f"{len(self.empirical_overlaps)} empirical overlaps"
+        )
+        return (
+            f"{self.model_name}: {self.n_entries} entries, "
+            f"{self.pairs_checked} pairs checked -> {status} "
+            f"({len(self.undecided)} undecided)"
+        )
+
+
+def lint_model(
+    model: NFModel,
+    solver: Optional[Solver] = None,
+    max_pairwise_entries: int = 64,
+    workload: Optional[WorkloadSpec] = None,
+    simulator=None,
+) -> LintReport:
+    """Check guard disjointness of a model.
+
+    Pairwise symbolic checking is quadratic, so tables larger than
+    ``max_pairwise_entries`` fall back to the empirical check alone
+    (pass a ``simulator`` built from the synthesis result to enable
+    it; without one, only the symbolic check runs).
+    """
+    solver = solver or Solver()
+    report = LintReport(model_name=model.name, n_entries=model.n_entries)
+
+    for table in model.tables.values():
+        entries = table.entries
+        for entry in entries:
+            if not entry.guard():
+                report.empty_guards.append(entry.entry_id)
+        if len(entries) > max_pairwise_entries:
+            continue
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                report.pairs_checked += 1
+                both = entries[i].guard() + entries[j].guard()
+                result = solver.check(both)
+                if result.status == "sat":
+                    report.overlaps.append(
+                        (entries[i].entry_id, entries[j].entry_id)
+                    )
+                elif result.status == "unknown":
+                    report.undecided.append(
+                        (entries[i].entry_id, entries[j].entry_id)
+                    )
+
+    if simulator is not None:
+        spec = workload or WorkloadSpec(n_packets=300, seed=5)
+        for pkt in TrafficGenerator(spec).packets():
+            matching = [
+                e.entry_id
+                for e in model.all_entries()
+                if simulator._guard_holds(e, pkt)
+            ]
+            if len(matching) > 1:
+                report.empirical_overlaps.append((matching[0], matching[1]))
+            simulator.process(pkt)  # advance state like real traffic would
+    return report

@@ -1,0 +1,181 @@
+"""Stateful match/action tables — the NFactor model (paper §2.3).
+
+Each execution path of the sliced program becomes one
+:class:`TableEntry` (Algorithm 1 lines 11–16):
+
+* its path condition splits into **config**, **flow match** and
+  **state match** constraint conjunctions;
+* its action is the ordered list of sliced statements the path
+  executed, split into the packet action and the state transition.
+
+Constraint classification follows the paper exactly: the conjunction of
+condition statements is intersected with the cfgVars / pktVars /
+oisVars.  Here the intersection is computed on the symbolic *leaves* of
+each constraint — leaves are namespaced at synthesis time
+(``cfg.*`` / ``pkt*.*`` / ``st.*`` plus dict-membership atoms), so the
+split is unambiguous: anything touching state goes to the state match,
+else anything touching the packet goes to the flow match, else config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.ir import Stmt
+from repro.lang.pretty import pretty_stmt
+from repro.symbolic.expr import SApp, SDictVal, SVar, Sym, canon, sym_vars
+
+CONFIG_NS = "cfg."
+PACKET_NS = "pkt"
+STATE_NS = "st."
+
+
+def classify_leaf(leaf: Sym) -> str:
+    """Classify one symbolic leaf as ``config`` / ``flow`` / ``state``."""
+    if isinstance(leaf, SDictVal):
+        return "state"
+    if isinstance(leaf, SApp) and leaf.op in ("member", "dictlen"):
+        return "state"
+    if isinstance(leaf, SVar):
+        if leaf.name.startswith(CONFIG_NS):
+            return "config"
+        if leaf.name.startswith(STATE_NS):
+            return "state"
+        if leaf.name.startswith(PACKET_NS):
+            return "flow"
+    return "flow"
+
+
+def split_constraints(
+    constraints: Sequence[Any],
+) -> Tuple[List[Any], List[Any], List[Any]]:
+    """Split a path condition into (config, flow-match, state-match).
+
+    Classification priority is state > flow > config: a constraint
+    relating packet fields to state (e.g. a flow-table membership atom
+    over the packet 4-tuple) belongs to the state match, and one
+    relating packet fields to configuration (``pkt.dport == cfg.port``)
+    to the flow match — mirroring Algorithm 1's intersections.
+    """
+    config: List[Any] = []
+    flow: List[Any] = []
+    state: List[Any] = []
+    for c in constraints:
+        kinds = {classify_leaf(leaf) for leaf in sym_vars(c)}
+        if "state" in kinds:
+            state.append(c)
+        elif "flow" in kinds:
+            flow.append(c)
+        else:
+            config.append(c)
+    return config, flow, state
+
+
+@dataclass
+class TableEntry:
+    """One match/action entry (one refined execution path)."""
+
+    entry_id: int
+    config: List[Any]
+    match_flow: List[Any]
+    match_state: List[Any]
+    action_stmts: List[Stmt]
+    pkt_action_stmts: List[Stmt]
+    state_action_stmts: List[Stmt]
+    sent: List[Tuple[Dict[str, Any], Optional[Any]]]
+    path_id: int = 0
+    priority: int = 0
+
+    @property
+    def drops(self) -> bool:
+        """True when the entry forwards nothing (drop action)."""
+        return not self.sent
+
+    def guard(self) -> List[Any]:
+        """The full applicability condition (config ∧ flow ∧ state)."""
+        return list(self.config) + list(self.match_flow) + list(self.match_state)
+
+    def flow_transform(self) -> Dict[str, Any]:
+        """Output field → symbolic value, for fields the entry rewrites."""
+        if not self.sent:
+            return {}
+        fields, _port = self.sent[0]
+        out: Dict[str, Any] = {}
+        for name, value in fields.items():
+            if not (isinstance(value, SVar) and value.name == f"pkt.{name}"):
+                out[name] = value
+        return out
+
+    def config_key(self) -> str:
+        """Canonical key grouping entries into per-config tables."""
+        return " & ".join(sorted(canon(c) for c in self.config)) or "*"
+
+
+@dataclass
+class Table:
+    """All entries that share one configuration constraint set."""
+
+    config: List[Any]
+    entries: List[TableEntry] = field(default_factory=list)
+
+    def add(self, entry: TableEntry) -> None:
+        self.entries.append(entry)
+
+
+@dataclass
+class NFModel:
+    """The synthesized forwarding model of one NF."""
+
+    name: str
+    tables: Dict[str, Table] = field(default_factory=dict)
+    ois_vars: Set[str] = field(default_factory=set)
+    cfg_vars: Set[str] = field(default_factory=set)
+    pkt_vars: Set[str] = field(default_factory=set)
+    log_vars: Set[str] = field(default_factory=set)
+    default_action: str = "drop"
+
+    def add_entry(self, entry: TableEntry) -> None:
+        """Route an entry into its per-config table (Algorithm 1 line 16)."""
+        key = entry.config_key()
+        table = self.tables.get(key)
+        if table is None:
+            table = Table(config=list(entry.config))
+            self.tables[key] = table
+        table.add(entry)
+
+    def all_entries(self) -> List[TableEntry]:
+        """Every entry across tables, in insertion order."""
+        out: List[TableEntry] = []
+        for table in self.tables.values():
+            out.extend(table.entries)
+        return out
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(t.entries) for t in self.tables.values())
+
+    def forwarding_entries(self) -> List[TableEntry]:
+        """Entries that forward (non-drop)."""
+        return [e for e in self.all_entries() if not e.drops]
+
+    def drop_entries(self) -> List[TableEntry]:
+        """Explicit drop entries (the implicit default drop is separate)."""
+        return [e for e in self.all_entries() if e.drops]
+
+    def state_atoms(self) -> Set[str]:
+        """Canonical names of all state-membership atoms in the model."""
+        atoms: Set[str] = set()
+        for entry in self.all_entries():
+            for c in entry.match_state:
+                for leaf in sym_vars(c):
+                    if isinstance(leaf, SApp) and leaf.op == "member":
+                        atoms.add(leaf.args[0])
+        return atoms
+
+    def summary(self) -> str:
+        """One-line description for logs and reports."""
+        return (
+            f"NFModel({self.name}: {len(self.tables)} config table(s), "
+            f"{self.n_entries} entries, default={self.default_action})"
+        )

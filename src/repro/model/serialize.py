@@ -1,0 +1,131 @@
+"""Rendering and exporting synthesized models.
+
+``render_model`` produces the paper's Figure-6-style table:
+
+    | Match          | Action                              |
+    | Flow | State   | Flow                    | State     |
+    mode = RR
+    | f    | idx     | send(f, server[idx])    | (idx+1)%N |
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lang.pretty import pretty_stmt
+from repro.model.matchaction import NFModel, TableEntry
+from repro.symbolic.expr import SApp, SDictVal, SVar, Sym
+
+
+def sym_text(value: Any) -> str:
+    """Human-readable rendering of a symbolic tree."""
+    if isinstance(value, SVar):
+        return value.name
+    if isinstance(value, SDictVal):
+        suffix = "".join(f"[{i}]" for i in value.path)
+        return f"{value.dict_name}[f]{suffix}"
+    if isinstance(value, SApp):
+        if value.op == "member":
+            return f"f in {value.args[0]}"
+        if value.op == "not":
+            inner = value.args[0]
+            if isinstance(inner, SApp) and inner.op == "member":
+                return f"f not in {inner.args[0]}"
+            return f"not {sym_text(inner)}"
+        if value.op in ("and", "or"):
+            joiner = f" {value.op} "
+            return "(" + joiner.join(sym_text(a) for a in value.args) + ")"
+        if value.op == "getitem":
+            return f"{sym_text(value.args[0])}[{sym_text(value.args[1])}]"
+        if value.op in ("hash", "len", "abs", "min", "max"):
+            inner = ", ".join(sym_text(a) for a in value.args)
+            return f"{value.op}({inner})"
+        if len(value.args) == 2:
+            return f"({sym_text(value.args[0])} {value.op} {sym_text(value.args[1])})"
+        inner = ", ".join(sym_text(a) for a in value.args)
+        return f"{value.op}({inner})"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(sym_text(v) for v in value) + ")"
+    return repr(value)
+
+
+def _conj(constraints: List[Any]) -> str:
+    if not constraints:
+        return "*"
+    return " ∧ ".join(sym_text(c) for c in constraints)
+
+
+def _entry_rows(entry: TableEntry) -> Dict[str, str]:
+    if entry.drops:
+        flow_action = "drop"
+    else:
+        rewrites = entry.flow_transform()
+        if rewrites:
+            inner = ", ".join(f"{k}:={sym_text(v)}" for k, v in sorted(rewrites.items()))
+            flow_action = f"send(f with {inner})"
+        else:
+            flow_action = "send(f)"
+    state_action = (
+        "; ".join(pretty_stmt(s).strip() for s in entry.state_action_stmts) or "*"
+    )
+    return {
+        "flow_match": _conj(entry.match_flow),
+        "state_match": _conj(entry.match_state),
+        "flow_action": flow_action,
+        "state_action": state_action,
+    }
+
+
+def render_model(model: NFModel) -> str:
+    """Figure-6-style text rendering of the whole model."""
+    lines: List[str] = [model.summary(), ""]
+    header = f"{'Flow match':<40} | {'State match':<44} | {'Flow action':<50} | State action"
+    for key, table in model.tables.items():
+        lines.append(f"== config: {_conj(table.config)} ==")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for entry in table.entries:
+            row = _entry_rows(entry)
+            lines.append(
+                f"{row['flow_match']:<40} | {row['state_match']:<44} | "
+                f"{row['flow_action']:<50} | {row['state_action']}"
+            )
+        lines.append("")
+    lines.append(f"(default action: {model.default_action})")
+    return "\n".join(lines)
+
+
+def model_to_dict(model: NFModel) -> Dict[str, Any]:
+    """A JSON-serialisable export of the model."""
+    out: Dict[str, Any] = {
+        "name": model.name,
+        "default_action": model.default_action,
+        "variables": {
+            "pktVar": sorted(model.pkt_vars),
+            "cfgVar": sorted(model.cfg_vars),
+            "oisVar": sorted(model.ois_vars),
+            "logVar": sorted(model.log_vars),
+        },
+        "tables": [],
+    }
+    for key, table in model.tables.items():
+        entries = []
+        for entry in table.entries:
+            row = _entry_rows(entry)
+            entries.append(
+                {
+                    "entry_id": entry.entry_id,
+                    "path_id": entry.path_id,
+                    "match": {"flow": row["flow_match"], "state": row["state_match"]},
+                    "action": {"flow": row["flow_action"], "state": row["state_action"]},
+                    "drops": entry.drops,
+                }
+            )
+        out["tables"].append({"config": _conj(table.config), "entries": entries})
+    return out
+
+
+def model_to_json(model: NFModel, indent: int = 2) -> str:
+    """The dict export as a JSON string."""
+    return json.dumps(model_to_dict(model), indent=indent)

@@ -1,0 +1,31 @@
+"""Network substrate: addresses, packets, flows, TCP state and workloads.
+
+This package replaces the wire-level machinery the paper's testbed used
+(scapy sniffing, kernel sockets, real NICs) with an in-memory equivalent
+that preserves everything the analysis cares about: header fields, flow
+identity and TCP endpoint state.
+"""
+
+from repro.net.addresses import ip_to_int, int_to_ip, mac_to_int, int_to_mac
+from repro.net.packet import Packet, PACKET_FIELDS, FIELD_DOMAINS
+from repro.net.flow import FiveTuple, FlowKey, flow_of
+from repro.net.tcp import TcpState, TcpEndpoint, TcpConnectionTable
+from repro.net.generator import TrafficGenerator, WorkloadSpec
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_int",
+    "int_to_mac",
+    "Packet",
+    "PACKET_FIELDS",
+    "FIELD_DOMAINS",
+    "FiveTuple",
+    "FlowKey",
+    "flow_of",
+    "TcpState",
+    "TcpEndpoint",
+    "TcpConnectionTable",
+    "TrafficGenerator",
+    "WorkloadSpec",
+]

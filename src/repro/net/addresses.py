@@ -1,0 +1,69 @@
+"""IPv4 and MAC address conversions.
+
+Packets carry addresses as plain integers so that the symbolic executor
+can reason about them with integer constraints; these helpers convert to
+and from the familiar dotted/colon notations at the API boundary.
+"""
+
+from __future__ import annotations
+
+MAX_IPV4 = (1 << 32) - 1
+MAX_MAC = (1 << 48) - 1
+MAX_PORT = (1 << 16) - 1
+
+
+def ip_to_int(dotted: str) -> int:
+    """Convert ``"1.2.3.4"`` to its 32-bit integer value.
+
+    >>> ip_to_int("0.0.0.1")
+    1
+    >>> ip_to_int("255.255.255.255") == MAX_IPV4
+    True
+    """
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad notation.
+
+    >>> int_to_ip(ip_to_int("10.0.42.7"))
+    '10.0.42.7'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_to_int(colon: str) -> int:
+    """Convert ``"aa:bb:cc:dd:ee:ff"`` to its 48-bit integer value."""
+    parts = colon.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {colon!r}")
+    value = 0
+    for part in parts:
+        byte = int(part, 16)
+        if not 0 <= byte <= 255:
+            raise ValueError(f"byte out of range in {colon!r}")
+        value = (value << 8) | byte
+    return value
+
+
+def int_to_mac(value: int) -> str:
+    """Convert a 48-bit integer to colon-hex notation."""
+    if not 0 <= value <= MAX_MAC:
+        raise ValueError(f"MAC integer out of range: {value}")
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in (40, 32, 24, 16, 8, 0))
+
+
+def valid_port(value: int) -> bool:
+    """Return True if ``value`` is a legal L4 port number."""
+    return 0 <= value <= MAX_PORT

@@ -1,0 +1,44 @@
+"""Flow identity: the 4- and 5-tuples the corpus NFs key their state on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """A canonical transport 5-tuple."""
+
+    ip_src: int
+    sport: int
+    ip_dst: int
+    dport: int
+    proto: int
+
+    def reversed(self) -> "FiveTuple":
+        """Return the 5-tuple of the reverse direction."""
+        return FiveTuple(self.ip_dst, self.dport, self.ip_src, self.sport, self.proto)
+
+    def four_tuple(self) -> Tuple[int, int, int, int]:
+        """Drop the protocol, matching the paper's (si, sp, di, dp) keys."""
+        return (self.ip_src, self.sport, self.ip_dst, self.dport)
+
+
+#: Directionless flow key: the smaller of the two directed 5-tuples, so
+#: both directions of a connection map to the same key.
+FlowKey = FiveTuple
+
+
+def flow_of(pkt: Packet) -> FiveTuple:
+    """Extract the directed 5-tuple of a packet."""
+    return FiveTuple(pkt.ip_src, pkt.sport, pkt.ip_dst, pkt.dport, pkt.proto)
+
+
+def bidirectional_key(pkt: Packet) -> FiveTuple:
+    """Extract a direction-independent flow key for a packet."""
+    fwd = flow_of(pkt)
+    rev = fwd.reversed()
+    return fwd if fwd <= rev else rev

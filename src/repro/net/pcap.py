@@ -1,0 +1,162 @@
+"""pcap import/export for generated workloads.
+
+Serialises :class:`~repro.net.packet.Packet` objects to the classic
+libpcap file format (Ethernet link type) so generated workloads and
+model-guided test suites can be inspected with standard tools, and
+reads them back for replay.  Only the fields the corpus NFs use are
+encoded (Ethernet, IPv4, TCP/UDP headers and a payload-fingerprint
+trailer); everything round-trips exactly.
+
+Timestamps are synthetic (one packet per microsecond) — the analysis
+is untimed, and deterministic output beats wall-clock fidelity here.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, List, Union
+
+from repro.net.packet import Packet, PROTO_TCP, PROTO_UDP
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HDR = struct.Struct("<IHHiIII")
+_RECORD_HDR = struct.Struct("<IIII")
+_ETH = struct.Struct("!6s6sH")
+_IPV4 = struct.Struct("!BBHHHBBH4s4s")
+_L4_PORTS = struct.Struct("!HH")
+_TCP_REST = struct.Struct("!IIBBHHH")
+#: Proprietary trailer carrying the payload fingerprint + length, so
+#: that to_bytes/from_bytes round-trips the analysis-relevant fields.
+_TRAILER = struct.Struct("!4sIH")
+_TRAILER_MAGIC = b"NFPL"
+
+
+def _mac_bytes(value: int) -> bytes:
+    return value.to_bytes(6, "big")
+
+
+def _ip_bytes(value: int) -> bytes:
+    return value.to_bytes(4, "big")
+
+
+def packet_to_bytes(pkt: Packet) -> bytes:
+    """Encode one packet as an Ethernet frame."""
+    eth = _ETH.pack(_mac_bytes(pkt.eth_dst), _mac_bytes(pkt.eth_src), pkt.eth_type)
+
+    if pkt.proto == PROTO_TCP:
+        l4 = _L4_PORTS.pack(pkt.sport, pkt.dport) + _TCP_REST.pack(
+            pkt.tcp_seq, pkt.tcp_ack, 5 << 4, pkt.tcp_flags, 65535, 0, 0
+        )
+    elif pkt.proto == PROTO_UDP:
+        l4 = _L4_PORTS.pack(pkt.sport, pkt.dport) + struct.pack("!HH", 8, 0)
+    else:
+        l4 = b""
+
+    trailer = _TRAILER.pack(_TRAILER_MAGIC, pkt.payload_sig, pkt.payload_len)
+    total_len = 20 + len(l4) + len(trailer)
+    ip = _IPV4.pack(
+        (4 << 4) | 5,          # version + IHL
+        0,                     # DSCP/ECN
+        total_len & 0xFFFF,
+        0,                     # identification
+        0,                     # flags/fragment
+        pkt.ttl,
+        pkt.proto,
+        0,                     # checksum (not computed; analysis-only)
+        _ip_bytes(pkt.ip_src),
+        _ip_bytes(pkt.ip_dst),
+    )
+    return eth + ip + l4 + trailer
+
+
+def packet_from_bytes(frame: bytes) -> Packet:
+    """Decode one Ethernet frame back into a Packet."""
+    if len(frame) < _ETH.size + _IPV4.size:
+        raise ValueError("frame too short for Ethernet+IPv4")
+    eth_dst, eth_src, eth_type = _ETH.unpack_from(frame, 0)
+    off = _ETH.size
+    (
+        _vihl,
+        _tos,
+        _total,
+        _ident,
+        _frag,
+        ttl,
+        proto,
+        _csum,
+        ip_src,
+        ip_dst,
+    ) = _IPV4.unpack_from(frame, off)
+    off += _IPV4.size
+
+    pkt = Packet(
+        eth_dst=int.from_bytes(eth_dst, "big"),
+        eth_src=int.from_bytes(eth_src, "big"),
+        eth_type=eth_type,
+        ttl=ttl,
+        proto=proto,
+        ip_src=int.from_bytes(ip_src, "big"),
+        ip_dst=int.from_bytes(ip_dst, "big"),
+    )
+    if proto == PROTO_TCP and len(frame) >= off + _L4_PORTS.size + _TCP_REST.size:
+        pkt.sport, pkt.dport = _L4_PORTS.unpack_from(frame, off)
+        off += _L4_PORTS.size
+        seq, ack, _doff, flags, _win, _csum2, _urg = _TCP_REST.unpack_from(frame, off)
+        pkt.tcp_seq, pkt.tcp_ack, pkt.tcp_flags = seq, ack, flags & 31
+        off += _TCP_REST.size
+    elif proto == PROTO_UDP and len(frame) >= off + _L4_PORTS.size + 4:
+        pkt.sport, pkt.dport = _L4_PORTS.unpack_from(frame, off)
+        off += _L4_PORTS.size + 4
+
+    if len(frame) >= off + _TRAILER.size:
+        magic, sig, plen = _TRAILER.unpack_from(frame, len(frame) - _TRAILER.size)
+        if magic == _TRAILER_MAGIC:
+            pkt.payload_sig = sig
+            pkt.payload_len = plen
+    return pkt
+
+
+def write_pcap(path: Union[str, Path], packets: Iterable[Packet]) -> int:
+    """Write packets to a pcap file; returns the packet count."""
+    count = 0
+    with open(path, "wb") as fh:
+        fh.write(
+            _GLOBAL_HDR.pack(
+                PCAP_MAGIC, PCAP_VERSION[0], PCAP_VERSION[1], 0, 0, 65535,
+                LINKTYPE_ETHERNET,
+            )
+        )
+        for i, pkt in enumerate(packets):
+            frame = packet_to_bytes(pkt)
+            fh.write(_RECORD_HDR.pack(i // 1_000_000, i % 1_000_000, len(frame), len(frame)))
+            fh.write(frame)
+            count += 1
+    return count
+
+
+def read_pcap(path: Union[str, Path]) -> List[Packet]:
+    """Read every packet from a pcap file written by :func:`write_pcap`."""
+    packets: List[Packet] = []
+    with open(path, "rb") as fh:
+        header = fh.read(_GLOBAL_HDR.size)
+        if len(header) < _GLOBAL_HDR.size:
+            raise ValueError("truncated pcap global header")
+        magic = _GLOBAL_HDR.unpack(header)[0]
+        if magic != PCAP_MAGIC:
+            raise ValueError(f"not a (little-endian) pcap file: magic={magic:#x}")
+        while True:
+            rec = fh.read(_RECORD_HDR.size)
+            if not rec:
+                break
+            if len(rec) < _RECORD_HDR.size:
+                raise ValueError("truncated pcap record header")
+            _ts_s, _ts_us, incl_len, _orig_len = _RECORD_HDR.unpack(rec)
+            frame = fh.read(incl_len)
+            if len(frame) < incl_len:
+                raise ValueError("truncated pcap record body")
+            packets.append(packet_from_bytes(frame))
+    return packets

@@ -1,0 +1,165 @@
+"""TCP endpoint state machine.
+
+Section 3.2 of the paper ("Hidden States") observes that socket-level NFs
+(e.g. *balance*) rely on connection state kept inside the OS, invisible in
+the NF source.  NFactor handles this by *unfolding* socket calls into
+packet-level operations plus an explicit TCP state transition.  This
+module provides that explicit state machine: a per-connection tracker the
+unfolded programs and the stateful-firewall corpus NF consult.
+
+The machine follows RFC 793's segment-arrival transitions, restricted to
+the flag-level granularity the forwarding model needs (SYN / SYN+ACK /
+ACK / FIN / RST — sequence-number arithmetic is irrelevant to the
+match/action abstraction and is omitted, as in the paper's model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.flow import FiveTuple, bidirectional_key, flow_of
+from repro.net.packet import Packet, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+
+
+class TcpState(enum.IntEnum):
+    """Connection states, numbered so NFPy programs can store them as ints."""
+
+    CLOSED = 0
+    LISTEN = 1
+    SYN_SENT = 2
+    SYN_RCVD = 3
+    ESTABLISHED = 4
+    FIN_WAIT_1 = 5
+    FIN_WAIT_2 = 6
+    CLOSE_WAIT = 7
+    LAST_ACK = 8
+    CLOSING = 9
+    TIME_WAIT = 10
+
+
+#: Direction of a segment relative to the connection initiator.
+CLIENT_TO_SERVER = 0
+SERVER_TO_CLIENT = 1
+
+
+@dataclass
+class TcpEndpoint:
+    """Tracks one bidirectional TCP connection at flag granularity."""
+
+    state: TcpState = TcpState.CLOSED
+    initiator: Optional[FiveTuple] = None
+
+    def segment(self, direction: int, flags: int) -> TcpState:
+        """Advance the connection state for a segment and return it.
+
+        ``direction`` is :data:`CLIENT_TO_SERVER` or
+        :data:`SERVER_TO_CLIENT`; ``flags`` is the TCP flag bitmask.
+        Segments that are invalid in the current state leave it unchanged
+        (a real stack would drop or RST them; the caller decides).
+        """
+        if flags & TCP_RST:
+            self.state = TcpState.CLOSED
+            return self.state
+        self.state = _advance(self.state, direction, flags)
+        return self.state
+
+    @property
+    def established(self) -> bool:
+        """True once the three-way handshake has completed."""
+        return self.state == TcpState.ESTABLISHED
+
+
+def _advance(state: TcpState, direction: int, flags: int) -> TcpState:
+    syn = bool(flags & TCP_SYN)
+    ack = bool(flags & TCP_ACK)
+    fin = bool(flags & TCP_FIN)
+
+    if state in (TcpState.CLOSED, TcpState.LISTEN):
+        if syn and not ack and direction == CLIENT_TO_SERVER:
+            return TcpState.SYN_RCVD
+        return state
+    if state == TcpState.SYN_RCVD:
+        if syn and ack and direction == SERVER_TO_CLIENT:
+            return TcpState.SYN_SENT  # SYN+ACK in flight; awaiting final ACK
+        if syn and direction == CLIENT_TO_SERVER:
+            return state  # SYN retransmission
+        return state
+    if state == TcpState.SYN_SENT:
+        if ack and not syn and direction == CLIENT_TO_SERVER:
+            return TcpState.ESTABLISHED
+        return state
+    if state == TcpState.ESTABLISHED:
+        if fin and direction == CLIENT_TO_SERVER:
+            return TcpState.FIN_WAIT_1
+        if fin and direction == SERVER_TO_CLIENT:
+            return TcpState.CLOSE_WAIT
+        return state
+    if state == TcpState.FIN_WAIT_1:
+        if fin and direction == SERVER_TO_CLIENT:
+            return TcpState.CLOSING
+        if ack and direction == SERVER_TO_CLIENT:
+            return TcpState.FIN_WAIT_2
+        return state
+    if state == TcpState.FIN_WAIT_2:
+        if fin and direction == SERVER_TO_CLIENT:
+            return TcpState.TIME_WAIT
+        return state
+    if state == TcpState.CLOSE_WAIT:
+        if fin and direction == CLIENT_TO_SERVER:
+            return TcpState.LAST_ACK
+        return state
+    if state == TcpState.LAST_ACK:
+        if ack and direction == SERVER_TO_CLIENT:
+            return TcpState.CLOSED
+        return state
+    if state == TcpState.CLOSING:
+        if ack:
+            return TcpState.TIME_WAIT
+        return state
+    if state == TcpState.TIME_WAIT:
+        return state
+    return state
+
+
+@dataclass
+class TcpConnectionTable:
+    """Per-flow TCP state, keyed by the direction-independent 5-tuple.
+
+    This is the "hidden state" the unfolding transform makes explicit:
+    the unfolded *balance* program asks :meth:`observe` for the connection
+    state before deciding whether a data segment may be relayed.
+    """
+
+    connections: Dict[FiveTuple, TcpEndpoint] = field(default_factory=dict)
+
+    def observe(self, pkt: Packet) -> Tuple[TcpState, TcpState]:
+        """Account for ``pkt`` and return ``(state_before, state_after)``."""
+        key = bidirectional_key(pkt)
+        endpoint = self.connections.get(key)
+        if endpoint is None:
+            endpoint = TcpEndpoint(initiator=flow_of(pkt))
+            self.connections[key] = endpoint
+        before = endpoint.state
+        direction = (
+            CLIENT_TO_SERVER
+            if endpoint.initiator == flow_of(pkt)
+            else SERVER_TO_CLIENT
+        )
+        after = endpoint.segment(direction, pkt.tcp_flags)
+        if after == TcpState.CLOSED and before != TcpState.CLOSED:
+            del self.connections[key]
+        return before, after
+
+    def state_of(self, pkt: Packet) -> TcpState:
+        """Return the current state of ``pkt``'s connection (CLOSED if new)."""
+        endpoint = self.connections.get(bidirectional_key(pkt))
+        return endpoint.state if endpoint is not None else TcpState.CLOSED
+
+    def established(self, pkt: Packet) -> bool:
+        """True if ``pkt`` belongs to an established connection."""
+        return self.state_of(pkt) == TcpState.ESTABLISHED
+
+    def __len__(self) -> int:
+        return len(self.connections)

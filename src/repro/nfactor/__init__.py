@@ -1,0 +1,15 @@
+"""NFactor: the model-synthesis algorithm and its code transforms."""
+
+from repro.nfactor.algorithm import NFactor, NFactorConfig, SynthesisResult, synthesize_model
+from repro.nfactor.transforms import normalize_structure
+from repro.nfactor.tcp_unfold import unfold_tcp, has_socket_calls
+
+__all__ = [
+    "NFactor",
+    "NFactorConfig",
+    "SynthesisResult",
+    "synthesize_model",
+    "normalize_structure",
+    "unfold_tcp",
+    "has_socket_calls",
+]

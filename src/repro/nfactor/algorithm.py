@@ -1,0 +1,429 @@
+"""NFactor end-to-end (paper Algorithm 1 plus §3.2 preprocessing).
+
+Pipeline::
+
+    source ──parse──▶ Program
+           ──(socket NF? unfold_tcp)──▶ packet-level Program
+           ──normalize_structure──▶ entry function located
+           ──flatten──▶ flat block (module init + inlined entry)
+           ──PDG──▶ dependences
+           1. packet slice     = ∪ BackwardSlice(send_packet stmts)
+           2. StateAlyzer      = pktVar / cfgVar / oisVar / logVar
+           3. state slice      = ∪ BackwardSlice(oisVar assignments)
+           4. executable slice = pkt ∪ state (+ control-jump closure)
+           5. symbolic exec    = execution paths of the sliced entry
+           6. refactor         = match/action tables (NFModel)
+
+Use :class:`NFactor` for full control, or the one-call
+:func:`synthesize_model` convenience wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.interp.interpreter import Env, Interpreter
+from repro.interp.values import deep_copy
+from repro.lang.ir import (
+    Block,
+    ECall,
+    Program,
+    Stmt,
+    iter_block,
+    stmt_calls,
+    stmt_defs,
+    stmt_uses,
+    SIf,
+    SWhile,
+)
+from repro.lang.parser import parse_program
+from repro.model.matchaction import NFModel
+from repro.model.simulator import ModelSimulator
+from repro.nfactor.refactor import build_model, executable_slice
+from repro.nfactor.tcp_unfold import has_socket_calls, unfold_tcp
+from repro.nfactor.transforms import NormalizeReport, normalize_structure
+from repro.pdg.flatten import FlatView, flatten_program
+from repro.pdg.pdg import PDG, build_pdg
+from repro.slicing.criteria import SliceCriterion
+from repro.slicing.static import StaticSlicer
+from repro.statealyzer.classify import VarCategories, classify_variables
+from repro.symbolic.engine import EngineConfig, SymbolicEngine
+from repro.symbolic.expr import SVar, SymDict, SymPacket
+from repro.symbolic.state import PathResult
+from repro.util.timer import Stopwatch
+
+PKT_OUTPUT_FUNC = "send_packet"
+
+
+@dataclass
+class NFactorConfig:
+    """Synthesis tunables."""
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    #: Config variables to treat symbolically (None = auto: scalar
+    #: cfgVars referenced by branch conditions of the entry code).
+    symbolic_configs: Optional[Set[str]] = None
+    #: Config variables to force-keep concrete even under auto.
+    concrete_configs: Set[str] = field(default_factory=set)
+    #: Also explore the *unsliced* program (for the Table-2 comparison).
+    keep_module_concrete: bool = True
+
+
+@dataclass
+class SynthesisStats:
+    """Timings and sizes reported per synthesis (paper Table 2 columns)."""
+
+    source_loc: int = 0
+    ir_loc: int = 0
+    slice_loc: int = 0
+    slice_ir_loc: int = 0
+    path_loc_max: int = 0
+    path_loc_avg: float = 0.0
+    slicing_time_s: float = 0.0
+    se_time_s: float = 0.0
+    n_paths: int = 0
+    n_entries: int = 0
+    solver_checks: int = 0
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the synthesis produced."""
+
+    model: NFModel
+    program: Program
+    flat: FlatView
+    pdg: PDG
+    pkt_slice: Set[int]
+    state_slice: Set[int]
+    union_slice: Set[int]
+    sliced_entry: Block
+    categories: VarCategories
+    paths: List[PathResult]
+    module_env: Dict[str, Any]
+    sym_env: Dict[str, Any]
+    stats: SynthesisStats
+    normalize_report: NormalizeReport
+    unfolded: bool = False
+
+    @property
+    def pkt_param(self) -> str:
+        return self.flat.entry_params[0] if self.flat.entry_params else "pkt"
+
+    def make_simulator(self) -> ModelSimulator:
+        """A fresh model simulator seeded with the program's initial state."""
+        return ModelSimulator(
+            self.model, deep_copy(self.module_env), pkt_param=self.pkt_param
+        )
+
+    def make_reference(self) -> Interpreter:
+        """A fresh concrete interpreter of the original program."""
+        interp = Interpreter(program=self.program)
+        interp.run_module()
+        return interp
+
+    def slice_source_lines(self) -> Set[int]:
+        """Source lines of the union slice (Fig. 1 presentation)."""
+        return self.flat.source_lines(self.union_slice)
+
+
+class NFactor:
+    """The NFactor synthesis tool."""
+
+    def __init__(
+        self,
+        program: Program | str,
+        name: str = "<nf>",
+        entry: Optional[str] = None,
+        config: Optional[NFactorConfig] = None,
+    ) -> None:
+        if isinstance(program, str):
+            program = parse_program(program, name=name, entry=entry)
+        elif entry is not None:
+            program.entry = entry
+        self.config = config or NFactorConfig()
+        self.unfolded = False
+        if has_socket_calls(program):
+            program = unfold_tcp(program)
+            self.unfolded = True
+        self.program, self.normalize_report = normalize_structure(program)
+
+    # -- pieces (exposed for benchmarks/ablations) ---------------------------
+
+    def flatten(self) -> Tuple[FlatView, Block, Block]:
+        """Flatten; returns (view, module part, entry part)."""
+        flat = flatten_program(self.program)
+        k = 0
+        for stmt in flat.block:
+            if stmt.sid in flat.module_sids:
+                k += 1
+            else:
+                break
+        return flat, flat.block[:k], flat.block[k:]
+
+    def looped_view(
+        self, flat: FlatView, module_part: Block, entry_part: Block
+    ) -> Tuple[Block, int]:
+        """The analysis view: entry body wrapped in the packet loop.
+
+        NF state persists *across* packet invocations — the store into a
+        NAT table happens while processing one packet, the read while
+        processing a later one.  Dependence analysis therefore runs on
+        ``module init; while True: <entry body>`` so that reaching
+        definitions flow around the loop back edge (StateAlyzer's
+        packet-processing-loop assumption, §2.1).  Returns the looped
+        block and the synthetic loop header's sid (to be discarded from
+        slices).
+        """
+        from repro.lang.ir import EConst, SContinue, SWhile
+
+        loop_sid = max((s.sid for s in iter_block(flat.block)), default=0) + 1
+        # Per-packet `return` means "done with this packet, take the
+        # next" — inside the analysis loop that is `continue`, so the
+        # back edge carries state written on early-return paths too.
+        body = _loopify(list(entry_part))
+        header = SWhile(sid=loop_sid, line=0, cond=EConst(True), body=body)
+        return list(module_part) + [header], loop_sid
+
+    def output_criteria(self, flat: FlatView) -> List[SliceCriterion]:
+        """Slicing criteria: one per packet-output call (Alg. 1 lines 1–4)."""
+        out: List[SliceCriterion] = []
+        for stmt in iter_block(flat.block):
+            if any(
+                not c.method and c.func == PKT_OUTPUT_FUNC for c in stmt_calls(stmt)
+            ):
+                out.append(SliceCriterion(stmt.sid, None))
+        return out
+
+    def state_criteria(
+        self, flat: FlatView, ois_vars: Set[str], entry_part: Block
+    ) -> List[SliceCriterion]:
+        """Criteria at every oisVar assignment (Alg. 1 lines 6–9)."""
+        out: List[SliceCriterion] = []
+        for stmt in iter_block(entry_part):
+            if stmt_defs(stmt) & ois_vars:
+                out.append(SliceCriterion(stmt.sid, None))
+        return out
+
+    def build_symbolic_env(
+        self,
+        module_env: Dict[str, Any],
+        categories: VarCategories,
+        entry_part: Block,
+        pkt_param: str,
+    ) -> Dict[str, Any]:
+        """Seed the symbolic environment (Algorithm 1's setup).
+
+        Packet fields become free variables; scalar configuration used
+        in branch conditions becomes ``cfg.*`` variables (so the model
+        splits into per-config tables); output-impacting state becomes
+        ``st.*`` variables / lazy symbolic dicts; everything else
+        (structured config like server lists, log counters) stays at
+        its concrete initial value.
+        """
+        env: Dict[str, Any] = {k: deep_copy(v) for k, v in module_env.items()}
+
+        cond_vars: Set[str] = set()
+        for stmt in iter_block(entry_part):
+            if isinstance(stmt, (SIf, SWhile)):
+                cond_vars |= stmt_uses(stmt)
+
+        symbolic_cfg = self.config.symbolic_configs
+        for var in sorted(categories.cfg_vars):
+            if var in self.config.concrete_configs:
+                continue
+            value = env.get(var)
+            auto = var in cond_vars and isinstance(value, (int, bool))
+            wanted = (symbolic_cfg is not None and var in symbolic_cfg) or (
+                symbolic_cfg is None and auto
+            )
+            if not wanted:
+                continue
+            if isinstance(value, bool):
+                env[var] = SVar(f"cfg.{var}", 0, 1, boolean=True)
+            elif isinstance(value, int):
+                env[var] = SVar(f"cfg.{var}", 0, (1 << 32) - 1)
+
+        for var in sorted(categories.ois_vars):
+            value = env.get(var)
+            if isinstance(value, dict):
+                env[var] = SymDict(var)
+            elif isinstance(value, bool):
+                env[var] = SVar(f"st.{var}", 0, 1, boolean=True)
+            elif isinstance(value, int):
+                env[var] = SVar(f"st.{var}", 0, (1 << 32) - 1)
+            # lists/tuples/strings stay concrete: symbolic containers of
+            # unknown length would reintroduce the path explosion the
+            # paper's loop-bounding discipline exists to avoid.
+
+        env[pkt_param] = SymPacket.fresh("pkt")
+        return env
+
+    # -- the full pipeline -----------------------------------------------------
+
+    def synthesize(self) -> SynthesisResult:
+        """Run the whole pipeline and return the synthesis result."""
+        stats = SynthesisStats()
+        flat, module_part, entry_part = self.flatten()
+        pkt_param = flat.entry_params[0] if flat.entry_params else "pkt"
+
+        with Stopwatch() as slicing_sw:
+            looped, loop_sid = self.looped_view(flat, module_part, entry_part)
+            pdg = build_pdg(looped, flat.entry_vars())
+            slicer = StaticSlicer(pdg)
+
+            pkt_slice = slicer.backward_many(self.output_criteria(flat))
+            pkt_slice.discard(loop_sid)
+            categories = classify_variables(flat, pkt_slice)
+            state_slice = slicer.backward_many(
+                self.state_criteria(flat, categories.ois_vars, entry_part)
+            )
+            state_slice.discard(loop_sid)
+            union = pkt_slice | state_slice
+            # Jump augmentation needs the loop header "present" so jumps
+            # directly under it qualify; filtering drops it again.
+            sliced_block, kept = executable_slice(
+                flat.block, union | {loop_sid}, pdg
+            )
+            kept.discard(loop_sid)
+        stats.slicing_time_s = slicing_sw.elapsed
+
+        module_sids = flat.module_sids
+        sliced_entry = [s for s in sliced_block if s.sid not in module_sids]
+
+        # Concrete initial state (module init runs unsliced: state must
+        # start exactly as the original program starts it).
+        interp = Interpreter()
+        module_env = interp.run_block(list(module_part)).globals
+        module_env.pop(pkt_param, None)
+
+        sym_env = self.build_symbolic_env(module_env, categories, entry_part, pkt_param)
+
+        engine = SymbolicEngine(self.config.engine)
+        with Stopwatch() as se_sw:
+            paths = engine.explore(sliced_entry, sym_env, watched=categories.ois_vars)
+        stats.se_time_s = se_sw.elapsed
+        stats.solver_checks = engine.solver.checks
+
+        stmts = flat.stmts()
+        model = build_model(
+            self.program.name,
+            paths,
+            stmts,
+            pkt_slice,
+            state_slice,
+            ois_vars=categories.ois_vars,
+        )
+        model.cfg_vars = set(categories.cfg_vars)
+        model.pkt_vars = set(categories.pkt_vars)
+        model.log_vars = set(categories.log_vars)
+
+        stats.source_loc = count_source_loc(self.program.source)
+        stats.ir_loc = len(list(iter_block(flat.block)))
+        stats.slice_ir_loc = len(kept)
+        stats.slice_loc = len(flat.source_lines(kept))
+        path_lens = [
+            len({stmts[sid].line for sid in p.executed if sid in stmts})
+            for p in paths
+            if p.status == "done"
+        ]
+        stats.path_loc_max = max(path_lens, default=0)
+        stats.path_loc_avg = sum(path_lens) / len(path_lens) if path_lens else 0.0
+        stats.n_paths = sum(1 for p in paths if p.status == "done")
+        stats.n_entries = model.n_entries
+
+        return SynthesisResult(
+            model=model,
+            program=self.program,
+            flat=flat,
+            pdg=pdg,
+            pkt_slice=pkt_slice,
+            state_slice=state_slice,
+            union_slice=kept,
+            sliced_entry=sliced_entry,
+            categories=categories,
+            paths=paths,
+            module_env=module_env,
+            sym_env=sym_env,
+            stats=stats,
+            normalize_report=self.normalize_report,
+            unfolded=self.unfolded,
+        )
+
+    def explore_original(
+        self, engine_config: Optional[EngineConfig] = None
+    ) -> Tuple[List[PathResult], "SymbolicEngine"]:
+        """Symbolic execution of the *unsliced* entry code.
+
+        The Table-2 baseline: same symbolic environment, no slicing.
+        """
+        flat, module_part, entry_part = self.flatten()
+        pkt_param = flat.entry_params[0] if flat.entry_params else "pkt"
+        looped, loop_sid = self.looped_view(flat, module_part, entry_part)
+        pdg = build_pdg(looped, flat.entry_vars())
+        slicer = StaticSlicer(pdg)
+        pkt_slice = slicer.backward_many(self.output_criteria(flat))
+        pkt_slice.discard(loop_sid)
+        categories = classify_variables(flat, pkt_slice)
+
+        interp = Interpreter()
+        module_env = interp.run_block(list(module_part)).globals
+        module_env.pop(pkt_param, None)
+        sym_env = self.build_symbolic_env(module_env, categories, entry_part, pkt_param)
+
+        engine = SymbolicEngine(engine_config or self.config.engine)
+        paths = engine.explore(list(entry_part), sym_env, watched=categories.ois_vars)
+        return paths, engine
+
+
+def _loopify(block: Block) -> Block:
+    """Clone a block for the looped analysis view (sids preserved).
+
+    Top-level ``return`` becomes ``continue``; loops introduced by
+    inlining keep their jumps (their breaks/returns were already
+    rewritten by the flattener).
+    """
+    from repro.lang.ir import SContinue, SIf, SReturn, SWhile
+
+    out: Block = []
+    for stmt in block:
+        if isinstance(stmt, SReturn):
+            out.append(SContinue(sid=stmt.sid, line=stmt.line))
+        elif isinstance(stmt, SIf):
+            out.append(
+                SIf(
+                    sid=stmt.sid,
+                    line=stmt.line,
+                    cond=stmt.cond,
+                    then=_loopify(stmt.then),
+                    orelse=_loopify(stmt.orelse),
+                )
+            )
+        elif isinstance(stmt, SWhile):
+            # Returns inside nested (inlined-wrapper) loops do not occur:
+            # the flattener rewrote them.  Keep the loop as is.
+            out.append(stmt)
+        else:
+            out.append(stmt)
+    return out
+
+
+def count_source_loc(source: str) -> int:
+    """Non-empty, non-comment source lines (Table 2's LoC definition)."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            count += 1
+    return count
+
+
+def synthesize_model(
+    source: str | Program,
+    name: str = "<nf>",
+    entry: Optional[str] = None,
+    config: Optional[NFactorConfig] = None,
+) -> SynthesisResult:
+    """One-call synthesis: source/program in, :class:`SynthesisResult` out."""
+    return NFactor(source, name=name, entry=entry, config=config).synthesize()

@@ -1,0 +1,317 @@
+"""TCP unfolding: making hidden OS state explicit (paper §3.2, Fig. 3→5).
+
+Socket-level NFs such as *balance* never mention per-connection TCP
+state in their source — it lives in the kernel.  Analysing the program
+alone would therefore miss behaviours like "data packets without a
+3-way handshake are dropped".  The paper's fix: *unfold* the wrapped
+socket functions into packet-level operations together with the TCP
+state transition, turning the nested accept/relay loops (Fig. 4d) into
+one per-packet loop (Fig. 5).
+
+This module implements that unfolding for the canonical proxy shape:
+
+.. code-block:: python
+
+    def MainLoop():
+        while True:
+            clt = tcp_accept(LISTEN_PORT)
+            ... backend selection ...            # e.g. round robin
+            if os_fork() == 0:
+                srv = tcp_connect(server)
+                while True:
+                    buf = sock_recv(clt)
+                    ... payload processing ...
+                    sock_send(srv, buf)
+
+The unfolded program materialises two state tables —
+``__tcp_conns`` (per-connection handshake state, the hidden state) and
+``__backend`` (the accept-time backend choice) — and handles SYN /
+handshake-ACK / data / FIN packets explicitly.  Backend selection and
+payload processing statements are carried over verbatim, so the
+synthesized model still exposes e.g. the round-robin index state
+(paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.lang.errors import NFPyError
+from repro.lang.ir import (
+    Block,
+    ECall,
+    ECmp,
+    EName,
+    Expr,
+    LName,
+    Program,
+    SAssign,
+    SExpr,
+    SIf,
+    SWhile,
+    Stmt,
+    iter_block,
+    stmt_calls,
+)
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_expr, pretty_stmt
+
+#: Socket intrinsics whose presence marks a program as socket-level.
+SOCKET_CALLS = frozenset(
+    {"tcp_listen", "tcp_accept", "tcp_connect", "sock_recv", "sock_send", "os_fork"}
+)
+
+CONNS_VAR = "__tcp_conns"
+BACKEND_VAR = "__backend"
+
+
+def has_socket_calls(program: Program) -> bool:
+    """True if the program uses the socket-level intrinsics."""
+    for stmt in program.all_stmts():
+        for call in stmt_calls(stmt):
+            if not call.method and call.func in SOCKET_CALLS:
+                return True
+    return False
+
+
+@dataclass
+class _ProxyShape:
+    """The pieces extracted from the nested-loop proxy pattern."""
+
+    listen_port: Expr
+    selection: List[Stmt]
+    backend_var: str
+    recv_var: str
+    processing: List[Stmt]
+    fn_globals: List[str]
+    #: tcp_accept() unpack targets: (conn[, client_ip[, client_port]]).
+    accept_targets: Tuple[str, ...] = ()
+
+
+def unfold_tcp(program: Program, entry_hint: Optional[str] = None) -> Program:
+    """Unfold a socket-level NF into a packet-level program.
+
+    Returns a *new* :class:`Program` whose entry is a synthesized
+    per-packet function; raises :class:`NFPyError` when the program does
+    not match the supported accept/fork/relay shape.
+    """
+    shape = _match_proxy(program, entry_hint)
+    source = _generate_source(program, shape)
+    unfolded = parse_program(source, name=f"{program.name}~unfolded", entry="__per_packet")
+    return unfolded
+
+
+# ---------------------------------------------------------------------------
+# Pattern matching
+# ---------------------------------------------------------------------------
+
+
+def _match_proxy(program: Program, entry_hint: Optional[str]) -> _ProxyShape:
+    names = [entry_hint] if entry_hint else list(program.functions)
+    for name in names:
+        fn = program.functions.get(name)
+        if fn is None:
+            continue
+        for stmt in fn.body:
+            if not isinstance(stmt, SWhile):
+                continue
+            shape = _match_accept_loop(stmt.body, sorted(fn.global_names))
+            if shape is not None:
+                return shape
+    raise NFPyError(
+        "TCP unfolding: no accept/fork/relay loop found "
+        "(expected `clt = tcp_accept(port)` ... `if os_fork() == 0:` "
+        "with an inner sock_recv/sock_send loop)"
+    )
+
+
+def _match_accept_loop(body: Block, fn_globals: List[str]) -> Optional[_ProxyShape]:
+    if not body:
+        return None
+    accept = body[0]
+    if not (
+        isinstance(accept, SAssign)
+        and isinstance(accept.value, ECall)
+        and not accept.value.method
+        and accept.value.func == "tcp_accept"
+        and accept.value.args
+    ):
+        return None
+    listen_port = accept.value.args[0]
+    accept_targets: Tuple[str, ...] = ()
+    target = accept.targets[0]
+    if isinstance(target, LName):
+        accept_targets = (target.id,)
+    else:
+        from repro.lang.ir import LTuple
+
+        if isinstance(target, LTuple):
+            names = []
+            for sub in target.elts:
+                if isinstance(sub, LName):
+                    names.append(sub.id)
+            accept_targets = tuple(names)
+
+    fork_if: Optional[SIf] = None
+    selection: List[Stmt] = []
+    for stmt in body[1:]:
+        if isinstance(stmt, SIf) and _is_fork_cond(stmt.cond):
+            fork_if = stmt
+            break
+        selection.append(stmt)
+    if fork_if is None:
+        return None
+
+    backend_var: Optional[str] = None
+    relay: Optional[SWhile] = None
+    for stmt in fork_if.then:
+        if (
+            isinstance(stmt, SAssign)
+            and isinstance(stmt.value, ECall)
+            and not stmt.value.method
+            and stmt.value.func == "tcp_connect"
+            and stmt.value.args
+            and isinstance(stmt.value.args[0], EName)
+        ):
+            backend_var = stmt.value.args[0].id
+        if isinstance(stmt, SWhile):
+            relay = stmt
+    if backend_var is None or relay is None:
+        return None
+
+    recv_var: Optional[str] = None
+    processing: List[Stmt] = []
+    for stmt in relay.body:
+        if (
+            isinstance(stmt, SAssign)
+            and isinstance(stmt.value, ECall)
+            and not stmt.value.method
+            and stmt.value.func == "sock_recv"
+        ):
+            target = stmt.targets[0]
+            if isinstance(target, LName):
+                recv_var = target.id
+            continue
+        if isinstance(stmt, SExpr) and isinstance(stmt.value, ECall) and stmt.value.func == "sock_send":
+            continue
+        processing.append(stmt)
+    if recv_var is None:
+        recv_var = "buf"
+    return _ProxyShape(
+        listen_port=listen_port,
+        selection=selection,
+        backend_var=backend_var,
+        recv_var=recv_var,
+        processing=processing,
+        fn_globals=fn_globals,
+        accept_targets=accept_targets,
+    )
+
+
+def _is_fork_cond(cond: Expr) -> bool:
+    if isinstance(cond, ECmp) and cond.op == "==":
+        left, right = cond.left, cond.right
+        for a, b in ((left, right), (right, left)):
+            if (
+                isinstance(a, ECall)
+                and not a.method
+                and a.func == "os_fork"
+            ):
+                return True
+    if isinstance(cond, ECall) and not cond.method and cond.func == "os_fork":
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Source generation (Fig. 5 shape)
+# ---------------------------------------------------------------------------
+
+
+def _generate_source(program: Program, shape: _ProxyShape) -> str:
+    """Emit the unfolded program as NFPy source (then re-parsed)."""
+    lines: List[str] = [
+        '"""Packet-level unfolding (generated by repro.nfactor.tcp_unfold)."""',
+        "",
+    ]
+    # Original module state/config, minus socket-only leftovers.
+    for stmt in program.module_body:
+        if isinstance(stmt, SExpr):
+            calls = stmt_calls(stmt)
+            if any(c.func in SOCKET_CALLS or c.func in program.functions for c in calls):
+                continue
+        lines.append(pretty_stmt(stmt))
+    lines.append("")
+    lines.append("# Hidden OS state, made explicit by the unfolding (paper 3.2):")
+    lines.append("# per-connection handshake progress and the backend binding.")
+    lines.append(f"{CONNS_VAR} = {{}}")
+    lines.append(f"{BACKEND_VAR} = {{}}")
+    lines.append("")
+
+    globals_needed = sorted(
+        set(shape.fn_globals) | {CONNS_VAR, BACKEND_VAR} | _assigned_globals(shape.selection)
+    )
+    body: List[str] = []
+    body.append(f"def __per_packet(pkt):")
+    if globals_needed:
+        body.append(f"    global {', '.join(globals_needed)}")
+    body.append("    if pkt.proto != 6:")
+    body.append("        return")
+    body.append(f"    if pkt.dport == {pretty_expr(shape.listen_port)}:")
+    body.append("        key = (pkt.ip_src, pkt.sport)")
+    body.append(f"        if key not in {CONNS_VAR}:")
+    body.append("            if (pkt.tcp_flags & 2) != 0 and (pkt.tcp_flags & 16) == 0:")
+    # The accept() call bound the client identity; at packet level those
+    # names come from the SYN's headers.
+    if len(shape.accept_targets) > 1:
+        body.append(f"                {shape.accept_targets[1]} = pkt.ip_src")
+    if len(shape.accept_targets) > 2:
+        body.append(f"                {shape.accept_targets[2]} = pkt.sport")
+    for stmt in shape.selection:
+        _emit(stmt, "                ", body)
+    body.append(f"                {CONNS_VAR}[key] = 3")
+    body.append(f"                {BACKEND_VAR}[key] = {shape.backend_var}")
+    body.append("            return")
+    body.append(f"        st = {CONNS_VAR}[key]")
+    body.append("        if st == 3:")
+    body.append("            if (pkt.tcp_flags & 16) != 0:")
+    body.append(f"                {CONNS_VAR}[key] = 4")
+    body.append("            return")
+    body.append("        if st == 4:")
+    body.append("            if (pkt.tcp_flags & 1) != 0:")
+    body.append(f"                del {CONNS_VAR}[key]")
+    body.append(f"                del {BACKEND_VAR}[key]")
+    body.append("                return")
+    body.append(f"            {shape.backend_var} = {BACKEND_VAR}[key]")
+    body.append(f"            {shape.recv_var} = pkt.payload_sig")
+    for stmt in shape.processing:
+        _emit(stmt, "            ", body)
+    body.append(f"            pkt.payload_sig = {shape.recv_var}")
+    body.append(f"            pkt.ip_dst = {shape.backend_var}[0]")
+    body.append(f"            pkt.dport = {shape.backend_var}[1]")
+    body.append("            send_packet(pkt)")
+    body.append("            return")
+    body.append("        return")
+    body.append("    return")
+
+    lines.extend(body)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _emit(stmt: Stmt, prefix: str, body: List[str]) -> None:
+    """Append a (possibly multi-line) pretty-printed statement."""
+    for line in pretty_stmt(stmt).splitlines():
+        body.append(prefix + line)
+
+
+def _assigned_globals(stmts: List[Stmt]) -> set:
+    """Names the selection statements assign (must be declared global)."""
+    from repro.lang.ir import stmt_defs
+
+    out: set = set()
+    for stmt in stmts:
+        for inner in iter_block([stmt]):
+            out |= stmt_defs(inner)
+    return out

@@ -1,0 +1,245 @@
+"""Code-structure normalisation (paper §3.2, Figure 4).
+
+NF programs come in four typical shapes; NFactor analyses the
+per-packet function, so the first three are rewritten into callback
+form here (the fourth — nested loops over sockets — is handled by
+:mod:`repro.nfactor.tcp_unfold`):
+
+a. **one processing loop** — ``while True: pkt = recv_packet(); ...``
+   → the loop body becomes a synthesized per-packet function;
+b. **callback** — ``sniff(IFACE, cb)`` → the callback *is* the entry;
+c. **consumer–producer** — a read loop feeding a queue and a process
+   loop draining it → the process-loop body becomes the entry (the
+   queue hop preserves per-packet semantics, as the paper observes
+   these are "easy to transform" into shape (a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.lang.errors import NFPyError
+from repro.lang.ir import (
+    Block,
+    ECall,
+    EConst,
+    EName,
+    Expr,
+    Function,
+    LName,
+    Program,
+    SAssign,
+    SBreak,
+    SContinue,
+    SDelete,
+    SExpr,
+    SIf,
+    SPass,
+    SReturn,
+    SWhile,
+    Stmt,
+    assign_sids,
+    iter_block,
+    stmt_calls,
+)
+
+SYNTH_ENTRY = "__per_packet"
+
+
+@dataclass
+class NormalizeReport:
+    """What the normaliser did (for logs and tests)."""
+
+    shape: str = "unknown"  # callback | main-loop | consumer-producer | explicit
+    entry: str = ""
+    synthesized: bool = False
+
+
+def normalize_structure(program: Program) -> Tuple[Program, NormalizeReport]:
+    """Locate (or synthesize) the per-packet entry function.
+
+    Idempotent: a program whose ``entry`` is already set is returned
+    unchanged.
+    """
+    if program.entry is not None:
+        return program, NormalizeReport(shape="explicit", entry=program.entry)
+
+    callback = _detect_callback(program)
+    if callback is not None:
+        program.entry = callback
+        return program, NormalizeReport(shape="callback", entry=callback)
+
+    synthesized = _detect_main_loop(program)
+    if synthesized is not None:
+        fn, shape = synthesized
+        program.functions[fn.name] = fn
+        program.entry = fn.name
+        assign_sids(program)
+        return program, NormalizeReport(shape=shape, entry=fn.name, synthesized=True)
+
+    raise NFPyError(
+        "cannot locate the packet-processing entry: no explicit entry, "
+        "no sniff() callback registration, no recv_packet() main loop "
+        "and no consumer-producer queue pair"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shape (b): callback registration
+# ---------------------------------------------------------------------------
+
+
+def _detect_callback(program: Program) -> Optional[str]:
+    """Find ``sniff(iface, cb)`` and return the callback function name."""
+    blocks: List[Block] = [program.module_body]
+    blocks.extend(fn.body for fn in program.functions.values())
+    for block in blocks:
+        for stmt in iter_block(block):
+            for call in stmt_calls(stmt):
+                if call.method or call.func != "sniff":
+                    continue
+                for arg in call.args:
+                    if isinstance(arg, EName) and arg.id in program.functions:
+                        return arg.id
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shapes (a) and (c): loop bodies become the entry
+# ---------------------------------------------------------------------------
+
+
+def _detect_main_loop(program: Program) -> Optional[Tuple[Function, str]]:
+    """Find a packet main loop (or the process loop of a queue pair).
+
+    A recv loop whose body merely enqueues the packet is the *producer*
+    half of a consumer-producer pair — the processing lives in the loop
+    that pops the queue, which becomes the entry instead.
+    """
+    fallback: Optional[Tuple[Function, str]] = None
+    for fn in program.functions.values():
+        for stmt in fn.body:
+            if not isinstance(stmt, SWhile) or not stmt.body:
+                continue
+            head = stmt.body[0]
+            bind = _packet_binding(head)
+            if bind is None:
+                continue
+            var, kind = bind
+            if kind == "recv":
+                if _is_pure_producer(stmt.body[1:]):
+                    continue
+                fallback = fallback or (_synthesize_entry(fn, stmt, var), "main-loop")
+            elif kind == "queue" and _queue_is_fed(program, head):
+                return _synthesize_entry(fn, stmt, var), "consumer-producer"
+    return fallback
+
+
+def _is_pure_producer(rest: Block) -> bool:
+    """True when the loop remainder only appends to a queue."""
+    if not rest:
+        return False
+    for stmt in rest:
+        if not (
+            isinstance(stmt, SExpr)
+            and isinstance(stmt.value, ECall)
+            and stmt.value.method
+            and stmt.value.func == "append"
+        ):
+            return False
+    return True
+
+
+def _packet_binding(stmt: Stmt) -> Optional[Tuple[str, str]]:
+    """Does ``stmt`` bind a packet variable?  Returns (var, kind)."""
+    if not isinstance(stmt, SAssign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, LName):
+        return None
+    value = stmt.value
+    if isinstance(value, ECall) and not value.method and value.func == "recv_packet":
+        return target.id, "recv"
+    if isinstance(value, ECall) and value.method and value.func == "pop":
+        return target.id, "queue"
+    return None
+
+
+def _queue_is_fed(program: Program, pop_stmt: Stmt) -> bool:
+    """Check some other loop appends to the queue the entry pops from."""
+    assert isinstance(pop_stmt, SAssign)
+    value = pop_stmt.value
+    assert isinstance(value, ECall)
+    receiver = value.args[0]
+    if not isinstance(receiver, EName):
+        return False
+    queue = receiver.id
+    for fn in program.functions.values():
+        for stmt in iter_block(fn.body):
+            for call in stmt_calls(stmt):
+                if (
+                    call.method
+                    and call.func == "append"
+                    and call.args
+                    and isinstance(call.args[0], EName)
+                    and call.args[0].id == queue
+                ):
+                    return True
+    return False
+
+
+def _synthesize_entry(fn: Function, loop: SWhile, pkt_var: str) -> Function:
+    """Build the per-packet function from a main-loop body.
+
+    The loop body minus the packet binding becomes the function body;
+    ``continue``/``break`` at the loop's own level become ``return``
+    (the per-packet iteration is over), while jumps inside nested loops
+    are kept.
+    """
+    body = _rewrite_loop_jumps(loop.body[1:], depth=0)
+    return Function(
+        name=SYNTH_ENTRY,
+        params=(pkt_var,),
+        body=body,
+        global_names=set(fn.global_names),
+        line=loop.line,
+    )
+
+
+def _rewrite_loop_jumps(block: Block, depth: int) -> Block:
+    out: Block = []
+    for stmt in block:
+        out.append(_rewrite_stmt(stmt, depth))
+    return out
+
+
+def _rewrite_stmt(stmt: Stmt, depth: int) -> Stmt:
+    if isinstance(stmt, (SContinue, SBreak)) and depth == 0:
+        return SReturn(line=stmt.line, value=None)
+    if isinstance(stmt, SIf):
+        return SIf(
+            line=stmt.line,
+            cond=stmt.cond,
+            then=_rewrite_loop_jumps(stmt.then, depth),
+            orelse=_rewrite_loop_jumps(stmt.orelse, depth),
+        )
+    if isinstance(stmt, SWhile):
+        return SWhile(
+            line=stmt.line,
+            cond=stmt.cond,
+            body=_rewrite_loop_jumps(stmt.body, depth + 1),
+        )
+    if isinstance(stmt, SAssign):
+        return SAssign(line=stmt.line, targets=stmt.targets, value=stmt.value, aug=stmt.aug)
+    if isinstance(stmt, SExpr):
+        return SExpr(line=stmt.line, value=stmt.value)
+    if isinstance(stmt, SReturn):
+        return SReturn(line=stmt.line, value=stmt.value)
+    if isinstance(stmt, SDelete):
+        return SDelete(line=stmt.line, target=stmt.target)
+    if isinstance(stmt, SPass):
+        return SPass(line=stmt.line)
+    if isinstance(stmt, (SBreak, SContinue)):
+        return type(stmt)(line=stmt.line)
+    raise NFPyError(f"cannot normalise statement {type(stmt).__name__}", stmt.line)

@@ -1,0 +1,12 @@
+"""The NF corpus: network functions written in NFPy, under analysis.
+
+These play the role of the paper's study subjects (snort 1.0 and
+balance 3.5, §5) plus the running example (the Fig. 1 load balancer)
+and additional NFs used by the applications of §4.  Every corpus file
+is genuine, runnable NF logic — the interpreter executes it as the
+reference implementation in differential tests.
+"""
+
+from repro.nfs.registry import NFSpec, get_nf, all_nfs, nf_names
+
+__all__ = ["NFSpec", "get_nf", "all_nfs", "nf_names"]

@@ -1,0 +1,86 @@
+"""*balance* — the socket-level layer-4 load balancer of paper Fig. 3.
+
+Unlike the Fig.-1 LB, *balance* is written against the TCP socket API:
+it accepts client connections, picks a backend (round-robin or source
+hash, per the paper's Fig. 6 output), forks, connects to the backend and
+relays data.  All per-connection TCP state is *hidden* in the OS (§3.2)
+— this program is the input to :mod:`repro.nfactor.tcp_unfold`, which
+rewrites it into the explicit packet-level single loop of Fig. 5 before
+NFactor analyses it.
+
+The socket intrinsics (``tcp_listen``/``tcp_accept``/``tcp_connect``/
+``sock_recv``/``sock_send``/``os_fork``) mirror the C calls in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from repro.nfs.registry import NFSpec, register
+
+SOURCE = '''"""balance 3.5-style TCP proxy load balancer (paper Fig. 3, NFPy)."""
+
+# Constants
+ROUND_ROBIN = 1
+HASH_MODE = 2
+
+# Configurations
+mode = ROUND_ROBIN
+LISTEN_PORT = 8080
+servers = [(16843009, 80), (33686018, 80), (50529027, 8080)]
+
+# Output-impacting states
+rr_idx = 0
+
+# Log states
+accept_stat = 0
+relay_stat = 0
+bytes_small = 0
+bytes_large = 0
+priv_clients = 0
+
+
+def MainLoop():
+    global rr_idx, accept_stat, relay_stat
+    global bytes_small, bytes_large, priv_clients
+    sockfd = tcp_listen(LISTEN_PORT)
+    while True:
+        clt, clt_ip, clt_port = tcp_accept(LISTEN_PORT)
+        accept_stat += 1
+        if clt_port < 1024:
+            priv_clients += 1
+        if mode == ROUND_ROBIN:
+            server = servers[rr_idx]
+            rr_idx = (rr_idx + 1) % len(servers)
+        else:
+            server = servers[hash(clt_ip) % len(servers)]
+        if os_fork() == 0:
+            srv = tcp_connect(server)
+            while True:
+                buf = sock_recv(clt)
+                relay_stat += 1
+                if buf > 65536:
+                    bytes_large += 1
+                else:
+                    bytes_small += 1
+                sock_send(srv, buf)
+
+
+if __name__ == "__main__":
+    MainLoop()
+'''
+
+
+@register("balance")
+def build() -> NFSpec:
+    """The Fig.-3 socket-level balance spec."""
+    return NFSpec(
+        name="balance",
+        source=SOURCE,
+        description="Socket-level TCP proxy LB (paper Fig. 3); needs TCP unfolding",
+        socket_level=True,
+        interesting={
+            "dport": [8080, 80, 443],
+            "sport": [8080, 31337, 40000],
+            "tcp_flags": [2, 16, 18, 17, 1, 0],
+            "proto": [6],
+        },
+    )

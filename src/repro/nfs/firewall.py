@@ -1,0 +1,156 @@
+"""A stateful TCP firewall with an ACL and connection tracking.
+
+Policy: connections may only be *initiated* from the trusted side
+(``in_port == 0``); the ACL additionally blocks listed remote prefixes
+and ports.  The connection table walks an explicit TCP handshake FSM
+(the same state numbering as :class:`repro.net.tcp.TcpState`), so the
+synthesized model exposes per-connection state matches — the behaviour
+class the paper's §3.2 "hidden states" discussion is about, here
+written out in the NF source itself.
+"""
+
+from __future__ import annotations
+
+from repro.nfs.registry import NFSpec, register
+
+BLOCKED_NET_INT = 198 * 2**24 + 51 * 2**8 + 100 * 2**16  # unused helper
+
+SOURCE = '''"""Stateful TCP firewall (NFPy)."""
+
+# Constants: TCP states (subset of RFC 793)
+ST_SYN_SENT = 2
+ST_SYN_RCVD = 3
+ST_ESTABLISHED = 4
+ST_FIN_WAIT = 5
+
+# Constants: TCP flags
+F_FIN = 1
+F_SYN = 2
+F_RST = 4
+F_ACK = 16
+
+# Configurations
+TRUSTED_PORT = 0
+BLOCKED_PORTS = [23, 135, 445]
+BLOCKED_NET = 3325256704
+BLOCKED_MASK = 4294901760
+STRICT_MODE = 1
+
+# Output-impacting states
+conns = {}
+
+# Log states
+allowed_stat = 0
+blocked_acl = 0
+blocked_state = 0
+rst_stat = 0
+
+
+def conn_key(pkt):
+    # direction-independent connection key
+    a = (pkt.ip_src, pkt.sport)
+    b = (pkt.ip_dst, pkt.dport)
+    if a <= b:
+        return (a, b)
+    return (b, a)
+
+
+def acl_rejects(pkt):
+    if (pkt.ip_dst & BLOCKED_MASK) == BLOCKED_NET:
+        return 1
+    if (pkt.ip_src & BLOCKED_MASK) == BLOCKED_NET:
+        return 1
+    if pkt.dport in BLOCKED_PORTS:
+        return 1
+    return 0
+
+
+def fw_handler(pkt):
+    global allowed_stat, blocked_acl, blocked_state, rst_stat
+    if pkt.proto != 6:
+        # only TCP is tracked; in strict mode everything else drops
+        if STRICT_MODE == 1:
+            blocked_state += 1
+            return
+        allowed_stat += 1
+        send_packet(pkt)
+        return
+    if acl_rejects(pkt) == 1:
+        blocked_acl += 1
+        return
+    key = conn_key(pkt)
+    if (pkt.tcp_flags & F_RST) != 0:
+        # RST tears the connection down and is forwarded if known
+        if key in conns:
+            del conns[key]
+            rst_stat += 1
+            send_packet(pkt)
+            return
+        blocked_state += 1
+        return
+    if key not in conns:
+        # only the trusted side may initiate
+        syn_only = (pkt.tcp_flags & F_SYN) != 0 and (pkt.tcp_flags & F_ACK) == 0
+        if syn_only and pkt.in_port == TRUSTED_PORT:
+            conns[key] = ST_SYN_SENT
+            allowed_stat += 1
+            send_packet(pkt)
+            return
+        blocked_state += 1
+        return
+    st = conns[key]
+    if st == ST_SYN_SENT:
+        if (pkt.tcp_flags & F_SYN) != 0 and (pkt.tcp_flags & F_ACK) != 0:
+            conns[key] = ST_SYN_RCVD
+            allowed_stat += 1
+            send_packet(pkt)
+            return
+        blocked_state += 1
+        return
+    if st == ST_SYN_RCVD:
+        if (pkt.tcp_flags & F_ACK) != 0:
+            conns[key] = ST_ESTABLISHED
+            allowed_stat += 1
+            send_packet(pkt)
+            return
+        blocked_state += 1
+        return
+    if st == ST_ESTABLISHED:
+        if (pkt.tcp_flags & F_FIN) != 0:
+            conns[key] = ST_FIN_WAIT
+        allowed_stat += 1
+        send_packet(pkt)
+        return
+    if st == ST_FIN_WAIT:
+        if (pkt.tcp_flags & F_ACK) != 0:
+            del conns[key]
+        allowed_stat += 1
+        send_packet(pkt)
+        return
+    blocked_state += 1
+    return
+
+
+def Firewall():
+    sniff("eth0", fw_handler)
+
+
+if __name__ == "__main__":
+    Firewall()
+'''
+
+
+@register("firewall")
+def build() -> NFSpec:
+    """The stateful firewall spec."""
+    return NFSpec(
+        name="firewall",
+        source=SOURCE,
+        description="Stateful TCP firewall: ACL + handshake connection tracking",
+        interesting={
+            "tcp_flags": [2, 18, 16, 17, 4, 0, 1],
+            "in_port": [0, 1],
+            "dport": [80, 23, 445, 443],
+            "proto": [6, 17],
+        },
+    )

@@ -1,0 +1,85 @@
+"""A MAC-learning L2 switch.
+
+The classic stateful L2 forwarding function: learn the source MAC →
+ingress-port binding from every frame, forward to the learned port of
+the destination MAC, flood unknown destinations and broadcasts.  The
+model exposes a different *kind* of state match than the L3/L4 corpus
+NFs: the lookup key and the rewrite are both L2, and the forward action
+carries an output *port* rather than a header rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.nfs.registry import NFSpec, register
+
+BROADCAST_INT = (1 << 48) - 1
+
+SOURCE = '''"""MAC-learning layer-2 switch (NFPy)."""
+
+# Configurations
+BROADCAST = 281474976710655
+FLOOD_PORT = 255
+N_PORTS = 8
+
+# Output-impacting states
+mac_table = {}
+
+# Log states
+learned_stat = 0
+moved_stat = 0
+flooded_stat = 0
+forwarded_stat = 0
+filtered_stat = 0
+
+
+def switch_handler(pkt):
+    global learned_stat, moved_stat, flooded_stat, forwarded_stat, filtered_stat
+    # learn / refresh the source binding
+    if pkt.eth_src != BROADCAST:
+        if pkt.eth_src not in mac_table:
+            mac_table[pkt.eth_src] = pkt.in_port
+            learned_stat += 1
+        elif mac_table[pkt.eth_src] != pkt.in_port:
+            # station moved to another port
+            mac_table[pkt.eth_src] = pkt.in_port
+            moved_stat += 1
+    # forward
+    if pkt.eth_dst == BROADCAST:
+        flooded_stat += 1
+        send_packet(pkt, FLOOD_PORT)
+        return
+    if pkt.eth_dst in mac_table:
+        out_port = mac_table[pkt.eth_dst]
+        if out_port == pkt.in_port:
+            # destination is on the ingress segment: filter
+            filtered_stat += 1
+            return
+        forwarded_stat += 1
+        send_packet(pkt, out_port)
+        return
+    flooded_stat += 1
+    send_packet(pkt, FLOOD_PORT)
+
+
+def Switch():
+    sniff("eth0", switch_handler)
+
+
+if __name__ == "__main__":
+    Switch()
+'''
+
+
+@register("l2switch")
+def build() -> NFSpec:
+    """The MAC-learning switch spec."""
+    return NFSpec(
+        name="l2switch",
+        source=SOURCE,
+        description="MAC-learning L2 switch: learn, forward, flood, filter",
+        interesting={
+            "eth_src": [1, 2, 3, BROADCAST_INT],
+            "eth_dst": [1, 2, 3, BROADCAST_INT],
+            "in_port": [0, 1, 2, 3],
+        },
+    )

@@ -1,0 +1,112 @@
+"""The paper's running example: a layer-4 load balancer (Figure 1).
+
+A faithful NFPy port of the scapy-based LB in the paper: inbound
+packets to the virtual service are NATed to a backend chosen round-robin
+or by hash; reverse traffic of known connections is NATed back; reverse
+traffic of unknown connections is dropped ("no initial outbound traffic
+is allowed").  Variable names follow the paper so the Table-1
+categorisation can be checked literally.
+"""
+
+from __future__ import annotations
+
+from repro.nfs.registry import NFSpec, register
+
+#: 3.3.3.3 / 1.1.1.1 / 2.2.2.2 as integers.
+LB_IP_INT = 50529027
+SERVER1_INT = 16843009
+SERVER2_INT = 33686018
+
+SOURCE = '''"""Layer-4 load balancer (paper Fig. 1, NFPy port)."""
+
+# Constants
+ROUND_ROBIN = 1
+HASH_MODE = 2
+MTU = 1500
+
+# Configurations
+mode = ROUND_ROBIN
+LB_IP = 50529027
+LB_PORT = 80
+servers = [(16843009, 80), (33686018, 80)]
+
+# Output-impacting states
+f2b_nat = {}
+b2f_nat = {}
+rr_idx = 0
+cur_port = 10000
+
+# Log states
+pass_stat = 0
+drop_stat = 0
+frag_stat = 0
+
+
+def pkt_callback(pkt):
+    global drop_stat, pass_stat, frag_stat, rr_idx, cur_port
+    si, di = pkt.ip_src, pkt.ip_dst
+    sp, dp = pkt.sport, pkt.dport
+    if dp == LB_PORT:
+        # pkt from client to server
+        cs_ftpl = (si, sp, di, dp)
+        sc_ftpl = (di, dp, si, sp)
+        if cs_ftpl not in f2b_nat:
+            # new connection: pick a backend
+            if mode == ROUND_ROBIN:
+                server = servers[rr_idx]
+                rr_idx = (rr_idx + 1) % len(servers)
+            else:
+                # hash to a backend server
+                server = servers[hash(si) % len(servers)]
+            n_port = cur_port
+            cur_port += 1
+            cs_btpl = (LB_IP, n_port, server[0], server[1])
+            sc_btpl = (server[0], server[1], LB_IP, n_port)
+            f2b_nat[cs_ftpl] = cs_btpl
+            b2f_nat[sc_btpl] = sc_ftpl
+            nat_tpl = cs_btpl
+        else:
+            # existing connection
+            nat_tpl = f2b_nat[cs_ftpl]
+    else:
+        # pkt from server to client
+        sc_btpl = (si, sp, di, dp)
+        if sc_btpl in b2f_nat:
+            nat_tpl = b2f_nat[sc_btpl]
+        else:
+            # no initial outbound traffic is allowed
+            drop_stat += 1
+            return
+    pass_stat += 1
+    if pkt.length > MTU:
+        frag_stat += 1
+    pkt.ip_src = nat_tpl[0]
+    pkt.sport = nat_tpl[1]
+    pkt.ip_dst = nat_tpl[2]
+    pkt.dport = nat_tpl[3]
+    send_packet(pkt)
+
+
+def LoadBalancer():
+    sniff("eth0", pkt_callback)
+
+
+if __name__ == "__main__":
+    LoadBalancer()
+'''
+
+
+@register("loadbalancer")
+def build() -> NFSpec:
+    """The Fig.-1 load balancer spec."""
+    return NFSpec(
+        name="loadbalancer",
+        source=SOURCE,
+        description="Layer-4 load balancer, NFPy port of paper Fig. 1",
+        interesting={
+            "dport": [80, 10000, 10001, 10002, 443],
+            "sport": [80, 10000, 10001, 33000],
+            "ip_dst": [LB_IP_INT, SERVER1_INT, SERVER2_INT],
+            "ip_src": [SERVER1_INT, SERVER2_INT, 167772161, 167772162],
+        },
+    )

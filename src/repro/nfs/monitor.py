@@ -1,0 +1,63 @@
+"""A passive traffic monitor: forwards everything, counts by class.
+
+The simplest corpus NF — its synthesized model should collapse to
+"match anything → forward unchanged" with only logVar updates pruned,
+which makes it a good regression anchor and the neutral element for
+service-chain composition tests.
+"""
+
+from __future__ import annotations
+
+from repro.nfs.registry import NFSpec, register
+
+SOURCE = '''"""Passive traffic monitor (NFPy)."""
+
+# Configurations
+WEB_PORT = 80
+TLS_PORT = 443
+
+# Log states
+total_pkts = 0
+total_bytes = 0
+web_pkts = 0
+tls_pkts = 0
+udp_pkts = 0
+other_pkts = 0
+
+
+def monitor_handler(pkt):
+    global total_pkts, total_bytes, web_pkts, tls_pkts, udp_pkts, other_pkts
+    total_pkts += 1
+    total_bytes += pkt.length
+    if pkt.proto == 6:
+        if pkt.dport == WEB_PORT or pkt.sport == WEB_PORT:
+            web_pkts += 1
+        elif pkt.dport == TLS_PORT or pkt.sport == TLS_PORT:
+            tls_pkts += 1
+        else:
+            other_pkts += 1
+    elif pkt.proto == 17:
+        udp_pkts += 1
+    else:
+        other_pkts += 1
+    send_packet(pkt)
+
+
+def Monitor():
+    sniff("eth0", monitor_handler)
+
+
+if __name__ == "__main__":
+    Monitor()
+'''
+
+
+@register("monitor")
+def build() -> NFSpec:
+    """The passive monitor spec."""
+    return NFSpec(
+        name="monitor",
+        source=SOURCE,
+        description="Passive monitor: count and forward everything",
+        interesting={"dport": [80, 443, 53], "proto": [6, 17, 1]},
+    )

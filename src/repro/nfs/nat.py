@@ -1,0 +1,105 @@
+"""A dynamic NAPT (network address & port translation) gateway.
+
+Classic middlebox semantics: traffic from the internal prefix going out
+is source-NATed to the external address with a freshly allocated port;
+reply traffic to an allocated port is rewritten back; unsolicited
+inbound traffic is dropped.  TTL is decremented like a router hop and
+expired packets are dropped (an output-impacting *check* but a logVar
+*counter*, exercising the oisVar/logVar split).
+"""
+
+from __future__ import annotations
+
+from repro.nfs.registry import NFSpec, register
+
+EXT_IP_INT = 203 * 2**24 + 113 * 2**8 + 1  # 203.0.113.1
+INT_NET_INT = 10 * 2**24  # 10.0.0.0/8
+
+SOURCE = '''"""Dynamic NAPT gateway (NFPy)."""
+
+# Configurations
+EXT_IP = 3405803777
+INT_NET = 167772160
+INT_MASK = 4278190080
+NAT_PORT_BASE = 20000
+NAT_PORT_MAX = 60000
+TTL_MIN = 1
+
+# Output-impacting states
+out_map = {}
+in_map = {}
+next_port = 20000
+
+# Log states
+translated_out = 0
+translated_in = 0
+dropped_unsolicited = 0
+dropped_ttl = 0
+dropped_pool = 0
+
+
+def nat_handler(pkt):
+    global next_port, translated_out, translated_in
+    global dropped_unsolicited, dropped_ttl, dropped_pool
+    if pkt.ttl <= TTL_MIN:
+        # router hop would expire the packet
+        dropped_ttl += 1
+        return
+    src_internal = (pkt.ip_src & INT_MASK) == INT_NET
+    if src_internal:
+        key = (pkt.ip_src, pkt.sport, pkt.proto)
+        if key not in out_map:
+            if next_port >= NAT_PORT_MAX:
+                # port pool exhausted
+                dropped_pool += 1
+                return
+            ext_port = next_port
+            next_port += 1
+            out_map[key] = ext_port
+            in_map[(ext_port, pkt.proto)] = (pkt.ip_src, pkt.sport)
+            mapped = ext_port
+        else:
+            mapped = out_map[key]
+        pkt.ip_src = EXT_IP
+        pkt.sport = mapped
+        pkt.ttl = pkt.ttl - 1
+        translated_out += 1
+        send_packet(pkt)
+    else:
+        rkey = (pkt.dport, pkt.proto)
+        if pkt.ip_dst == EXT_IP and rkey in in_map:
+            orig = in_map[rkey]
+            pkt.ip_dst = orig[0]
+            pkt.dport = orig[1]
+            pkt.ttl = pkt.ttl - 1
+            translated_in += 1
+            send_packet(pkt)
+        else:
+            # unsolicited inbound
+            dropped_unsolicited += 1
+            return
+
+
+def Nat():
+    sniff("eth0", nat_handler)
+
+
+if __name__ == "__main__":
+    Nat()
+'''
+
+
+@register("nat")
+def build() -> NFSpec:
+    """The NAPT gateway spec."""
+    return NFSpec(
+        name="nat",
+        source=SOURCE,
+        description="Dynamic NAPT gateway with port allocation and reverse map",
+        interesting={
+            "ip_src": [INT_NET_INT + 5, INT_NET_INT + 99, EXT_IP_INT, 3232235777],
+            "ip_dst": [EXT_IP_INT, INT_NET_INT + 5, 3232235777],
+            "dport": [20000, 20001, 80, 443],
+            "ttl": [0, 1, 2, 64],
+        },
+    )

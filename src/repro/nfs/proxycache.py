@@ -1,0 +1,104 @@
+"""A transparent response cache (HTTP-proxy style).
+
+Requests to the web port are looked up by ``(server, content
+fingerprint)``: on a hit, the cache answers the client directly with a
+synthesized response (swapping the packet's endpoints) — the upstream
+never sees the request; on a miss, the request is forwarded and the
+pending-request table remembers who asked, so the eventual response can
+be cached on its way back.
+
+This NF exercises model extraction corners the rest of the corpus does
+not: a *locally generated* packet (the cache hit answers with rewritten
+source **and** destination) and state values flowing between two dicts
+(``pending`` keys feed ``cache`` writes).
+"""
+
+from __future__ import annotations
+
+from repro.nfs.registry import NFSpec, register
+
+SOURCE = '''"""Transparent response cache (NFPy)."""
+
+# Configurations
+WEB_PORT = 80
+CACHE_MAX = 4096
+
+# Output-impacting states
+cache = {}
+pending = {}
+
+# Log states
+hit_stat = 0
+miss_stat = 0
+fill_stat = 0
+bypass_stat = 0
+evict_refused = 0
+
+
+def cache_handler(pkt):
+    global hit_stat, miss_stat, fill_stat, bypass_stat, evict_refused
+    if pkt.proto != 6:
+        bypass_stat += 1
+        send_packet(pkt)
+        return
+    if pkt.dport == WEB_PORT:
+        # client -> server request
+        key = (pkt.ip_dst, pkt.payload_sig)
+        if key in cache:
+            # answer locally: swap endpoints, body from the cache
+            hit_stat += 1
+            resp_sig = cache[key]
+            client_ip = pkt.ip_src
+            client_port = pkt.sport
+            pkt.ip_src = pkt.ip_dst
+            pkt.sport = pkt.dport
+            pkt.ip_dst = client_ip
+            pkt.dport = client_port
+            pkt.payload_sig = resp_sig
+            send_packet(pkt)
+            return
+        miss_stat += 1
+        pending[(pkt.ip_src, pkt.sport)] = key
+        send_packet(pkt)
+        return
+    if pkt.sport == WEB_PORT:
+        # server -> client response
+        rkey = (pkt.ip_dst, pkt.dport)
+        if rkey in pending:
+            key = pending[rkey]
+            if len(cache) < CACHE_MAX:
+                cache[key] = pkt.payload_sig
+                fill_stat += 1
+            else:
+                evict_refused += 1
+            del pending[rkey]
+        send_packet(pkt)
+        return
+    bypass_stat += 1
+    send_packet(pkt)
+
+
+def Cache():
+    sniff("eth0", cache_handler)
+
+
+if __name__ == "__main__":
+    Cache()
+'''
+
+
+@register("proxycache")
+def build() -> NFSpec:
+    """The response-cache spec."""
+    return NFSpec(
+        name="proxycache",
+        source=SOURCE,
+        description="Transparent response cache: hit answers locally, miss fills",
+        interesting={
+            "dport": [80, 443, 1234],
+            "sport": [80, 443, 40000],
+            "payload_sig": [7, 8, 9],
+            "ip_dst": [1000, 2000],
+            "ip_src": [500, 600],
+        },
+    )

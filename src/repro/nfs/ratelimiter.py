@@ -1,0 +1,79 @@
+"""A per-source packet-budget rate limiter (windowed token bucket).
+
+Real rate limiters meter against wall-clock time; an analyzable NF
+cannot depend on a clock, so this one meters per *window of packets* —
+every ``WINDOW`` processed packets the budgets reset.  That keeps the
+same model structure (per-source counter state gating forwarding,
+periodic reset) while staying within the paper's bounded-analysis
+discipline; the window rollover is driven by a logVar-like global
+counter that *is* output-impacting here, exercising an interesting
+corner of the classifier.
+"""
+
+from __future__ import annotations
+
+from repro.nfs.registry import NFSpec, register
+
+SOURCE = '''"""Per-source rate limiter with packet-count windows (NFPy)."""
+
+# Configurations
+BUDGET = 8
+WINDOW = 64
+EXEMPT_NET = 167772160
+EXEMPT_MASK = 4278190080
+
+# Output-impacting states
+buckets = {}
+window_left = 64
+
+# Log states
+passed_stat = 0
+limited_stat = 0
+exempt_stat = 0
+resets_stat = 0
+
+
+def rl_handler(pkt):
+    global window_left, passed_stat, limited_stat, exempt_stat, resets_stat
+    window_left -= 1
+    if window_left <= 0:
+        # new metering window: all budgets refill
+        buckets.clear()
+        window_left = WINDOW
+        resets_stat += 1
+    if (pkt.ip_src & EXEMPT_MASK) == EXEMPT_NET:
+        # management traffic is never limited
+        exempt_stat += 1
+        send_packet(pkt)
+        return
+    if pkt.ip_src not in buckets:
+        buckets[pkt.ip_src] = 0
+    used = buckets[pkt.ip_src]
+    if used >= BUDGET:
+        limited_stat += 1
+        return
+    buckets[pkt.ip_src] = used + 1
+    passed_stat += 1
+    send_packet(pkt)
+
+
+def RateLimiter():
+    sniff("eth0", rl_handler)
+
+
+if __name__ == "__main__":
+    RateLimiter()
+'''
+
+
+@register("ratelimiter")
+def build() -> NFSpec:
+    """The rate limiter spec."""
+    return NFSpec(
+        name="ratelimiter",
+        source=SOURCE,
+        description="Per-source rate limiter with packet-count windows",
+        interesting={
+            "ip_src": [167772161, 5, 6, 7],
+        },
+    )

@@ -1,0 +1,70 @@
+"""Registry of corpus NFs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class NFSpec:
+    """One corpus network function.
+
+    ``interesting`` feeds the traffic generator values that actually hit
+    the NF's configuration (service ports, virtual IPs, backends), so
+    random workloads exercise the stateful paths.
+    """
+
+    name: str
+    source: str
+    description: str
+    entry: Optional[str] = None
+    interesting: Dict[str, Sequence[int]] = field(default_factory=dict)
+    socket_level: bool = False
+
+
+_REGISTRY: Dict[str, Callable[[], NFSpec]] = {}
+
+
+def register(name: str):
+    """Decorator: register a zero-arg NFSpec factory under ``name``."""
+
+    def inner(factory: Callable[[], NFSpec]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return inner
+
+
+def get_nf(name: str) -> NFSpec:
+    """Fetch one NF spec by name."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown NF {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]()
+
+
+def nf_names() -> List[str]:
+    """All registered NF names."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_nfs() -> List[NFSpec]:
+    """All registered NF specs."""
+    return [get_nf(name) for name in nf_names()]
+
+
+def _ensure_loaded() -> None:
+    # Import corpus modules for their registration side effects.
+    from repro.nfs import (  # noqa: F401
+        balance,
+        firewall,
+        l2switch,
+        loadbalancer,
+        monitor,
+        nat,
+        proxycache,
+        ratelimiter,
+        snortlite,
+    )

@@ -1,0 +1,6 @@
+"""Program dependence graphs and whole-program flattening."""
+
+from repro.pdg.flatten import FlatView, flatten_program
+from repro.pdg.pdg import PDG, build_pdg
+
+__all__ = ["FlatView", "flatten_program", "PDG", "build_pdg"]

@@ -1,0 +1,565 @@
+"""Whole-program flattening: module body + inlined entry function.
+
+NFactor's analyses (Algorithm 1) are whole-program: a backward slice
+from a packet-output call must cross user-function boundaries and reach
+the module-level state initialisations.  Because NFPy call graphs are
+DAGs (no recursion — enforced by the frontend), the cleanest way to get
+fully context-sensitive results is to *inline* every user call into the
+per-packet entry function and prepend the module body.  The result is a
+single flat block over which CFG/dataflow/PDG machinery runs unchanged.
+
+The interprocedural SDG slicer (:mod:`repro.pdg.sdg`) offers the
+summary-edge alternative that scales to call graphs where inlining would
+blow up; for the NF corpus both give the same slices and the flat view
+is what the end-to-end pipeline uses.
+
+Inlining mechanics
+------------------
+* Locals of an inlined function are renamed ``{fn}__{name}__{k}`` with a
+  per-instance counter, so repeated calls do not collide.
+* A function containing ``return`` is wrapped in a one-iteration
+  ``while True`` block; each ``return e`` becomes ``__ret = e; break``.
+  This preserves structured control flow without a goto.
+* Calls nested inside expressions are hoisted to fresh temporaries
+  first.  Hoisting out of short-circuit positions would change
+  evaluation order, so user calls under ``and``/``or``/conditional
+  expressions are rejected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.errors import NFPyError
+from repro.lang.ir import (
+    Block,
+    EAttr,
+    EBin,
+    EBool,
+    ECall,
+    ECmp,
+    ECond,
+    EConst,
+    EDict,
+    EList,
+    EName,
+    ESub,
+    ETuple,
+    EUn,
+    Expr,
+    Function,
+    LAttr,
+    LName,
+    LSub,
+    LTuple,
+    LValue,
+    Program,
+    SAssign,
+    SBreak,
+    SContinue,
+    SDelete,
+    SExpr,
+    SIf,
+    SPass,
+    SReturn,
+    SWhile,
+    Stmt,
+    iter_block,
+    stmt_defs,
+    stmt_scope_names,
+)
+
+
+@dataclass
+class FlatView:
+    """A flattened whole-program view ready for CFG/PDG analyses.
+
+    ``block`` is the module body followed by the inlined entry body.
+    ``origin`` maps flat sids back to the original program's sids (flat
+    statements synthesised by inlining map to the sid of the source
+    statement they came from, so slices can always be reported against
+    the original source).
+    """
+
+    program: Program
+    block: Block
+    entry_params: Tuple[str, ...]
+    origin: Dict[int, int] = field(default_factory=dict)
+    module_sids: Set[int] = field(default_factory=set)
+
+    def stmts(self) -> Dict[int, Stmt]:
+        """Flat sid → statement map."""
+        return {s.sid: s for s in iter_block(self.block)}
+
+    def entry_vars(self) -> Set[str]:
+        """Variables holding values when the flat block starts."""
+        return set(self.entry_params)
+
+    def origin_sids(self, flat_sids: Set[int]) -> Set[int]:
+        """Map flat sids back to original-program sids."""
+        return {self.origin[s] for s in flat_sids if s in self.origin}
+
+    def source_lines(self, flat_sids: Set[int]) -> Set[int]:
+        """Map flat sids to original source lines."""
+        stmts = self.stmts()
+        return {stmts[s].line for s in flat_sids if s in stmts}
+
+
+class _Flattener:
+    def __init__(self, program: Program, max_inline_depth: int = 32) -> None:
+        self.program = program
+        self.max_depth = max_inline_depth
+        self._sid = 0
+        self._instance = 0
+        self.origin: Dict[int, int] = {}
+
+    def fresh_sid(self, origin_sid: Optional[int]) -> int:
+        sid = self._sid
+        self._sid += 1
+        if origin_sid is not None:
+            self.origin[sid] = origin_sid
+        return sid
+
+    # -- expression cloning with renaming -----------------------------------
+
+    def clone_expr(self, expr: Expr, rename: Dict[str, str]) -> Expr:
+        if isinstance(expr, EConst):
+            return expr
+        if isinstance(expr, EName):
+            return EName(rename.get(expr.id, expr.id))
+        if isinstance(expr, ETuple):
+            return ETuple(tuple(self.clone_expr(e, rename) for e in expr.elts))
+        if isinstance(expr, EList):
+            return EList(tuple(self.clone_expr(e, rename) for e in expr.elts))
+        if isinstance(expr, EDict):
+            return EDict(
+                tuple(
+                    (self.clone_expr(k, rename), self.clone_expr(v, rename))
+                    for k, v in expr.items
+                )
+            )
+        if isinstance(expr, EBin):
+            return EBin(expr.op, self.clone_expr(expr.left, rename), self.clone_expr(expr.right, rename))
+        if isinstance(expr, EUn):
+            return EUn(expr.op, self.clone_expr(expr.operand, rename))
+        if isinstance(expr, ECmp):
+            return ECmp(expr.op, self.clone_expr(expr.left, rename), self.clone_expr(expr.right, rename))
+        if isinstance(expr, EBool):
+            return EBool(expr.op, tuple(self.clone_expr(v, rename) for v in expr.values))
+        if isinstance(expr, ECall):
+            return ECall(expr.func, tuple(self.clone_expr(a, rename) for a in expr.args), expr.method)
+        if isinstance(expr, ESub):
+            return ESub(self.clone_expr(expr.base, rename), self.clone_expr(expr.index, rename))
+        if isinstance(expr, EAttr):
+            return EAttr(self.clone_expr(expr.base, rename), expr.attr)
+        if isinstance(expr, ECond):
+            return ECond(
+                self.clone_expr(expr.test, rename),
+                self.clone_expr(expr.body, rename),
+                self.clone_expr(expr.orelse, rename),
+            )
+        raise TypeError(f"unknown expression: {expr!r}")
+
+    def clone_lvalue(self, target: LValue, rename: Dict[str, str]) -> LValue:
+        if isinstance(target, LName):
+            return LName(rename.get(target.id, target.id))
+        if isinstance(target, LSub):
+            return LSub(rename.get(target.base, target.base), self.clone_expr(target.index, rename))
+        if isinstance(target, LAttr):
+            return LAttr(rename.get(target.base, target.base), target.attr)
+        if isinstance(target, LTuple):
+            return LTuple(tuple(self.clone_lvalue(t, rename) for t in target.elts))
+        raise TypeError(f"unknown lvalue: {target!r}")
+
+    # -- call detection / hoisting -------------------------------------------
+
+    def _is_user_call(self, expr: Expr) -> bool:
+        return (
+            isinstance(expr, ECall)
+            and not expr.method
+            and expr.func in self.program.functions
+        )
+
+    def _contains_user_call(self, expr: Expr) -> bool:
+        if self._is_user_call(expr):
+            return True
+        children: List[Expr] = []
+        if isinstance(expr, (ETuple, EList)):
+            children = list(expr.elts)
+        elif isinstance(expr, EDict):
+            children = [e for kv in expr.items for e in kv]
+        elif isinstance(expr, EBin):
+            children = [expr.left, expr.right]
+        elif isinstance(expr, EUn):
+            children = [expr.operand]
+        elif isinstance(expr, ECmp):
+            children = [expr.left, expr.right]
+        elif isinstance(expr, EBool):
+            children = list(expr.values)
+        elif isinstance(expr, ECall):
+            children = list(expr.args)
+        elif isinstance(expr, ESub):
+            children = [expr.base, expr.index]
+        elif isinstance(expr, EAttr):
+            children = [expr.base]
+        elif isinstance(expr, ECond):
+            children = [expr.test, expr.body, expr.orelse]
+        return any(self._contains_user_call(c) for c in children)
+
+    def hoist_calls(
+        self, expr: Expr, line: int, out: Block, depth: int, guarded: bool = False
+    ) -> Expr:
+        """Replace user calls in ``expr`` by temps; emit inlined bodies."""
+        if isinstance(expr, (EConst, EName)):
+            return expr
+        if self._is_user_call(expr):
+            if guarded:
+                raise NFPyError(
+                    f"call to {expr.func}() in a short-circuit position "
+                    "cannot be inlined without changing evaluation order",
+                    line,
+                )
+            assert isinstance(expr, ECall)
+            args = tuple(self.hoist_calls(a, line, out, depth) for a in expr.args)
+            ret = self._fresh_name(f"ret_{expr.func}")
+            self.inline_call(expr.func, args, ret, line, out, depth)
+            return EName(ret)
+        if isinstance(expr, ETuple):
+            return ETuple(tuple(self.hoist_calls(e, line, out, depth, guarded) for e in expr.elts))
+        if isinstance(expr, EList):
+            return EList(tuple(self.hoist_calls(e, line, out, depth, guarded) for e in expr.elts))
+        if isinstance(expr, EDict):
+            return EDict(
+                tuple(
+                    (
+                        self.hoist_calls(k, line, out, depth, guarded),
+                        self.hoist_calls(v, line, out, depth, guarded),
+                    )
+                    for k, v in expr.items
+                )
+            )
+        if isinstance(expr, EBin):
+            return EBin(
+                expr.op,
+                self.hoist_calls(expr.left, line, out, depth, guarded),
+                self.hoist_calls(expr.right, line, out, depth, guarded),
+            )
+        if isinstance(expr, EUn):
+            return EUn(expr.op, self.hoist_calls(expr.operand, line, out, depth, guarded))
+        if isinstance(expr, ECmp):
+            return ECmp(
+                expr.op,
+                self.hoist_calls(expr.left, line, out, depth, guarded),
+                self.hoist_calls(expr.right, line, out, depth, guarded),
+            )
+        if isinstance(expr, EBool):
+            values = [self.hoist_calls(expr.values[0], line, out, depth, guarded)]
+            for v in expr.values[1:]:
+                values.append(self.hoist_calls(v, line, out, depth, guarded=True))
+            return EBool(expr.op, tuple(values))
+        if isinstance(expr, ECall):
+            return ECall(
+                expr.func,
+                tuple(self.hoist_calls(a, line, out, depth, guarded) for a in expr.args),
+                expr.method,
+            )
+        if isinstance(expr, ESub):
+            return ESub(
+                self.hoist_calls(expr.base, line, out, depth, guarded),
+                self.hoist_calls(expr.index, line, out, depth, guarded),
+            )
+        if isinstance(expr, EAttr):
+            return EAttr(self.hoist_calls(expr.base, line, out, depth, guarded), expr.attr)
+        if isinstance(expr, ECond):
+            test = self.hoist_calls(expr.test, line, out, depth, guarded)
+            body = self.hoist_calls(expr.body, line, out, depth, guarded=True)
+            orelse = self.hoist_calls(expr.orelse, line, out, depth, guarded=True)
+            return ECond(test, body, orelse)
+        raise TypeError(f"unknown expression: {expr!r}")
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._instance += 1
+        return f"__{prefix}__{self._instance}"
+
+    # -- inlining -------------------------------------------------------------
+
+    def inline_call(
+        self,
+        fname: str,
+        args: Tuple[Expr, ...],
+        ret_name: Optional[str],
+        line: int,
+        out: Block,
+        depth: int,
+    ) -> None:
+        """Emit the inlined body of ``fname(args)`` into ``out``."""
+        if depth > self.max_depth:
+            raise NFPyError(f"inline depth exceeded at call to {fname}()", line)
+        fn = self.program.functions[fname]
+        if len(args) != len(fn.params):
+            raise NFPyError(
+                f"{fname}() takes {len(fn.params)} args, got {len(args)}", line
+            )
+        self._instance += 1
+        instance = self._instance
+        locals_: Set[str] = set(fn.params)
+        for stmt in iter_block(fn.body):
+            locals_ |= stmt_scope_names(stmt)
+        locals_ -= fn.global_names
+        locals_ |= set(fn.params)
+        rename = {v: f"{fname}__{v}__{instance}" for v in locals_}
+
+        for param, arg in zip(fn.params, args):
+            out.append(
+                SAssign(
+                    sid=self.fresh_sid(None),
+                    line=line,
+                    targets=(LName(rename[param]),),
+                    value=arg,
+                )
+            )
+
+        has_return = any(isinstance(s, SReturn) for s in iter_block(fn.body))
+        if ret_name is not None:
+            out.append(
+                SAssign(
+                    sid=self.fresh_sid(None),
+                    line=line,
+                    targets=(LName(ret_name),),
+                    value=EConst(None),
+                )
+            )
+        if has_return:
+            # Wrap the body in a one-iteration loop; `return` becomes
+            # "set result, set finished-flag, break".  The flag lets the
+            # break cascade out of loops nested inside the inlined body.
+            fin_name = self._fresh_name(f"fin_{fname}")
+            out.append(
+                SAssign(
+                    sid=self.fresh_sid(None),
+                    line=line,
+                    targets=(LName(fin_name),),
+                    value=EConst(False),
+                )
+            )
+            loop_body = self.flatten_block(
+                fn.body, rename, depth + 1, ret_name, fin_name
+            )
+            loop_body.append(SBreak(sid=self.fresh_sid(None), line=fn.line))
+            out.append(
+                SWhile(
+                    sid=self.fresh_sid(None),
+                    line=fn.line,
+                    cond=EConst(True),
+                    body=loop_body,
+                )
+            )
+        else:
+            out.extend(self.flatten_block(fn.body, rename, depth + 1, ret_name))
+
+    # -- statement flattening ---------------------------------------------------
+
+    def flatten_block(
+        self,
+        block: Block,
+        rename: Dict[str, str],
+        depth: int,
+        ret_name: Optional[str],
+        fin_name: Optional[str] = None,
+    ) -> Block:
+        out: Block = []
+        for stmt in block:
+            self.flatten_stmt(stmt, rename, depth, ret_name, out, fin_name)
+        return out
+
+    def flatten_stmt(
+        self,
+        stmt: Stmt,
+        rename: Dict[str, str],
+        depth: int,
+        ret_name: Optional[str],
+        out: Block,
+        fin_name: Optional[str] = None,
+    ) -> None:
+        line = stmt.line
+        if isinstance(stmt, SAssign):
+            value = self.clone_expr(stmt.value, rename)
+            targets = tuple(self.clone_lvalue(t, rename) for t in stmt.targets)
+            if (
+                self._is_user_call(value)
+                and stmt.aug is None
+                and len(targets) == 1
+                and isinstance(targets[0], LName)
+            ):
+                assert isinstance(value, ECall)
+                args = tuple(self.hoist_calls(a, line, out, depth) for a in value.args)
+                self.inline_call(value.func, args, targets[0].id, line, out, depth)
+                return
+            value = self.hoist_calls(value, line, out, depth)
+            targets = tuple(
+                self._hoist_lvalue(t, line, out, depth) for t in targets
+            )
+            out.append(
+                SAssign(
+                    sid=self.fresh_sid(stmt.sid),
+                    line=line,
+                    targets=targets,
+                    value=value,
+                    aug=stmt.aug,
+                )
+            )
+            return
+        if isinstance(stmt, SExpr):
+            value = self.clone_expr(stmt.value, rename)
+            if self._is_user_call(value):
+                assert isinstance(value, ECall)
+                args = tuple(self.hoist_calls(a, line, out, depth) for a in value.args)
+                self.inline_call(value.func, args, None, line, out, depth)
+                return
+            value = self.hoist_calls(value, line, out, depth)
+            out.append(SExpr(sid=self.fresh_sid(stmt.sid), line=line, value=value))
+            return
+        if isinstance(stmt, SIf):
+            cond = self.hoist_calls(self.clone_expr(stmt.cond, rename), line, out, depth)
+            out.append(
+                SIf(
+                    sid=self.fresh_sid(stmt.sid),
+                    line=line,
+                    cond=cond,
+                    then=self.flatten_block(stmt.then, rename, depth, ret_name, fin_name),
+                    orelse=self.flatten_block(stmt.orelse, rename, depth, ret_name, fin_name),
+                )
+            )
+            return
+        if isinstance(stmt, SWhile):
+            cond = self.clone_expr(stmt.cond, rename)
+            if self._contains_user_call(cond):
+                raise NFPyError("user call in a loop condition cannot be inlined", line)
+            out.append(
+                SWhile(
+                    sid=self.fresh_sid(stmt.sid),
+                    line=line,
+                    cond=cond,
+                    body=self.flatten_block(stmt.body, rename, depth, ret_name, fin_name),
+                )
+            )
+            if fin_name is not None and any(
+                isinstance(s, SReturn) for s in iter_block(stmt.body)
+            ):
+                # A `return` inside this loop broke out of the loop only;
+                # cascade the break toward the inline wrapper.
+                out.append(
+                    SIf(
+                        sid=self.fresh_sid(None),
+                        line=line,
+                        cond=EName(fin_name),
+                        then=[SBreak(sid=self.fresh_sid(None), line=line)],
+                        orelse=[],
+                    )
+                )
+            return
+        if isinstance(stmt, SReturn):
+            if ret_name is None and fin_name is None:
+                value = (
+                    self.hoist_calls(self.clone_expr(stmt.value, rename), line, out, depth)
+                    if stmt.value is not None
+                    else None
+                )
+                out.append(SReturn(sid=self.fresh_sid(stmt.sid), line=line, value=value))
+                return
+            # Inlined return: assign the result, raise the finished flag
+            # and break (the flag cascades through enclosing loops).
+            if stmt.value is not None and ret_name is not None:
+                value = self.hoist_calls(self.clone_expr(stmt.value, rename), line, out, depth)
+                out.append(
+                    SAssign(
+                        sid=self.fresh_sid(stmt.sid),
+                        line=line,
+                        targets=(LName(ret_name),),
+                        value=value,
+                    )
+                )
+            if fin_name is not None:
+                out.append(
+                    SAssign(
+                        sid=self.fresh_sid(stmt.sid),
+                        line=line,
+                        targets=(LName(fin_name),),
+                        value=EConst(True),
+                    )
+                )
+            out.append(SBreak(sid=self.fresh_sid(stmt.sid), line=line))
+            return
+        if isinstance(stmt, SBreak):
+            out.append(SBreak(sid=self.fresh_sid(stmt.sid), line=line))
+            return
+        if isinstance(stmt, SContinue):
+            out.append(SContinue(sid=self.fresh_sid(stmt.sid), line=line))
+            return
+        if isinstance(stmt, SPass):
+            out.append(SPass(sid=self.fresh_sid(stmt.sid), line=line))
+            return
+        if isinstance(stmt, SDelete):
+            assert stmt.target is not None
+            target = self.clone_lvalue(stmt.target, rename)
+            assert isinstance(target, LSub)
+            index = self.hoist_calls(target.index, line, out, depth)
+            out.append(
+                SDelete(
+                    sid=self.fresh_sid(stmt.sid),
+                    line=line,
+                    target=LSub(target.base, index),
+                )
+            )
+            return
+        raise TypeError(f"unknown statement: {stmt!r}")
+
+    def _hoist_lvalue(self, target: LValue, line: int, out: Block, depth: int) -> LValue:
+        if isinstance(target, LSub):
+            return LSub(target.base, self.hoist_calls(target.index, line, out, depth))
+        if isinstance(target, LTuple):
+            return LTuple(
+                tuple(self._hoist_lvalue(t, line, out, depth) for t in target.elts)
+            )
+        return target
+
+
+def flatten_program(program: Program, entry: Optional[str] = None) -> FlatView:
+    """Flatten ``program`` into a single analysable block.
+
+    The block is the module body (state initialisation) followed by the
+    entry function's body with all user calls inlined.  The entry
+    function's parameters (typically the packet) are the only
+    values flowing in from outside.
+    """
+    entry_name = entry or program.entry
+    if entry_name is None:
+        raise ValueError("no entry function: set program.entry or pass entry=")
+    if entry_name not in program.functions:
+        raise ValueError(f"entry function {entry_name!r} is not defined")
+    fn = program.functions[entry_name]
+
+    flattener = _Flattener(program)
+    block: Block = []
+    for stmt in program.module_body:
+        if isinstance(stmt, SExpr) and isinstance(stmt.value, ECall):
+            call = stmt.value
+            # Top-level starters (`LoadBalancer()`, `sniff(...)`) kick off
+            # the packet loop when run under CPython; the analysis reaches
+            # per-packet code through the entry function instead.
+            if not call.method and (
+                call.func in program.functions or call.func == "sniff"
+            ):
+                continue
+        flattener.flatten_stmt(stmt, {}, 0, None, block)
+    module_sids = {s.sid for s in iter_block(block)}
+    block.extend(flattener.flatten_block(fn.body, {}, 0, None))
+    return FlatView(
+        program=program,
+        block=block,
+        entry_params=fn.params,
+        origin=flattener.origin,
+        module_sids=module_sids,
+    )

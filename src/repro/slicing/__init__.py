@@ -1,0 +1,14 @@
+"""Program slicing: static (PDG-based) and dynamic (trace-based)."""
+
+from repro.slicing.criteria import SliceCriterion
+from repro.slicing.static import StaticSlicer, backward_slice, forward_slice
+from repro.slicing.dynamic import DynamicSlicer, dynamic_slice
+
+__all__ = [
+    "SliceCriterion",
+    "StaticSlicer",
+    "backward_slice",
+    "forward_slice",
+    "DynamicSlicer",
+    "dynamic_slice",
+]

@@ -1,0 +1,35 @@
+"""Slicing criteria.
+
+A criterion is Weiser's ``<statement, variables>`` pair: the slice must
+preserve the values of those variables at that statement.  With
+``variables=None`` the criterion covers every variable the statement
+uses (the common case for "slice from this packet-output call").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.lang.ir import Stmt, stmt_uses
+
+
+@dataclass(frozen=True)
+class SliceCriterion:
+    """``<sid, vars>`` — slice on the values of ``vars`` at statement ``sid``."""
+
+    sid: int
+    variables: Optional[FrozenSet[str]] = None
+
+    @classmethod
+    def at(cls, stmt: Stmt, *variables: str) -> "SliceCriterion":
+        """Criterion at ``stmt`` for the named variables (or all its uses)."""
+        if variables:
+            return cls(stmt.sid, frozenset(variables))
+        return cls(stmt.sid, None)
+
+    def effective_vars(self, stmt: Stmt) -> FrozenSet[str]:
+        """The variables the criterion actually constrains at ``stmt``."""
+        if self.variables is not None:
+            return self.variables
+        return frozenset(stmt_uses(stmt))

@@ -1,0 +1,88 @@
+"""Dynamic slicing from execution traces (Agrawal & Horgan).
+
+A dynamic slice contains the statements that *really* led to the
+criterion's values in one concrete execution (paper §2.1) — it is what
+Fig. 1 highlights for the load balancer's first-packet path.  The
+interpreter records, per executed statement occurrence, the dynamic
+data links (which occurrence produced each used value) and the dynamic
+control link (the nearest enclosing taken branch), so the slice is
+backward reachability over trace events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.interp.trace import Trace, TraceEvent
+from repro.slicing.criteria import SliceCriterion
+
+
+class DynamicSlicer:
+    """Computes dynamic slices over one recorded trace."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+
+    def backward(
+        self, criterion: SliceCriterion, occurrence: Optional[int] = None
+    ) -> Set[int]:
+        """Dynamic backward slice; returns the set of *sids* involved.
+
+        ``occurrence`` selects which execution of the criterion
+        statement to slice from (default: the last one).
+        """
+        event = self._criterion_event(criterion, occurrence)
+        if event is None:
+            return set()
+
+        needed: Set[int] = set()
+        variables = criterion.variables
+        if variables is None:
+            seeds = [idx for idx in event.use_defs.values() if idx is not None]
+        else:
+            seeds = [
+                idx
+                for var, idx in event.use_defs.items()
+                if var in variables and idx is not None
+            ]
+        if event.ctrl is not None:
+            seeds.append(event.ctrl)
+
+        work = list(seeds)
+        while work:
+            idx = work.pop()
+            if idx in needed:
+                continue
+            needed.add(idx)
+            ev = self.trace.events[idx]
+            for dep in ev.use_defs.values():
+                if dep is not None and dep not in needed:
+                    work.append(dep)
+            if ev.ctrl is not None and ev.ctrl not in needed:
+                work.append(ev.ctrl)
+
+        sids = {self.trace.events[idx].sid for idx in needed}
+        sids.add(event.sid)
+        return sids
+
+    def _criterion_event(
+        self, criterion: SliceCriterion, occurrence: Optional[int]
+    ) -> Optional[TraceEvent]:
+        events = self.trace.occurrences(criterion.sid)
+        if not events:
+            return None
+        if occurrence is None:
+            return events[-1]
+        if not 0 <= occurrence < len(events):
+            raise IndexError(
+                f"criterion sid {criterion.sid} ran {len(events)} times; "
+                f"occurrence {occurrence} requested"
+            )
+        return events[occurrence]
+
+
+def dynamic_slice(
+    trace: Trace, criterion: SliceCriterion, occurrence: Optional[int] = None
+) -> Set[int]:
+    """One-shot dynamic backward slice."""
+    return DynamicSlicer(trace).backward(criterion, occurrence)

@@ -1,0 +1,11 @@
+"""StateAlyzer-style variable classification (paper §2.1 and Table 1)."""
+
+from repro.statealyzer.features import VariableFeatures, compute_features
+from repro.statealyzer.classify import VarCategories, classify_variables
+
+__all__ = [
+    "VariableFeatures",
+    "compute_features",
+    "VarCategories",
+    "classify_variables",
+]

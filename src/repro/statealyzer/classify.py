@@ -1,0 +1,77 @@
+"""Variable categorisation (paper Table 1).
+
+=========  =================================================  ==============
+Category   Features                                           LB example
+=========  =================================================  ==============
+pktVar     packet I/O function parameter/return value         ``pkt``
+cfgVar     persistent, top-level, **not** updateable          ``mode``
+oisVar     persistent, top-level, updateable,                 ``f2b_nat``,
+           output-impacting                                   ``rr_idx``
+logVar     persistent, top-level, updateable,                 ``pass_stat``,
+           **not** output-impacting                           ``drop_stat``
+=========  =================================================  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.pdg.flatten import FlatView
+from repro.statealyzer.features import VariableFeatures, compute_features
+
+
+@dataclass
+class VarCategories:
+    """The output of StateAlyzer-style classification (Algorithm 1 line 5)."""
+
+    pkt_vars: Set[str] = field(default_factory=set)
+    cfg_vars: Set[str] = field(default_factory=set)
+    ois_vars: Set[str] = field(default_factory=set)
+    log_vars: Set[str] = field(default_factory=set)
+    features: VariableFeatures = field(default_factory=VariableFeatures)
+
+    def category_of(self, var: str) -> str:
+        """The category name of ``var`` (``"other"`` if uncategorised)."""
+        if var in self.pkt_vars:
+            return "pktVar"
+        if var in self.cfg_vars:
+            return "cfgVar"
+        if var in self.ois_vars:
+            return "oisVar"
+        if var in self.log_vars:
+            return "logVar"
+        return "other"
+
+    def as_table(self) -> Dict[str, Set[str]]:
+        """Category → variables, for reports (paper Table 1 layout)."""
+        return {
+            "pktVar": set(self.pkt_vars),
+            "cfgVar": set(self.cfg_vars),
+            "oisVar": set(self.ois_vars),
+            "logVar": set(self.log_vars),
+        }
+
+
+def classify_variables(flat: FlatView, pkt_slice: Set[int]) -> VarCategories:
+    """Classify every variable of a flattened program (Table 1 rules).
+
+    Differently from StateAlyzer — and exactly as the paper notes in
+    §3.1 — the *output-impacting* feature is computed from the packet
+    processing slice rather than the whole program, which both reduces
+    the code to process and sharpens the oisVar/logVar split.
+    """
+    features = compute_features(flat, pkt_slice)
+    categories = VarCategories(features=features)
+    categories.pkt_vars = set(features.packet_bound)
+
+    for var in features.persistent:
+        if var in categories.pkt_vars or var not in features.top_level:
+            continue
+        if var not in features.updateable:
+            categories.cfg_vars.add(var)
+        elif var in features.output_impacting:
+            categories.ois_vars.add(var)
+        else:
+            categories.log_vars.add(var)
+    return categories

@@ -1,0 +1,82 @@
+"""Per-variable feature extraction (the StateAlyzer feature set, §2.1).
+
+The four features the paper builds on:
+
+* **persistent** — lifetime longer than the packet-processing loop:
+  the variable is initialised at module level (or declared ``global``);
+* **top-level** — actually used during packet processing: it appears in
+  a statement of the per-packet entry code;
+* **updateable** — assigned (appears on an LHS, weak updates included)
+  during packet processing;
+* **output-impacting** — appears in the backward slice from the packet
+  output calls, i.e. its value can influence what is sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.lang.ir import Stmt, iter_block, stmt_defs, stmt_uses
+from repro.pdg.flatten import FlatView
+
+
+@dataclass
+class VariableFeatures:
+    """Feature vectors for every variable of a flattened program."""
+
+    persistent: Set[str] = field(default_factory=set)
+    top_level: Set[str] = field(default_factory=set)
+    updateable: Set[str] = field(default_factory=set)
+    output_impacting: Set[str] = field(default_factory=set)
+    packet_bound: Set[str] = field(default_factory=set)
+
+    def feature_row(self, var: str) -> Dict[str, bool]:
+        """The feature vector of one variable (for reports/tests)."""
+        return {
+            "persistent": var in self.persistent,
+            "top_level": var in self.top_level,
+            "updateable": var in self.updateable,
+            "output_impacting": var in self.output_impacting,
+        }
+
+
+def compute_features(flat: FlatView, pkt_slice: Set[int]) -> VariableFeatures:
+    """Compute the StateAlyzer features over a flat view.
+
+    ``pkt_slice`` is the packet-processing slice (flat sids) from
+    Algorithm 1 lines 1–4; output-impacting variables are those
+    mentioned by any statement in it.
+    """
+    features = VariableFeatures()
+    stmts = flat.stmts()
+
+    entry_fn = flat.program.functions[flat.program.entry] if flat.program.entry else None
+
+    for sid, stmt in stmts.items():
+        if sid in flat.module_sids:
+            features.persistent |= stmt_defs(stmt)
+        else:
+            features.top_level |= stmt_uses(stmt) | stmt_defs(stmt)
+            features.updateable |= stmt_defs(stmt)
+        if sid in pkt_slice:
+            features.output_impacting |= stmt_uses(stmt) | stmt_defs(stmt)
+
+    if entry_fn is not None:
+        features.persistent |= entry_fn.global_names
+
+    # Packet-bound names: entry parameters plus recv_packet() bindings.
+    features.packet_bound |= set(flat.entry_params)
+    for stmt in iter_block(flat.block):
+        from repro.lang.ir import ECall, LName, SAssign
+
+        if (
+            isinstance(stmt, SAssign)
+            and isinstance(stmt.value, ECall)
+            and not stmt.value.method
+            and stmt.value.func == "recv_packet"
+        ):
+            for target in stmt.targets:
+                if isinstance(target, LName):
+                    features.packet_bound.add(target.id)
+    return features

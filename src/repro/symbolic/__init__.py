@@ -1,0 +1,42 @@
+"""Symbolic execution over the IR (the KLEE substitute — DESIGN.md §2).
+
+The engine explores execution paths of a flat block with symbolic packet
+fields, configuration scalars and state variables; each finished path
+carries its path condition, the packets it emitted and the state writes
+it performed.  NFactor turns those paths into model table entries.
+"""
+
+from repro.symbolic.expr import (
+    SVar,
+    SApp,
+    SDictVal,
+    Sym,
+    SymPacket,
+    SymDict,
+    canon,
+    eval_sym,
+    is_concrete,
+    sym_vars,
+)
+from repro.symbolic.solver import Solver, SolverResult
+from repro.symbolic.state import SymState, PathResult
+from repro.symbolic.engine import SymbolicEngine, EngineConfig
+
+__all__ = [
+    "SVar",
+    "SApp",
+    "SDictVal",
+    "Sym",
+    "SymPacket",
+    "SymDict",
+    "canon",
+    "eval_sym",
+    "is_concrete",
+    "sym_vars",
+    "Solver",
+    "SolverResult",
+    "SymState",
+    "PathResult",
+    "SymbolicEngine",
+    "EngineConfig",
+]

@@ -1,0 +1,874 @@
+"""The symbolic executor.
+
+Explores every execution path of a flat IR block (paper Algorithm 1,
+line 10: ``FindExecPaths``).  Execution proceeds over the CFG: at each
+branch whose condition is symbolic the state forks, feasibility of each
+arm checked by the :class:`~repro.symbolic.solver.Solver`.  Loops are
+bounded (paper §3.2: "NF programs typically will not contain
+input-dependent loops, or they can be written or modified ... to ensure
+loops are bounded"): a path that revisits a loop header with a symbolic
+condition more than ``loop_bound`` times is truncated.
+
+State dictionaries use lazy membership (SymNF-style "lazy
+initialization"): ``key in table`` on an unwritten key forks into
+assumed-present and assumed-absent worlds, which is exactly how the
+paper's model distinguishes "first packet of a flow" from "existing
+flow" entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import CFG, ENTRY, EXIT
+from repro.lang.ir import (
+    Block,
+    EAttr,
+    EBin,
+    EBool,
+    ECall,
+    ECmp,
+    ECond,
+    EConst,
+    EDict,
+    EList,
+    EName,
+    ESub,
+    ETuple,
+    EUn,
+    Expr,
+    LAttr,
+    LName,
+    LSub,
+    LTuple,
+    LValue,
+    SAssign,
+    SBreak,
+    SContinue,
+    SDelete,
+    SExpr,
+    SIf,
+    SPass,
+    SReturn,
+    SWhile,
+    Stmt,
+    iter_block,
+)
+from repro.net.packet import Packet
+from repro.symbolic.expr import (
+    SApp,
+    SDictVal,
+    SVar,
+    Sym,
+    SymDict,
+    SymPacket,
+    canon,
+    is_concrete,
+    mk_app,
+)
+from repro.symbolic.solver import Solver
+from repro.symbolic.state import PathResult, SymState, sym_copy
+from repro.symbolic.strategies import Strategy
+from repro.util.timer import Stopwatch
+
+_BOOL_OPS = frozenset({"==", "!=", "<", "<=", ">", ">=", "and", "or", "not", "member"})
+
+
+class _PathError(Exception):
+    """Aborts one path (unsupported construct or runtime error)."""
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for one exploration.
+
+    ``loop_bound`` is the symbolic-branch bound per loop header (the
+    paper's loop-bounding discipline); ``concrete_loop_bound`` guards
+    concrete loops against runaway iteration; ``max_paths`` caps the
+    total number of finished paths (exploration stops afterwards and
+    the run is flagged as exhausted).
+    """
+
+    loop_bound: int = 6
+    concrete_loop_bound: int = 4096
+    max_paths: int = 4096
+    max_steps_per_path: int = 100_000
+    solver_seed: int = 0
+    solver_samples: int = 120
+    keep_pruned: bool = False
+    #: Exploration order: "dfs" (default), "bfs" or "random".
+    strategy: str = "dfs"
+    strategy_seed: int = 0
+
+
+@dataclass
+class ExploreStats:
+    """Statistics of one exploration run."""
+
+    paths_done: int = 0
+    paths_pruned: int = 0
+    paths_truncated: int = 0
+    paths_error: int = 0
+    forks: int = 0
+    steps: int = 0
+    solver_checks: int = 0
+    elapsed_s: float = 0.0
+    exhausted: bool = False
+
+
+class SymbolicEngine:
+    """Symbolically executes flat IR blocks."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.solver = Solver(
+            seed=self.config.solver_seed, max_samples=self.config.solver_samples
+        )
+        self.stats = ExploreStats()
+
+    # -- public -------------------------------------------------------------
+
+    def explore(
+        self,
+        block: Block,
+        init_env: Optional[Dict[str, Any]] = None,
+        watched: Optional[Set[str]] = None,
+    ) -> List[PathResult]:
+        """Enumerate execution paths of ``block``.
+
+        ``init_env`` seeds the environment (symbolic packets, symbolic
+        state variables, concrete configuration).  ``watched`` names the
+        variables whose writes should be recorded per path (the
+        output-impacting state variables).
+        """
+        self.stats = ExploreStats()
+        watched = watched or set()
+        cfg = build_cfg(block)
+        stmts = {s.sid: s for s in iter_block(block)}
+
+        entry_succs = cfg.succs(ENTRY, virtual=False)
+        first = entry_succs[0] if entry_succs else EXIT
+        initial = SymState(pc=first, env=dict(init_env or {}))
+        results: List[PathResult] = []
+        from repro.symbolic.strategies import make_strategy
+
+        stack = make_strategy(self.config.strategy, self.config.strategy_seed)
+        stack.push(initial)
+        path_counter = 0
+
+        with Stopwatch() as sw:
+            while stack:
+                if self.stats.paths_done >= self.config.max_paths:
+                    self.stats.exhausted = True
+                    break
+                state = stack.pop()
+                finished = self._run_state(state, cfg, stmts, watched, stack)
+                if finished is None:
+                    continue
+                path_counter += 1
+                result = PathResult(
+                    path_id=path_counter,
+                    status=finished.status,
+                    constraints=list(finished.constraints),
+                    executed=list(finished.executed),
+                    branches=list(finished.branches),
+                    sent=list(finished.sent),
+                    state_writes=list(finished.state_writes),
+                    env=finished.env,
+                    note=finished.note,
+                )
+                if finished.status == "done":
+                    self.stats.paths_done += 1
+                    results.append(result)
+                elif finished.status == "truncated":
+                    self.stats.paths_truncated += 1
+                    if self.config.keep_pruned:
+                        results.append(result)
+                elif finished.status == "error":
+                    self.stats.paths_error += 1
+                    if self.config.keep_pruned:
+                        results.append(result)
+                else:
+                    self.stats.paths_pruned += 1
+        self.stats.elapsed_s = sw.elapsed
+        self.stats.solver_checks = self.solver.checks
+        return results
+
+    # -- per-state loop -------------------------------------------------------
+
+    def _run_state(
+        self,
+        state: SymState,
+        cfg: CFG,
+        stmts: Dict[int, Stmt],
+        watched: Set[str],
+        stack: "Strategy",
+    ) -> Optional[SymState]:
+        """Advance ``state`` until it finishes or forks.
+
+        Forked siblings are pushed onto ``stack``; the surviving state is
+        returned when it reaches EXIT (or is pruned — then with a
+        non-live status).
+        """
+        while True:
+            if state.pc == EXIT:
+                state.status = "done"
+                return state
+            stmt = stmts.get(state.pc)
+            if stmt is None:
+                state.status = "error"
+                state.note = f"pc {state.pc} has no statement"
+                return state
+
+            state.steps += 1
+            self.stats.steps += 1
+            if state.steps > self.config.max_steps_per_path:
+                state.status = "truncated"
+                state.note = "per-path step budget exceeded"
+                return state
+
+            if isinstance(stmt, (SIf, SWhile)):
+                follow = self._branch(state, stmt, cfg, stack)
+                if follow is None:
+                    return state  # pruned/truncated inside _branch
+                state.pc = follow
+                continue
+
+            state.executed.append(stmt.sid)
+            try:
+                self._exec_straight(state, stmt, watched)
+            except _PathError as exc:
+                state.status = "error"
+                state.note = str(exc)
+                return state
+            nxt = self._next_node(cfg, state.pc)
+            if nxt is None:
+                state.status = "error"
+                state.note = f"no successor for sid {state.pc}"
+                return state
+            state.pc = nxt
+
+    def _next_node(self, cfg: CFG, node: int) -> Optional[int]:
+        succs = cfg.succs(node, virtual=False)
+        if len(succs) != 1:
+            return None
+        return succs[0]
+
+    def _branch_target(self, cfg: CFG, node: int, outcome: bool) -> Optional[int]:
+        for edge in cfg.succ_edges(node, virtual=False):
+            if edge.label is outcome:
+                return edge.dst
+        return None
+
+    # -- branching ---------------------------------------------------------------
+
+    def _branch(
+        self,
+        state: SymState,
+        stmt: Stmt,
+        cfg: CFG,
+        stack: "Strategy",
+    ) -> Optional[int]:
+        """Handle a branch node; returns the pc to follow, or None."""
+        assert isinstance(stmt, (SIf, SWhile))
+        is_loop = isinstance(stmt, SWhile)
+        if is_loop:
+            count = state.loop_counts.get(stmt.sid, 0) + 1
+            state.loop_counts[stmt.sid] = count
+
+        try:
+            cond = self._truth(self.eval_expr(stmt.cond, state))
+        except _PathError as exc:
+            state.status = "error"
+            state.note = str(exc)
+            return None
+
+        state.executed.append(stmt.sid)
+
+        if isinstance(cond, bool):
+            if is_loop and cond and state.loop_counts[stmt.sid] > self.config.concrete_loop_bound:
+                state.status = "truncated"
+                state.note = f"concrete loop bound exceeded at sid {stmt.sid}"
+                return None
+            state.branches.append((stmt.sid, cond))
+            target = self._branch_target(cfg, stmt.sid, cond)
+            if target is None:
+                state.status = "error"
+                state.note = f"missing {cond}-edge at sid {stmt.sid}"
+                return None
+            return target
+
+        # Symbolic condition.
+        if is_loop and state.loop_counts[stmt.sid] > self.config.loop_bound:
+            # Force the exit arm if feasible; otherwise truncate.
+            exit_cond = mk_app("not", cond)
+            if self.solver.check(state.constraints + [exit_cond]).feasible:
+                self._take(state, stmt, cond, False, cfg)
+                return self._branch_target(cfg, stmt.sid, False)
+            state.status = "truncated"
+            state.note = f"symbolic loop bound exceeded at sid {stmt.sid}"
+            return None
+
+        feasible: List[bool] = []
+        for outcome in (True, False):
+            arm = cond if outcome else mk_app("not", cond)
+            if isinstance(arm, bool):
+                if arm:
+                    feasible.append(outcome)
+                continue
+            if self.solver.check(state.constraints + [arm]).feasible:
+                feasible.append(outcome)
+
+        if not feasible:
+            state.status = "pruned"
+            state.note = f"both arms infeasible at sid {stmt.sid}"
+            return None
+
+        if len(feasible) == 2:
+            self.stats.forks += 1
+            other = state.fork()
+            self._take(other, stmt, cond, False, cfg)
+            target_false = self._branch_target(cfg, stmt.sid, False)
+            if target_false is not None:
+                other.pc = target_false
+                stack.push(other)
+            outcome = True
+        else:
+            outcome = feasible[0]
+
+        self._take(state, stmt, cond, outcome, cfg)
+        return self._branch_target(cfg, stmt.sid, outcome)
+
+    def _take(
+        self, state: SymState, stmt: Stmt, cond: Any, outcome: bool, cfg: CFG
+    ) -> None:
+        """Commit one branch outcome to ``state``."""
+        arm = cond if outcome else mk_app("not", cond)
+        if not isinstance(arm, bool):
+            state.constraints.append(arm)
+        state.branches.append((stmt.sid, outcome))
+        self._apply_membership(state, cond, outcome)
+
+    def _apply_membership(self, state: SymState, cond: Any, outcome: bool) -> None:
+        """Record dict-membership assumptions decided by this branch."""
+        if isinstance(cond, SApp) and cond.op == "not":
+            self._apply_membership(state, cond.args[0], not outcome)
+            return
+        if isinstance(cond, SApp) and cond.op == "member":
+            dict_name, key = cond.args
+            holder = state.env.get(dict_name)
+            if isinstance(holder, SymDict):
+                holder.assumed[canon(key)] = outcome
+
+    # -- straight-line execution ----------------------------------------------
+
+    def _exec_straight(self, state: SymState, stmt: Stmt, watched: Set[str]) -> None:
+        if isinstance(stmt, SAssign):
+            value = self.eval_expr(stmt.value, state)
+            if stmt.aug is not None:
+                old = self._load_lvalue(stmt.targets[0], state)
+                value = self._binop(stmt.aug, old, value)
+            for target in stmt.targets:
+                self._store_lvalue(target, value, state, stmt.sid, watched)
+            return
+        if isinstance(stmt, SExpr):
+            self.eval_expr(stmt.value, state)
+            from repro.lang.ir import call_mutated_names
+
+            for var in call_mutated_names(stmt.value) & watched:
+                state.state_writes.append((stmt.sid, var))
+            return
+        if isinstance(stmt, (SReturn, SBreak, SContinue, SPass)):
+            return
+        if isinstance(stmt, SDelete):
+            assert stmt.target is not None
+            base = self._load_name(stmt.target.base, state)
+            key = self.eval_expr(stmt.target.index, state)
+            if isinstance(base, SymDict):
+                base.delete(key)
+                if stmt.target.base in watched:
+                    state.state_writes.append((stmt.sid, stmt.target.base))
+                return
+            if isinstance(base, dict) and is_concrete(key):
+                base.pop(self._dict_key(key), None)
+                return
+            raise _PathError(f"unsupported delete target at sid {stmt.sid}")
+        raise _PathError(f"cannot execute {type(stmt).__name__}")
+
+    # -- l-values -----------------------------------------------------------------
+
+    def _load_name(self, name: str, state: SymState) -> Any:
+        if name not in state.env:
+            raise _PathError(f"name {name!r} is not defined")
+        return state.env[name]
+
+    def _load_lvalue(self, target: LValue, state: SymState) -> Any:
+        if isinstance(target, LName):
+            return self._load_name(target.id, state)
+        if isinstance(target, LSub):
+            base = self._load_name(target.base, state)
+            index = self.eval_expr(target.index, state)
+            return self._subscript(base, index, state)
+        if isinstance(target, LAttr):
+            base = self._load_name(target.base, state)
+            return self._attr_get(base, target.attr)
+        raise _PathError("cannot read this assignment target")
+
+    def _store_lvalue(
+        self, target: LValue, value: Any, state: SymState, sid: int, watched: Set[str]
+    ) -> None:
+        if isinstance(target, LName):
+            state.env[target.id] = value
+            if target.id in watched:
+                state.state_writes.append((sid, target.id))
+            return
+        if isinstance(target, LSub):
+            base = self._load_name(target.base, state)
+            index = self.eval_expr(target.index, state)
+            if isinstance(base, SymDict):
+                base.store(index, value)
+            elif isinstance(base, dict):
+                if not is_concrete(index):
+                    raise _PathError(
+                        f"symbolic key write into concrete dict {target.base!r}"
+                    )
+                base[self._dict_key(index)] = value
+            elif isinstance(base, list):
+                if not isinstance(index, int):
+                    raise _PathError("symbolic index write into list")
+                try:
+                    base[index] = value
+                except IndexError:
+                    raise _PathError("list index out of range") from None
+            else:
+                raise _PathError(f"cannot subscript-store into {type(base).__name__}")
+            if target.base in watched:
+                state.state_writes.append((sid, target.base))
+            return
+        if isinstance(target, LAttr):
+            base = self._load_name(target.base, state)
+            if isinstance(base, SymPacket):
+                try:
+                    base.set(target.attr, value)
+                except KeyError as exc:
+                    raise _PathError(str(exc)) from None
+            elif isinstance(base, Packet):
+                if not is_concrete(value):
+                    raise _PathError("symbolic write into concrete packet")
+                setattr(base, target.attr, value)
+            else:
+                raise _PathError(f"cannot set attribute on {type(base).__name__}")
+            if target.base in watched:
+                state.state_writes.append((sid, target.base))
+            return
+        if isinstance(target, LTuple):
+            items = self._unpack(value, len(target.elts))
+            for sub, item in zip(target.elts, items):
+                self._store_lvalue(sub, item, state, sid, watched)
+            return
+        raise _PathError("cannot store to this target")
+
+    def _unpack(self, value: Any, arity: int) -> List[Any]:
+        if isinstance(value, (tuple, list)):
+            if len(value) != arity:
+                raise _PathError(
+                    f"unpack mismatch: {arity} targets, {len(value)} values"
+                )
+            return list(value)
+        if isinstance(value, Sym):
+            return [mk_app("getitem", value, i) for i in range(arity)]
+        raise _PathError(f"cannot unpack {type(value).__name__}")
+
+    # -- expression evaluation -------------------------------------------------
+
+    def eval_expr(self, expr: Expr, state: SymState) -> Any:
+        if isinstance(expr, EConst):
+            return expr.value
+        if isinstance(expr, EName):
+            return self._load_name(expr.id, state)
+        if isinstance(expr, ETuple):
+            return tuple(self.eval_expr(e, state) for e in expr.elts)
+        if isinstance(expr, EList):
+            return [self.eval_expr(e, state) for e in expr.elts]
+        if isinstance(expr, EDict):
+            out: Dict[Any, Any] = {}
+            for k, v in expr.items:
+                key = self.eval_expr(k, state)
+                if not is_concrete(key):
+                    raise _PathError("symbolic key in dict literal")
+                out[self._dict_key(key)] = self.eval_expr(v, state)
+            return out
+        if isinstance(expr, EBin):
+            return self._binop(
+                expr.op,
+                self.eval_expr(expr.left, state),
+                self.eval_expr(expr.right, state),
+            )
+        if isinstance(expr, EUn):
+            operand = self.eval_expr(expr.operand, state)
+            if expr.op == "not":
+                return mk_app("not", self._truth(operand))
+            if expr.op == "-":
+                if is_concrete(operand):
+                    return -operand
+                return mk_app("-", 0, operand)
+            if expr.op == "+":
+                return operand
+            if expr.op == "~":
+                if is_concrete(operand):
+                    return ~operand
+                return mk_app("-", mk_app("-", 0, operand), 1)
+            raise _PathError(f"unknown unary {expr.op}")
+        if isinstance(expr, ECmp):
+            return self._compare(
+                expr.op,
+                self.eval_expr(expr.left, state),
+                self.eval_expr(expr.right, state),
+                state,
+            )
+        if isinstance(expr, EBool):
+            return self._boolop(expr, state)
+        if isinstance(expr, ECall):
+            return self._call(expr, state)
+        if isinstance(expr, ESub):
+            base = self.eval_expr(expr.base, state)
+            index = self.eval_expr(expr.index, state)
+            return self._subscript(base, index, state)
+        if isinstance(expr, EAttr):
+            base = self.eval_expr(expr.base, state)
+            return self._attr_get(base, expr.attr)
+        if isinstance(expr, ECond):
+            test = self._truth(self.eval_expr(expr.test, state))
+            if isinstance(test, bool):
+                return self.eval_expr(expr.body if test else expr.orelse, state)
+            return mk_app(
+                "cond",
+                test,
+                self.eval_expr(expr.body, state),
+                self.eval_expr(expr.orelse, state),
+            )
+        raise _PathError(f"cannot evaluate {type(expr).__name__}")
+
+    # -- operator helpers ------------------------------------------------------
+
+    def _binop(self, op: str, left: Any, right: Any) -> Any:
+        if op == "+" and isinstance(left, (tuple, list)) and isinstance(right, (tuple, list)):
+            if isinstance(left, tuple):
+                return tuple(left) + tuple(right)
+            return list(left) + list(right)
+        if is_concrete(left) and is_concrete(right):
+            try:
+                return mk_app(op, left, right)
+            except (TypeError, ZeroDivisionError, ValueError) as exc:
+                raise _PathError(f"operator {op} failed: {exc}") from None
+        return mk_app(op, left, right)
+
+    def _compare(self, op: str, left: Any, right: Any, state: SymState) -> Any:
+        if op in ("in", "notin"):
+            result = self._membership(left, right, state)
+            return mk_app("not", result) if op == "notin" else result
+        if op in ("is", "isnot"):
+            if is_concrete(left) and is_concrete(right):
+                return (left is right) if op == "is" else (left is not right)
+            raise _PathError("`is` on symbolic values")
+        if op in ("==", "!="):
+            eq = self._equality(left, right)
+            return mk_app("not", eq) if op == "!=" else eq
+        if is_concrete(left) and is_concrete(right):
+            try:
+                return mk_app(op, left, right)
+            except TypeError as exc:
+                raise _PathError(f"comparison {op} failed: {exc}") from None
+        return mk_app(op, left, right)
+
+    def _equality(self, left: Any, right: Any) -> Any:
+        lt = isinstance(left, (tuple, list))
+        rt = isinstance(right, (tuple, list))
+        if lt and rt:
+            if len(left) != len(right):
+                return False
+            parts = [self._equality(a, b) for a, b in zip(left, right)]
+            return mk_app("and", *parts)
+        if lt != rt and (is_concrete(left) and is_concrete(right)):
+            return left == right
+        if lt != rt:
+            # structured vs opaque symbolic: compare componentwise
+            seq, other = (left, right) if lt else (right, left)
+            if isinstance(other, Sym):
+                parts = [
+                    self._equality(seq[i], mk_app("getitem", other, i))
+                    for i in range(len(seq))
+                ]
+                return mk_app("and", *parts)
+            return False
+        return mk_app("==", left, right)
+
+    def _membership(self, needle: Any, haystack: Any, state: SymState) -> Any:
+        if isinstance(haystack, SymDict):
+            hit = haystack.written_value(needle)
+            if hit is not None:
+                return True
+            # The probe key may *alias* a key written on this path even
+            # though the expressions differ syntactically (e.g. a frame
+            # with eth_dst == eth_src probing a table just filled under
+            # eth_src).  Membership is the disjunction of equality with
+            # each written key and pre-state membership.
+            alias_parts = [
+                self._equality(needle, wk)
+                for wk, _ in _newest_entries(haystack)
+            ]
+            key_c = canon(needle)
+            if key_c in haystack.assumed:
+                pre: Any = haystack.assumed[key_c]
+            elif key_c in haystack.deleted or haystack.cleared:
+                pre = False
+            else:
+                pre = SApp("member", (haystack.name, _freeze(needle)))
+            if alias_parts:
+                return mk_app("or", *alias_parts, pre)
+            return pre
+        if isinstance(haystack, dict):
+            if is_concrete(needle):
+                return self._dict_key(needle) in haystack
+            parts = [self._equality(needle, k) for k in haystack.keys()]
+            return mk_app("or", *parts) if parts else False
+        if isinstance(haystack, (tuple, list)):
+            if is_concrete(needle) and all(is_concrete(v) for v in haystack):
+                return needle in list(haystack)
+            parts = [self._equality(needle, v) for v in haystack]
+            return mk_app("or", *parts) if parts else False
+        raise _PathError(f"membership test on {type(haystack).__name__}")
+
+    def _boolop(self, expr: EBool, state: SymState) -> Any:
+        parts: List[Any] = []
+        for sub in expr.values:
+            value = self._truth(self.eval_expr(sub, state))
+            if isinstance(value, bool):
+                if expr.op == "and" and not value:
+                    return False
+                if expr.op == "or" and value:
+                    return True
+                continue
+            parts.append(value)
+        if not parts:
+            return expr.op == "and"
+        return mk_app(expr.op, *parts)
+
+    def _truth(self, value: Any) -> Any:
+        """Coerce a value into a boolean (symbolic if necessary)."""
+        if isinstance(value, bool):
+            return value
+        if is_concrete(value):
+            return bool(value)
+        if isinstance(value, SVar) and value.boolean:
+            return value
+        if isinstance(value, SApp) and value.op in _BOOL_OPS:
+            return value
+        return mk_app("!=", value, 0)
+
+    # -- subscripts / attributes -----------------------------------------------
+
+    def _subscript(self, base: Any, index: Any, state: SymState) -> Any:
+        if isinstance(base, SymDict):
+            hit = base.written_value(index)
+            if hit is not None:
+                return hit[1]
+            key_c = canon(index)
+            fallback_ok = True
+            assumed = base.assumed.get(key_c)
+            if assumed is False or key_c in base.deleted or base.cleared:
+                fallback_ok = False
+            aliases = _newest_entries(base)
+            if not aliases:
+                if not fallback_ok:
+                    raise _PathError(
+                        f"read of key assumed absent from {base.name!r}"
+                    )
+                if assumed is None:
+                    # Implicit assume-present: record it so later
+                    # membership tests on the same key agree, and
+                    # constrain the path.
+                    base.assumed[key_c] = True
+                    atom = SApp("member", (base.name, _freeze(index)))
+                    state.constraints.append(atom)
+                return SDictVal(base.name, key_c, key=_freeze(index))
+            # Written entries with syntactically different keys may alias
+            # the probe: the read is a conditional chain, newest first.
+            if fallback_ok:
+                result: Any = SDictVal(base.name, key_c, key=_freeze(index))
+            else:
+                # Pre-state read is impossible; any concrete value is
+                # unreachable unless one of the aliases matches.
+                result = 0
+            for wk, wv in reversed(aliases):  # oldest first → newest wins
+                result = mk_app(
+                    "cond", self._equality(index, wk), _freeze(wv), result
+                )
+            return result
+        if isinstance(base, dict):
+            if is_concrete(index):
+                key = self._dict_key(index)
+                if key not in base:
+                    raise _PathError(f"KeyError: {key!r}")
+                return base[key]
+            raise _PathError("symbolic key into concrete dict")
+        if isinstance(base, (tuple, list)):
+            if isinstance(index, int):
+                try:
+                    return base[index]
+                except IndexError:
+                    raise _PathError("sequence index out of range") from None
+            return mk_app("getitem", _freeze(tuple(base)), index)
+        if isinstance(base, SDictVal):
+            if isinstance(index, int):
+                return SDictVal(
+                    base.dict_name, base.key_canon, base.path + (index,), key=base.key
+                )
+            return mk_app("getitem", base, index)
+        if isinstance(base, Sym):
+            return mk_app("getitem", base, index)
+        raise _PathError(f"cannot subscript {type(base).__name__}")
+
+    def _attr_get(self, base: Any, attr: str) -> Any:
+        if isinstance(base, SymPacket):
+            try:
+                return base.get(attr)
+            except KeyError as exc:
+                raise _PathError(str(exc)) from None
+        if isinstance(base, Packet):
+            try:
+                return getattr(base, attr)
+            except AttributeError as exc:
+                raise _PathError(str(exc)) from None
+        raise _PathError(f"cannot read attribute of {type(base).__name__}")
+
+    # -- calls -------------------------------------------------------------------
+
+    def _call(self, expr: ECall, state: SymState) -> Any:
+        name = expr.func
+        if expr.method:
+            receiver = self.eval_expr(expr.args[0], state)
+            args = [self.eval_expr(a, state) for a in expr.args[1:]]
+            return self._method(name, receiver, args)
+
+        args = [self.eval_expr(a, state) for a in expr.args]
+        if name == "send_packet":
+            pkt = args[0]
+            port = args[1] if len(args) > 1 else None
+            if isinstance(pkt, SymPacket):
+                state.sent.append((pkt.snapshot(), port))
+            elif isinstance(pkt, Packet):
+                state.sent.append((pkt.to_dict(), port))
+            else:
+                raise _PathError("send_packet() argument is not a packet")
+            return None
+        if name == "recv_packet":
+            return SymPacket.fresh(f"pkt{len(state.executed)}")
+        if name == "len":
+            (arg,) = args
+            if isinstance(arg, (tuple, list, dict, str)):
+                return len(arg)
+            if isinstance(arg, SymDict):
+                if arg.cleared:
+                    # Conservative lower bound: writes since the clear.
+                    return len(arg.entries)
+                return mk_app("+", SApp("dictlen", (arg.name,)), len(arg.entries))
+            return mk_app("len", arg)
+        if name == "hash":
+            return mk_app("hash", _freeze(args[0]))
+        if name in ("abs", "min", "max"):
+            if all(is_concrete(a) for a in args):
+                return {"abs": abs, "min": min, "max": max}[name](*args)
+            return mk_app(name, *args)
+        if name == "int":
+            (arg,) = args
+            if is_concrete(arg):
+                return int(arg)
+            return arg
+        if name == "bool":
+            return self._truth(args[0])
+        if name == "range":
+            if all(isinstance(a, int) for a in args):
+                return list(range(*args))
+            raise _PathError("range() over symbolic bounds")
+        if name in ("tuple", "list"):
+            (arg,) = args
+            if isinstance(arg, (tuple, list)):
+                return tuple(arg) if name == "tuple" else list(arg)
+            raise _PathError(f"{name}() of non-sequence")
+        if name == "sum":
+            (arg,) = args
+            if isinstance(arg, (tuple, list)):
+                total: Any = 0
+                for v in arg:
+                    total = self._binop("+", total, v)
+                return total
+            raise _PathError("sum() of non-sequence")
+        if name == "sorted":
+            (arg,) = args
+            if isinstance(arg, (tuple, list)) and all(is_concrete(v) for v in arg):
+                return sorted(arg)
+            raise _PathError("sorted() of symbolic sequence")
+        raise _PathError(f"unknown function {name!r} (user calls must be inlined)")
+
+    def _method(self, name: str, receiver: Any, args: List[Any]) -> Any:
+        if name == "append":
+            if isinstance(receiver, list):
+                receiver.append(args[0])
+                return None
+            raise _PathError("append() on non-list")
+        if name == "get":
+            if isinstance(receiver, dict) and is_concrete(args[0]):
+                return receiver.get(self._dict_key(args[0]), *args[1:])
+            if isinstance(receiver, SymDict):
+                raise _PathError("get() on symbolic dict (use `in` + indexing)")
+            raise _PathError("get() on unsupported receiver")
+        if name == "pop":
+            if isinstance(receiver, list) and all(isinstance(a, int) for a in args):
+                try:
+                    return receiver.pop(*args)
+                except IndexError:
+                    raise _PathError("pop from empty list") from None
+            raise _PathError("pop() on unsupported receiver")
+        if name == "keys" and isinstance(receiver, dict):
+            return list(receiver.keys())
+        if name == "values" and isinstance(receiver, dict):
+            return list(receiver.values())
+        if name == "clear":
+            if isinstance(receiver, SymDict):
+                receiver.clear()
+                return None
+            if isinstance(receiver, (dict, list)):
+                receiver.clear()
+                return None
+            raise _PathError("clear() on unsupported receiver")
+        raise _PathError(f"unsupported method {name!r} in symbolic mode")
+
+    def _dict_key(self, key: Any) -> Any:
+        if isinstance(key, list):
+            return tuple(key)
+        return key
+
+
+def _newest_entries(sym_dict: SymDict) -> List[Tuple[Any, Any]]:
+    """Written (key, value) pairs, newest-wins, one per canonical key."""
+    seen: Set[str] = set()
+    out: List[Tuple[Any, Any]] = []
+    for key, value in reversed(sym_dict.entries):
+        key_c = canon(key)
+        if key_c in seen:
+            continue
+        seen.add(key_c)
+        out.append((key, value))
+    return out
+
+
+def _freeze(value: Any) -> Any:
+    """Make a symbolic value immutable for storage inside SApp args."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(_freeze(v) for v in value)
+    return value

@@ -1,0 +1,463 @@
+"""Path-condition satisfiability and witness generation.
+
+This is the constraint-solving layer under symbolic execution — the
+role KLEE delegates to an SMT solver.  NF path conditions are shallow:
+(in)equalities between packet fields and constants, arithmetic over
+counters, membership decisions for state dictionaries, and occasional
+hash/modulo expressions.  The solver therefore combines
+
+1. **structural propagation** — intervals, pinned values and forbidden
+   sets per symbolic leaf, plus a union-find over leaf equalities;
+2. **guided concrete sampling** — deterministic randomized assignments
+   drawn from the propagated domains, checked by direct evaluation
+   (:func:`repro.symbolic.expr.eval_sym`).
+
+The result is *sound for UNSAT* only when propagation finds a direct
+conflict; otherwise sampling either proves SAT with a witness or
+returns ``unknown``.  Callers treat ``unknown`` as feasible, which can
+only add spurious paths, never lose real ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.symbolic.expr import (
+    Assignment,
+    SApp,
+    SDictVal,
+    SVar,
+    Sym,
+    canon,
+    eval_sym,
+    is_concrete,
+    leaf_key,
+    mk_app,
+    sym_vars,
+)
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+@dataclass
+class _Domain:
+    """Propagated knowledge about one symbolic leaf."""
+
+    lo: int = 0
+    hi: int = (1 << 32) - 1
+    forbidden: Set[int] = field(default_factory=set)
+    boolean: bool = False
+    #: ``(mask, required)`` pairs from ``(x & mask) == required`` atoms:
+    #: samples are adjusted to satisfy them (prefix-match constraints).
+    masks: List[Tuple[int, int]] = field(default_factory=list)
+    #: candidate values harvested from disjunctions (``x == c or ...``):
+    #: uniform sampling would almost never hit them.
+    suggestions: Set[int] = field(default_factory=set)
+
+    def apply_masks(self, value: int) -> int:
+        for mask, required in self.masks:
+            value = (value & ~mask) | required
+        return value
+
+    def pin(self, value: int) -> bool:
+        """Constrain to exactly ``value``; False on conflict."""
+        if value < self.lo or value > self.hi or value in self.forbidden:
+            return False
+        self.lo = self.hi = value
+        return True
+
+    def exclude(self, value: int) -> bool:
+        if self.lo == self.hi == value:
+            return False
+        self.forbidden.add(value)
+        return True
+
+    def upper(self, value: int) -> bool:
+        self.hi = min(self.hi, value)
+        return self.lo <= self.hi
+
+    def lower(self, value: int) -> bool:
+        self.lo = max(self.lo, value)
+        return self.lo <= self.hi
+
+    def consistent(self) -> bool:
+        if self.lo > self.hi:
+            return False
+        span = self.hi - self.lo + 1
+        if span <= len(self.forbidden):
+            # Small enough to check exhaustively: is any value allowed?
+            if all(v in self.forbidden for v in range(self.lo, self.hi + 1)):
+                return False
+        return True
+
+    def sample_pool(self) -> List[int]:
+        """Interesting candidate values inside the domain."""
+        pool = [v for v in sorted(self.suggestions) if self.lo <= v <= self.hi]
+        pool += [self.lo, self.hi, (self.lo + self.hi) // 2]
+        for delta in (1, 2, 3):
+            pool.append(min(self.hi, self.lo + delta))
+            pool.append(max(self.lo, self.hi - delta))
+        return [v for v in dict.fromkeys(pool) if v not in self.forbidden]
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a satisfiability check."""
+
+    status: str  # "sat" | "unsat" | "unknown"
+    assignment: Optional[Assignment] = None
+
+    @property
+    def feasible(self) -> bool:
+        """Treat unknown as feasible (see module docstring)."""
+        return self.status != "unsat"
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, key: str) -> str:
+        parent = self._parent.setdefault(key, key)
+        if parent != key:
+            root = self.find(parent)
+            self._parent[key] = root
+            return root
+        return key
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+class Solver:
+    """A deterministic propagate-and-sample constraint solver."""
+
+    def __init__(self, seed: int = 0, max_samples: int = 200) -> None:
+        self.seed = seed
+        self.max_samples = max_samples
+        self.checks = 0
+        self.sat_hits = 0
+        self.unsat_hits = 0
+        self.unknown_hits = 0
+
+    # -- public -----------------------------------------------------------
+
+    def check(self, constraints: Sequence[Any]) -> SolverResult:
+        """Decide satisfiability of a conjunction of symbolic booleans."""
+        self.checks += 1
+        residual: List[Any] = []
+        for c in constraints:
+            if isinstance(c, bool):
+                if not c:
+                    self.unsat_hits += 1
+                    return SolverResult("unsat")
+                continue
+            if is_concrete(c):
+                if not c:
+                    self.unsat_hits += 1
+                    return SolverResult("unsat")
+                continue
+            residual.append(c)
+        if not residual:
+            self.sat_hits += 1
+            return SolverResult("sat", {})
+
+        # Expose conjuncts to propagation and complement detection.
+        expanded: List[Any] = []
+        for c in residual:
+            _expand_conjunction(c, expanded)
+        residual = []
+        for c in expanded:
+            if isinstance(c, bool) or is_concrete(c):
+                if not c:
+                    self.unsat_hits += 1
+                    return SolverResult("unsat")
+                continue
+            if not sym_vars(c):
+                # Leaf-free tree (e.g. after substitution): decidable
+                # by direct evaluation.
+                if not bool(eval_sym(c, {})):
+                    self.unsat_hits += 1
+                    return SolverResult("unsat")
+                continue
+            residual.append(c)
+        if not residual:
+            self.sat_hits += 1
+            return SolverResult("sat", {})
+
+        canon_set = {canon(c) for c in residual}
+        for c in residual:
+            if _complement_present(c, canon_set):
+                self.unsat_hits += 1
+                return SolverResult("unsat")
+
+        leaves: Set[Sym] = set()
+        for c in residual:
+            leaves |= sym_vars(c)
+
+        domains, members, uf, conflict = self._propagate(residual, leaves)
+        if conflict:
+            self.unsat_hits += 1
+            return SolverResult("unsat")
+
+        witness = self._search(residual, leaves, domains, members, uf)
+        if witness is not None:
+            self.sat_hits += 1
+            return SolverResult("sat", witness)
+        self.unknown_hits += 1
+        return SolverResult("unknown")
+
+    def model(self, constraints: Sequence[Any]) -> Optional[Assignment]:
+        """A concrete witness for the constraints, or None."""
+        result = self.check(constraints)
+        return result.assignment if result.status == "sat" else None
+
+    # -- propagation ------------------------------------------------------
+
+    def _propagate(
+        self, constraints: List[Any], leaves: Set[Sym]
+    ) -> Tuple[Dict[str, _Domain], Dict[str, bool], _UnionFind, bool]:
+        domains: Dict[str, _Domain] = {}
+        for leaf in leaves:
+            if isinstance(leaf, SVar):
+                domains[leaf_key(leaf)] = _Domain(leaf.lo, leaf.hi, boolean=leaf.boolean)
+            elif isinstance(leaf, SDictVal):
+                domains[leaf_key(leaf)] = _Domain(0, (1 << 32) - 1)
+            # member atoms handled separately
+
+        members: Dict[str, bool] = {}
+        uf = _UnionFind()
+
+        for c in constraints:
+            if not self._propagate_one(c, domains, members, uf):
+                return domains, members, uf, True
+
+        # Merge domains across equality classes.
+        roots: Dict[str, List[str]] = {}
+        for key in domains:
+            roots.setdefault(uf.find(key), []).append(key)
+        for keys in roots.values():
+            if len(keys) < 2:
+                continue
+            lo = max(domains[k].lo for k in keys)
+            hi = min(domains[k].hi for k in keys)
+            forbidden: Set[int] = set()
+            for k in keys:
+                forbidden |= domains[k].forbidden
+            for k in keys:
+                domains[k].lo, domains[k].hi = lo, hi
+                domains[k].forbidden = forbidden
+                if not domains[k].consistent():
+                    return domains, members, uf, True
+
+        for dom in domains.values():
+            if not dom.consistent():
+                return domains, members, uf, True
+        return domains, members, uf, False
+
+    def _propagate_one(
+        self,
+        c: Any,
+        domains: Dict[str, _Domain],
+        members: Dict[str, bool],
+        uf: _UnionFind,
+    ) -> bool:
+        """Absorb one constraint; returns False on direct conflict."""
+        if isinstance(c, SApp) and c.op == "member":
+            key = leaf_key(c)
+            if members.get(key) is False:
+                return False
+            members[key] = True
+            return True
+        if isinstance(c, SApp) and c.op == "not":
+            inner = c.args[0]
+            if isinstance(inner, SApp) and inner.op == "member":
+                key = leaf_key(inner)
+                if members.get(key) is True:
+                    return False
+                members[key] = False
+            return True
+        if isinstance(c, SApp) and c.op == "or":
+            # Harvest equality disjuncts as sampling suggestions.
+            for arm in c.args:
+                if isinstance(arm, SApp) and arm.op == "==":
+                    left, right = arm.args
+                    if _is_leaf(right) and isinstance(left, (int, bool)):
+                        left, right = right, left
+                    if _is_leaf(left) and isinstance(right, (int, bool)):
+                        dom = domains.get(leaf_key(left))
+                        if dom is not None:
+                            dom.suggestions.add(int(right))
+            return True
+        if isinstance(c, (SVar, SDictVal)):
+            dom = domains.get(leaf_key(c))
+            if dom is not None and dom.boolean:
+                return dom.pin(1)
+            return True
+        if not isinstance(c, SApp) or c.op not in _FLIP:
+            return True
+
+        left, right = c.args
+        op = c.op
+        # Mask-equality hint: (leaf & M) == C — guide sampling to values
+        # whose masked bits equal C (subnet matches, flag tests).
+        if op == "==":
+            for a, b in ((left, right), (right, left)):
+                if (
+                    isinstance(a, SApp)
+                    and a.op == "&"
+                    and isinstance(b, int)
+                    and len(a.args) == 2
+                ):
+                    base, mask = a.args
+                    if isinstance(mask, int) and _is_leaf(base):
+                        dom = domains.get(leaf_key(base))
+                        if dom is not None:
+                            if (b & ~mask) != 0:
+                                return False  # required bits outside mask
+                            dom.masks.append((mask, b))
+                        return True
+        if _is_leaf(right) and is_concrete(left):
+            left, right = right, left
+            op = _FLIP[op]
+        if not (_is_leaf(left) and is_concrete(right) and isinstance(right, (int, bool))):
+            if _is_leaf(left) and _is_leaf(right) and op == "==":
+                uf.union(leaf_key(left), leaf_key(right))
+            return True
+
+        dom = domains.get(leaf_key(left))
+        if dom is None:
+            return True
+        value = int(right)
+        if op == "==":
+            return dom.pin(value)
+        if op == "!=":
+            return dom.exclude(value)
+        if op == "<":
+            return dom.upper(value - 1)
+        if op == "<=":
+            return dom.upper(value)
+        if op == ">":
+            return dom.lower(value + 1)
+        if op == ">=":
+            return dom.lower(value)
+        return True
+
+    # -- witness search -----------------------------------------------------
+
+    def _search(
+        self,
+        constraints: List[Any],
+        leaves: Set[Sym],
+        domains: Dict[str, _Domain],
+        members: Dict[str, bool],
+        uf: _UnionFind,
+    ) -> Optional[Assignment]:
+        leaf_keys = sorted({leaf_key(l) for l in leaves if not _is_member(l)})
+        member_keys = sorted({leaf_key(l) for l in leaves if _is_member(l)})
+
+        # Representative-per-class assignment honouring the union-find.
+        def assign(draw) -> Assignment:
+            by_root: Dict[str, int] = {}
+            assignment: Assignment = {}
+            for key in leaf_keys:
+                root = uf.find(key)
+                if root not in by_root:
+                    dom = domains.get(key) or domains.get(root) or _Domain()
+                    by_root[root] = draw(key, dom)
+                assignment[key] = by_root[root]
+            for key in member_keys:
+                assignment[key] = members.get(key, False)
+            return assignment
+
+        def ok(assignment: Assignment) -> bool:
+            return all(bool(eval_sym(c, assignment)) for c in constraints)
+
+        # Attempt 1: the deterministic "pool" assignment.
+        def pool_draw(key: str, dom: _Domain) -> int:
+            pool = dom.sample_pool()
+            value = pool[0] if pool else dom.lo
+            return dom.apply_masks(value)
+
+        candidate = assign(pool_draw)
+        if ok(candidate):
+            return candidate
+
+        # Randomized attempts, seeded deterministically.
+        rng = random.Random((self.seed, len(constraints), tuple(leaf_keys)).__repr__())
+        for _ in range(self.max_samples):
+            def rand_draw(key: str, dom: _Domain) -> int:
+                if dom.boolean:
+                    return rng.randint(0, 1)
+                pool = dom.sample_pool()
+                if pool and rng.random() < 0.5:
+                    return dom.apply_masks(rng.choice(pool))
+                span = dom.hi - dom.lo
+                if span <= 0:
+                    return dom.apply_masks(dom.lo)
+                for _ in range(4):
+                    value = dom.apply_masks(dom.lo + rng.randint(0, span))
+                    if value not in dom.forbidden and dom.lo <= value <= dom.hi:
+                        return value
+                return dom.apply_masks(dom.lo)
+
+            candidate = assign(rand_draw)
+            if ok(candidate):
+                return candidate
+        return None
+
+
+def _expand_conjunction(c: Any, out: List[Any]) -> None:
+    """Flatten asserted conjunctions (and de-Morgan'd disjunctions)."""
+    if isinstance(c, SApp) and c.op == "and":
+        for a in c.args:
+            _expand_conjunction(a, out)
+        return
+    if isinstance(c, SApp) and c.op == "not":
+        inner = c.args[0]
+        if isinstance(inner, SApp) and inner.op == "or":
+            for a in inner.args:
+                _expand_conjunction(mk_app("not", a), out)
+            return
+    out.append(c)
+
+
+def _complement_present(c: Any, canon_set: Set[str]) -> bool:
+    """Syntactic UNSAT: the set also asserts the negation of ``c``.
+
+    Handles three shapes: a directly negated twin; ``not (A and B)``
+    while every conjunct is separately asserted; ``A or B`` while every
+    disjunct's negation is separately asserted.
+    """
+    negated = mk_app("not", c)
+    if not isinstance(negated, bool) and canon(negated) in canon_set:
+        return True
+    if isinstance(c, SApp) and c.op == "not":
+        inner = c.args[0]
+        if isinstance(inner, SApp) and inner.op == "and":
+            if all(
+                (canon(a) in canon_set)
+                for a in inner.args
+                if not isinstance(a, bool)
+            ):
+                return True
+    if isinstance(c, SApp) and c.op == "or":
+        negs = [mk_app("not", a) for a in c.args]
+        if all(
+            (isinstance(n, bool) and not n) or (canon(n) in canon_set)
+            for n in negs
+        ):
+            return True
+    return False
+
+
+def _is_leaf(value: Any) -> bool:
+    return isinstance(value, (SVar, SDictVal))
+
+
+def _is_member(leaf: Sym) -> bool:
+    return isinstance(leaf, SApp) and leaf.op == "member"

@@ -1,0 +1,86 @@
+"""Path-exploration strategies for the symbolic engine.
+
+KLEE's searcher heuristics matter when exploration is budgeted (the
+engine's ``max_paths`` cap): the order states are scheduled decides
+*which* paths make it into the model when the budget runs out.  Three
+strategies are provided:
+
+* **dfs** (default) — LIFO; cheapest, best cache behaviour, and on NF
+  code (shallow branch trees) it enumerates complete path sets fastest;
+* **bfs** — FIFO; explores all short paths first, so a truncated run
+  still covers every "early" behaviour (decode errors, ACL rejects);
+* **random** — seeded random scheduling; useful to detect order
+  dependence (a correct model must not depend on exploration order —
+  the property tests rely on this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.symbolic.state import SymState
+
+
+class Strategy:
+    """Scheduling discipline for pending symbolic states."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._states: List[SymState] = []
+
+    def push(self, state: SymState) -> None:
+        self._states.append(state)
+
+    def pop(self) -> SymState:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __bool__(self) -> bool:
+        return bool(self._states)
+
+
+class DepthFirst(Strategy):
+    """LIFO — the default."""
+
+    name = "dfs"
+
+    def pop(self) -> SymState:
+        return self._states.pop()
+
+
+class BreadthFirst(Strategy):
+    """FIFO — shortest paths first."""
+
+    name = "bfs"
+
+    def pop(self) -> SymState:
+        return self._states.pop(0)
+
+
+class RandomOrder(Strategy):
+    """Seeded random scheduling."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def pop(self) -> SymState:
+        index = self._rng.randrange(len(self._states))
+        return self._states.pop(index)
+
+
+def make_strategy(name: str, seed: int = 0) -> Strategy:
+    """Build a strategy by name (``dfs`` / ``bfs`` / ``random``)."""
+    if name == "dfs":
+        return DepthFirst()
+    if name == "bfs":
+        return BreadthFirst()
+    if name == "random":
+        return RandomOrder(seed)
+    raise ValueError(f"unknown strategy {name!r} (dfs/bfs/random)")

@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic hashing, stable RNG, timers."""
+
+from repro.util.hashing import fnv1a, stable_hash
+from repro.util.timer import Stopwatch
+
+__all__ = ["fnv1a", "stable_hash", "Stopwatch"]

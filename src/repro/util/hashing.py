@@ -1,0 +1,64 @@
+"""Deterministic hashing helpers.
+
+Python's built-in ``hash`` is salted per process for strings, which would
+make analysis runs and differential tests non-reproducible.  The NFPy
+``hash`` intrinsic and every internal consumer use :func:`stable_hash`
+instead, a process-independent FNV-1a over a canonical encoding.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a(data: bytes) -> int:
+    """Return the 64-bit FNV-1a hash of ``data``."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def _encode(value: object, out: bytearray) -> None:
+    """Append a canonical, type-tagged encoding of ``value`` to ``out``."""
+    if value is None:
+        out.append(0x00)
+    elif isinstance(value, bool):
+        out.append(0x01)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        out.append(0x02)
+        out.extend(str(value).encode("ascii"))
+        out.append(0x3B)
+    elif isinstance(value, str):
+        out.append(0x03)
+        out.extend(value.encode("utf-8"))
+        out.append(0x3B)
+    elif isinstance(value, tuple):
+        out.append(0x04)
+        for item in value:
+            _encode(item, out)
+        out.append(0x3B)
+    elif isinstance(value, frozenset):
+        out.append(0x05)
+        for item in sorted(value, key=repr):
+            _encode(item, out)
+        out.append(0x3B)
+    else:
+        raise TypeError(f"stable_hash cannot encode {type(value).__name__}")
+
+
+def stable_hash(value: object) -> int:
+    """Deterministic 64-bit hash of ``None``/bool/int/str/tuple values.
+
+    Unlike :func:`hash` this is stable across processes and Python
+    versions, so NF programs that hash flow tuples (e.g. a hash-mode load
+    balancer) behave identically in the interpreter, the model simulator
+    and the symbolic witness checker.
+    """
+    buf = bytearray()
+    _encode(value, buf)
+    return fnv1a(bytes(buf))

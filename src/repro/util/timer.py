@@ -1,0 +1,31 @@
+"""Wall-clock stopwatch used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A simple context-manager stopwatch.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(10))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed time in milliseconds."""
+        return self.elapsed * 1000.0

@@ -1,0 +1,54 @@
+"""Shared fixtures: parsed corpus programs and cached syntheses.
+
+Synthesis of the larger corpus NFs (snortlite in particular) is
+expensive, so results are computed once per session and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nfactor.algorithm import NFactor, NFactorConfig, SynthesisResult
+from repro.nfs import get_nf
+from repro.symbolic.engine import EngineConfig
+
+_CACHE: dict = {}
+
+
+def synthesize_cached(name: str) -> SynthesisResult:
+    """Synthesize an NF model once per test session."""
+    if name not in _CACHE:
+        spec = get_nf(name)
+        config = NFactorConfig(engine=EngineConfig(max_paths=16384))
+        _CACHE[name] = NFactor(spec.source, name=name, config=config).synthesize()
+    return _CACHE[name]
+
+
+@pytest.fixture(scope="session")
+def lb_result() -> SynthesisResult:
+    return synthesize_cached("loadbalancer")
+
+
+@pytest.fixture(scope="session")
+def nat_result() -> SynthesisResult:
+    return synthesize_cached("nat")
+
+
+@pytest.fixture(scope="session")
+def firewall_result() -> SynthesisResult:
+    return synthesize_cached("firewall")
+
+
+@pytest.fixture(scope="session")
+def monitor_result() -> SynthesisResult:
+    return synthesize_cached("monitor")
+
+
+@pytest.fixture(scope="session")
+def balance_result() -> SynthesisResult:
+    return synthesize_cached("balance")
+
+
+@pytest.fixture(scope="session")
+def snortlite_result() -> SynthesisResult:
+    return synthesize_cached("snortlite")

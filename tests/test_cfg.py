@@ -1,0 +1,184 @@
+"""Tests for CFG construction, dominance and control dependence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.control_dependence import control_dependence
+from repro.cfg.dominance import (
+    dominators,
+    immediate_dominators,
+    immediate_postdominators,
+    postdominators,
+)
+from repro.cfg.graph import CFG, ENTRY, EXIT
+from repro.lang.parser import parse_function
+
+
+def body_cfg(source: str):
+    fn = parse_function(source)
+    cfg = build_cfg(fn.body)
+    stmts = {s.sid: s for s in fn.stmts()}
+    return cfg, stmts, fn
+
+
+class TestBuilder:
+    def test_straight_line(self):
+        cfg, stmts, _ = body_cfg("def f(a):\n    x = a\n    y = x\n")
+        sids = sorted(stmts)
+        assert cfg.succs(ENTRY) == [sids[0]]
+        assert cfg.succs(sids[0]) == [sids[1]]
+        assert cfg.succs(sids[1]) == [EXIT]
+
+    def test_if_else_diamond(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    if a:\n        x = 1\n    else:\n        x = 2\n    y = x\n"
+        )
+        branch = fn.body[0].sid
+        labels = sorted(str(e.label) for e in cfg.succ_edges(branch))
+        assert labels == ["False", "True"]
+
+    def test_while_back_edge(self):
+        cfg, stmts, fn = body_cfg("def f(a):\n    while a:\n        a -= 1\n")
+        header = fn.body[0].sid
+        body_sid = fn.body[0].body[0].sid
+        assert header in cfg.succs(body_sid)
+        assert EXIT in cfg.succs(header)
+
+    def test_while_true_gets_virtual_exit(self):
+        cfg, stmts, fn = body_cfg("def f(a):\n    while True:\n        a += 1\n")
+        header = fn.body[0].sid
+        virtual = [e for e in cfg.succ_edges(header) if e.virtual]
+        assert virtual and virtual[0].dst == EXIT
+
+    def test_break_exits_loop(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    while True:\n        if a:\n            break\n    x = 1\n"
+        )
+        brk = fn.body[0].body[0].then[0].sid
+        after = fn.body[-1].sid
+        assert after in cfg.succs(brk, virtual=False)
+
+    def test_continue_targets_header(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    while a:\n        if a == 1:\n            continue\n        a -= 1\n"
+        )
+        header = fn.body[0].sid
+        cont = fn.body[0].body[0].then[0].sid
+        assert header in cfg.succs(cont, virtual=False)
+
+    def test_return_goes_to_exit_with_pseudo_fallthrough(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    if a:\n        return 1\n    x = 2\n    return x\n"
+        )
+        ret = fn.body[0].then[0].sid
+        real = cfg.succs(ret, virtual=False)
+        assert real == [EXIT]
+        pseudo = [e for e in cfg.succ_edges(ret) if e.label == "pseudo"]
+        assert pseudo and pseudo[0].dst == fn.body[1].sid
+
+    def test_empty_block(self):
+        cfg = build_cfg([])
+        assert EXIT in cfg.succs(ENTRY)
+
+    def test_break_outside_loop_rejected(self):
+        from repro.lang.ir import SBreak
+
+        with pytest.raises(ValueError):
+            build_cfg([SBreak(sid=0)])
+
+    def test_all_nodes_reach_exit_with_virtual(self):
+        cfg, stmts, _ = body_cfg(
+            "def f(a):\n    while True:\n        if a:\n            break\n        a += 1\n    return a\n"
+        )
+        rev = cfg.reversed_view()
+        reachable = rev.reachable(EXIT)
+        assert set(stmts) <= reachable
+
+
+class TestDominance:
+    def test_diamond(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    if a:\n        x = 1\n    else:\n        x = 2\n    y = x\n"
+        )
+        branch = fn.body[0].sid
+        join = fn.body[1].sid
+        idom = immediate_dominators(cfg)
+        assert idom[join] == branch
+        doms = dominators(cfg)
+        assert branch in doms[join]
+        then_sid = fn.body[0].then[0].sid
+        assert then_sid not in doms[join]
+
+    def test_postdominators_diamond(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    if a:\n        x = 1\n    else:\n        x = 2\n    y = x\n"
+        )
+        branch = fn.body[0].sid
+        join = fn.body[1].sid
+        pdoms = postdominators(cfg)
+        assert join in pdoms[branch]
+
+    def test_ipdom_of_branch_is_join(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    if a:\n        x = 1\n    y = 2\n"
+        )
+        branch = fn.body[0].sid
+        join = fn.body[1].sid
+        assert immediate_postdominators(cfg)[branch] == join
+
+    def test_idom_tree_rooted_at_entry(self):
+        cfg, stmts, _ = body_cfg(
+            "def f(a):\n    while a:\n        if a > 2:\n            a -= 2\n        else:\n            a -= 1\n    return a\n"
+        )
+        idom = immediate_dominators(cfg)
+        for node in stmts:
+            cur, seen = node, set()
+            while idom[cur] != cur:
+                assert cur not in seen
+                seen.add(cur)
+                cur = idom[cur]
+            assert cur == ENTRY
+
+
+class TestControlDependence:
+    def test_then_depends_on_branch(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    if a:\n        x = 1\n    y = 2\n"
+        )
+        branch = fn.body[0].sid
+        then_sid = fn.body[0].then[0].sid
+        after = fn.body[1].sid
+        cd = control_dependence(cfg)
+        assert branch in cd[then_sid]
+        assert branch not in cd[after]
+
+    def test_loop_body_depends_on_header(self):
+        cfg, stmts, fn = body_cfg("def f(a):\n    while a:\n        a -= 1\n")
+        header = fn.body[0].sid
+        body_sid = fn.body[0].body[0].sid
+        cd = control_dependence(cfg)
+        assert header in cd[body_sid]
+        assert header in cd[header]  # loop header depends on itself
+
+    def test_statement_after_early_return_depends_on_jump(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    if a:\n        return 0\n    x = 1\n    return x\n"
+        )
+        ret = fn.body[0].then[0].sid
+        after = fn.body[1].sid
+        cd = control_dependence(cfg)
+        # Ball–Horwitz: `x = 1` executes only if the return did not.
+        assert ret in cd[after]
+
+    def test_nested_dependence(self):
+        cfg, stmts, fn = body_cfg(
+            "def f(a):\n    if a:\n        if a > 2:\n            x = 1\n"
+        )
+        outer = fn.body[0].sid
+        inner = fn.body[0].then[0].sid
+        leaf = fn.body[0].then[0].then[0].sid
+        cd = control_dependence(cfg)
+        assert cd[leaf] == {inner}
+        assert cd[inner] == {outer}

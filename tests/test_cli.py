@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import load_spec, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestLoadSpec:
+    def test_corpus_name(self):
+        spec = load_spec("monitor")
+        assert spec.name == "monitor"
+
+    def test_source_file(self, tmp_path):
+        path = tmp_path / "mynf.py"
+        path.write_text("def cb(pkt):\n    send_packet(pkt)\n")
+        spec = load_spec(str(path), entry="cb")
+        assert spec.name == "mynf"
+        assert spec.entry == "cb"
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            load_spec("does-not-exist")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "loadbalancer" in out and "snortlite" in out
+
+    def test_show(self, capsys):
+        code, out = run_cli(capsys, "show", "monitor")
+        assert code == 0
+        assert "def monitor_handler" in out
+
+    def test_synthesize_table(self, capsys):
+        code, out = run_cli(capsys, "synthesize", "monitor", "--stats")
+        assert code == 0
+        assert "default action: drop" in out
+        assert "paths" in out
+
+    def test_synthesize_json(self, capsys):
+        code, out = run_cli(capsys, "synthesize", "monitor", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["name"] == "monitor"
+
+    def test_synthesize_user_file(self, capsys, tmp_path):
+        path = tmp_path / "drop80.py"
+        path.write_text(
+            "def cb(pkt):\n"
+            "    if pkt.dport == 80:\n"
+            "        return\n"
+            "    send_packet(pkt)\n"
+        )
+        code, out = run_cli(capsys, "synthesize", str(path), "--entry", "cb")
+        assert code == 0
+        assert "pkt.dport" in out
+
+    def test_slice(self, capsys):
+        code, out = run_cli(capsys, "slice", "loadbalancer")
+        assert code == 0
+        assert ">> " in out
+        # log updates are not highlighted
+        for line in out.splitlines():
+            if "pass_stat += 1" in line:
+                assert not line.startswith(">>")
+
+    def test_categories(self, capsys):
+        code, out = run_cli(capsys, "categories", "loadbalancer")
+        assert code == 0
+        assert "oisVar" in out and "f2b_nat" in out
+
+    def test_difftest_pass(self, capsys):
+        code, out = run_cli(capsys, "difftest", "monitor", "-n", "50")
+        assert code == 0
+        assert "IDENTICAL" in out
+
+    def test_testgen(self, capsys):
+        code, out = run_cli(capsys, "testgen", "loadbalancer")
+        assert code == 0
+        assert "match the NF behaviour" in out
+
+    def test_fsm_text_and_dot(self, capsys):
+        code, out = run_cli(capsys, "fsm", "loadbalancer")
+        assert code == 0
+        assert "f2b_nat" in out
+        code, out = run_cli(capsys, "fsm", "loadbalancer", "--dot")
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_workload(self, capsys, tmp_path):
+        path = tmp_path / "w.pcap"
+        code, out = run_cli(capsys, "workload", "monitor", str(path), "-n", "20")
+        assert code == 0
+        from repro.net.pcap import read_pcap
+
+        assert len(read_pcap(path)) >= 20

@@ -1,0 +1,26 @@
+"""Run the doctests embedded in module docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.net.addresses
+import repro.net.generator
+import repro.net.packet
+import repro.util.timer
+
+MODULES = [
+    repro.net.addresses,
+    repro.net.generator,
+    repro.net.packet,
+    repro.util.timer,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tested = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert tested > 0, f"{module.__name__} has no doctests"
+    assert failures == 0

@@ -1,0 +1,188 @@
+"""Corner-case tests for the symbolic engine's expression handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.pdg.flatten import flatten_program
+from repro.symbolic.engine import EngineConfig, SymbolicEngine
+from repro.symbolic.expr import SVar, SymDict, SymPacket, eval_sym, leaf_key
+from repro.symbolic.solver import Solver
+
+
+def explore(source: str, extra_env=None, config=None):
+    from repro.interp import Interpreter
+
+    flat = flatten_program(parse_program(source, entry="cb"))
+    module_part = [s for s in flat.block if s.sid in flat.module_sids]
+    env = dict(Interpreter().run_block(list(module_part)).globals)
+    env["pkt"] = SymPacket.fresh()
+    env.update(extra_env or {})
+    engine = SymbolicEngine(config)
+    block = [s for s in flat.block if s.sid not in flat.module_sids]
+    return engine.explore(block, env), engine
+
+
+def concretize(path, extra=None):
+    """A concrete witness for a path's condition."""
+    model = Solver(seed=2, max_samples=400).model(path.constraints + (extra or []))
+    assert model is not None
+    return model
+
+
+class TestExpressions:
+    def test_conditional_expression_symbolic(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    x = 1 if pkt.ttl > 5 else 2\n"
+            "    pkt.length = x\n"
+            "    send_packet(pkt)\n"
+        )
+        assert len(paths) == 1  # no fork: cond stays an expression
+        length = paths[0].sent[0][0]["length"]
+        assert eval_sym(length, {"v:pkt.ttl": 10}) == 1
+        assert eval_sym(length, {"v:pkt.ttl": 1}) == 2
+
+    def test_tuple_concatenation(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    t = (pkt.ip_src,) + (pkt.ip_dst,)\n"
+            "    if t == (pkt.ip_src, pkt.ip_dst):\n"
+            "        send_packet(pkt)\n"
+        )
+        assert len(paths) == 1
+        assert not paths[0].drops  # tautology folds to True
+
+    def test_unary_minus_and_invert(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    a = -5\n"
+            "    b = ~a\n"
+            "    pkt.length = b\n"
+            "    send_packet(pkt)\n"
+        )
+        assert paths[0].sent[0][0]["length"] == 4
+
+    def test_sum_over_concrete_list(self):
+        paths, _ = explore(
+            "XS = [1, 2, 3]\n"
+            "def cb(pkt):\n"
+            "    pkt.length = sum(XS)\n"
+            "    send_packet(pkt)\n"
+        )
+        assert paths[0].sent[0][0]["length"] == 6
+
+    def test_string_comparison(self):
+        paths, _ = explore(
+            "MODE = 'rr'\n"
+            "def cb(pkt):\n"
+            "    if MODE == 'rr':\n"
+            "        send_packet(pkt)\n"
+        )
+        assert len(paths) == 1 and not paths[0].drops
+
+    def test_chained_comparison(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    if 10 <= pkt.ttl <= 20:\n"
+            "        send_packet(pkt)\n"
+        )
+        send = next(p for p in paths if not p.drops)
+        witness = concretize(send)
+        assert 10 <= witness[leaf_key(SVar("pkt.ttl", 0, 255))] <= 20
+
+    def test_membership_in_concrete_list(self):
+        paths, _ = explore(
+            "PORTS = [22, 23, 25]\n"
+            "def cb(pkt):\n"
+            "    if pkt.dport in PORTS:\n"
+            "        return\n"
+            "    send_packet(pkt)\n"
+        )
+        drop = next(p for p in paths if p.drops)
+        witness = concretize(drop)
+        assert witness[leaf_key(SVar("pkt.dport", 0, 65535))] in (22, 23, 25)
+
+    def test_membership_in_concrete_dict_keys(self):
+        paths, _ = explore(
+            "BLOCK = {7: 1, 9: 1}\n"
+            "def cb(pkt):\n"
+            "    if pkt.in_port in BLOCK:\n"
+            "        return\n"
+            "    send_packet(pkt)\n"
+        )
+        drop = next(p for p in paths if p.drops)
+        witness = concretize(drop)
+        assert witness[leaf_key(SVar("pkt.in_port", 0, 255))] in (7, 9)
+
+    def test_bitwise_mask_witnesses(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    if (pkt.ip_src & 4278190080) == 167772160:\n"
+            "        send_packet(pkt)\n"
+        )
+        send = next(p for p in paths if not p.drops)
+        witness = concretize(send)
+        assert witness[leaf_key(SVar("pkt.ip_src", 0, 2**32 - 1))] >> 24 == 10
+
+
+class TestErrorsAndEdges:
+    def test_division_by_zero_kills_path_only(self):
+        config = EngineConfig(keep_pruned=True)
+        paths, engine = explore(
+            "def cb(pkt):\n"
+            "    if pkt.ttl == 0:\n"
+            "        x = 1 // 0\n"
+            "    send_packet(pkt)\n",
+            config=config,
+        )
+        assert engine.stats.paths_error == 1
+        assert engine.stats.paths_done == 1  # the healthy arm survives
+
+    def test_out_of_range_index_kills_path(self):
+        config = EngineConfig(keep_pruned=True)
+        paths, engine = explore(
+            "XS = [1, 2]\n"
+            "def cb(pkt):\n    x = XS[5]\n",
+            config=config,
+        )
+        assert engine.stats.paths_error == 1
+
+    def test_concrete_dict_symbolic_key_unsupported(self):
+        config = EngineConfig(keep_pruned=True)
+        paths, engine = explore(
+            "D = {1: 2}\n"
+            "def cb(pkt):\n    x = D[pkt.ttl]\n",
+            config=config,
+        )
+        assert engine.stats.paths_error == 1
+        assert "symbolic key" in paths[0].note
+
+    def test_send_non_packet_rejected(self):
+        config = EngineConfig(keep_pruned=True)
+        paths, engine = explore(
+            "def cb(pkt):\n    send_packet(42)\n", config=config
+        )
+        assert engine.stats.paths_error == 1
+
+    def test_aug_assign_on_dict_entry(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    t[pkt.ip_src] = 1\n"
+            "    t[pkt.ip_src] += 2\n"
+            "    if t[pkt.ip_src] == 3:\n"
+            "        send_packet(pkt)\n",
+            extra_env={"t": SymDict("t")},
+        )
+        assert len(paths) == 1 and not paths[0].drops
+
+    def test_branches_list_matches_forks(self):
+        paths, engine = explore(
+            "def cb(pkt):\n"
+            "    if pkt.ttl > 1:\n"
+            "        if pkt.ttl > 2:\n"
+            "            send_packet(pkt)\n"
+        )
+        deepest = max(paths, key=lambda p: len(p.branches))
+        assert len(deepest.branches) == 2

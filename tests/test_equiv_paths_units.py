@@ -1,0 +1,91 @@
+"""Unit tests for the path-set comparison machinery."""
+
+from __future__ import annotations
+
+from repro.equiv.paths import compare_path_sets
+from repro.symbolic.expr import SVar, mk_app
+from repro.symbolic.state import PathResult
+
+TTL = SVar("pkt.ttl", 0, 255)
+LEN = SVar("pkt.length", 0, 65535)
+
+
+def path(pid, constraints, sent=(), status="done"):
+    return PathResult(
+        path_id=pid,
+        status=status,
+        constraints=list(constraints),
+        executed=[],
+        branches=[],
+        sent=[(dict(fields), None) for fields in sent],
+        state_writes=[],
+        env={},
+    )
+
+
+C1 = mk_app(">", TTL, 5)
+C2 = mk_app("not", mk_app(">", TTL, 5))
+LOG = mk_app("<", LEN, 100)  # a telemetry-only refinement
+
+
+class TestCompare:
+    def test_identical_sets_equal(self):
+        a = [path(1, [C1], sent=[{"ttl": TTL}]), path(2, [C2])]
+        report = compare_path_sets(a, a)
+        assert report.equivalent
+        assert report.n_merged == report.n_sliced == 2
+
+    def test_log_refinement_merges(self):
+        original = [
+            path(1, [C1, LOG], sent=[{"ttl": TTL}]),
+            path(2, [C1, mk_app("not", LOG)], sent=[{"ttl": TTL}]),
+            path(3, [C2]),
+        ]
+        sliced = [path(1, [C1], sent=[{"ttl": TTL}]), path(2, [C2])]
+        report = compare_path_sets(original, sliced)
+        assert report.equivalent
+        assert report.n_original == 3 and report.n_merged == 2
+
+    def test_behaviour_conflict_detected(self):
+        # two original paths project to the same condition but behave
+        # differently — the slice lost a relevant distinction
+        original = [
+            path(1, [C1, LOG], sent=[{"ttl": TTL}]),
+            path(2, [C1, mk_app("not", LOG)]),  # drops instead
+        ]
+        sliced = [path(1, [C1], sent=[{"ttl": TTL}])]
+        report = compare_path_sets(original, sliced)
+        assert not report.equivalent
+        assert report.behaviour_conflicts
+
+    def test_missing_sliced_path_detected(self):
+        original = [path(1, [C1], sent=[{"ttl": TTL}])]
+        sliced = [
+            path(1, [C1], sent=[{"ttl": TTL}]),
+            path(2, [C2]),
+        ]
+        report = compare_path_sets(original, sliced)
+        assert not report.equivalent
+        assert report.only_in_sliced
+
+    def test_extra_original_path_detected(self):
+        original = [
+            path(1, [C1], sent=[{"ttl": TTL}]),
+            path(2, [C2]),
+        ]
+        sliced = [path(1, [C1], sent=[{"ttl": TTL}])]
+        report = compare_path_sets(original, sliced)
+        assert not report.equivalent
+        assert report.only_in_original
+
+    def test_non_done_paths_ignored(self):
+        original = [path(1, [C1], sent=[{"ttl": TTL}]), path(2, [C2], status="error")]
+        sliced = [path(1, [C1], sent=[{"ttl": TTL}])]
+        report = compare_path_sets(original, sliced)
+        assert report.equivalent
+
+    def test_send_port_part_of_behaviour(self):
+        a = [path(1, [C1], sent=[{"ttl": 1}])]
+        b = [path(1, [C1], sent=[{"ttl": 2}])]
+        report = compare_path_sets(a, b)
+        assert not report.equivalent

@@ -1,0 +1,190 @@
+"""Interpreter semantics tests, including cross-checks against CPython."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import Env, Interpreter, NFRuntimeError
+from repro.lang.parser import parse_program
+from repro.net.packet import Packet
+
+# Pure-Python functions: NFPy is a Python subset, so the interpreter's
+# result must equal CPython's on the same source.
+PURE_FUNCTIONS = [
+    ("def f(a, b):\n    return a + b * 2\n", [(3, 4), (0, 0), (-5, 9)]),
+    ("def f(a):\n    return a // 3, a % 3\n", [(10,), (0,), (255,)]),
+    ("def f(a):\n    x = 0\n    for i in range(a):\n        x += i\n    return x\n", [(5,), (0,), (12,)]),
+    (
+        "def f(a):\n    if a > 10:\n        return 'big'\n    elif a > 5:\n        return 'mid'\n    return 'small'\n",
+        [(3,), (7,), (20,)],
+    ),
+    (
+        "def f(a):\n    d = {}\n    i = 0\n    while i < a:\n        d[i] = i * i\n        i += 1\n    return d\n",
+        [(4,), (0,)],
+    ),
+    (
+        "def f(xs):\n    out = []\n    for x in xs:\n        if x % 2 == 0:\n            out.append(x)\n    return out\n",
+        [([1, 2, 3, 4],), ([],)],
+    ),
+    (
+        "def f(a):\n    t = (a, a + 1)\n    x, y = t\n    return y - x\n",
+        [(9,)],
+    ),
+    ("def f(a):\n    return len([a, a]) + max(a, 3) + min(a, 3) + abs(-a)\n", [(7,), (1,)]),
+    ("def f(a):\n    return a & 6 | 1 ^ 3 if a else ~a\n", [(5,), (0,)]),
+    (
+        "def f(a):\n    s = 0\n    i = 0\n    while True:\n        i += 1\n        if i > a:\n            break\n        if i % 2 == 0:\n            continue\n        s += i\n    return s\n",
+        [(10,), (1,)],
+    ),
+    (
+        "def f(d):\n    if 'k' in d:\n        del d['k']\n    return sorted(d.keys())\n",
+        [({"k": 1, "a": 2},), ({"z": 3},)],
+    ),
+]
+
+
+class TestPythonEquivalence:
+    @pytest.mark.parametrize("source,arglists", PURE_FUNCTIONS)
+    def test_matches_cpython(self, source, arglists):
+        namespace: dict = {}
+        exec(source, namespace)  # noqa: S102 - trusted test source
+        cpython_f = namespace["f"]
+        program = parse_program(source)
+        for args in arglists:
+            import copy
+
+            expected = cpython_f(*copy.deepcopy(list(args)))
+            interp = Interpreter(program=program)
+            actual = interp.call("f", copy.deepcopy(list(args)))
+            assert actual == expected, (source, args)
+
+
+class TestScoping:
+    def test_global_declaration_writes_module_var(self):
+        src = "x = 1\ndef f(a):\n    global x\n    x = a\n    return x\n"
+        interp = Interpreter(program=parse_program(src))
+        interp.run_module()
+        assert interp.call("f", [42]) == 42
+        assert interp.globals["x"] == 42
+
+    def test_assignment_without_global_is_local(self):
+        src = "x = 1\ndef f(a):\n    x = a\n    return x\n"
+        interp = Interpreter(program=parse_program(src))
+        interp.run_module()
+        assert interp.call("f", [42]) == 42
+        assert interp.globals["x"] == 1
+
+    def test_mutation_without_global_reaches_module_dict(self):
+        src = "d = {}\ndef f(a):\n    d[a] = 1\n    return 0\n"
+        interp = Interpreter(program=parse_program(src))
+        interp.run_module()
+        interp.call("f", [5])
+        assert interp.globals["d"] == {5: 1}
+
+    def test_reading_global_without_declaration(self):
+        src = "W = 7\ndef f(a):\n    return a * W\n"
+        interp = Interpreter(program=parse_program(src))
+        interp.run_module()
+        assert interp.call("f", [2]) == 14
+
+
+class TestErrors:
+    def test_undefined_name(self):
+        interp = Interpreter(program=parse_program("def f(a):\n    return nope\n"))
+        with pytest.raises(NFRuntimeError, match="not defined"):
+            interp.call("f", [1])
+
+    def test_key_error(self):
+        interp = Interpreter(program=parse_program("def f(d):\n    return d[9]\n"))
+        with pytest.raises(NFRuntimeError):
+            interp.call("f", [{}])
+
+    def test_step_bound_catches_infinite_loop(self):
+        src = "def f(a):\n    while True:\n        a += 1\n    return a\n"
+        interp = Interpreter(program=parse_program(src), max_steps=1000)
+        with pytest.raises(NFRuntimeError, match="exceeded"):
+            interp.call("f", [0])
+
+    def test_division_by_zero(self):
+        interp = Interpreter(program=parse_program("def f(a):\n    return 1 // a\n"))
+        with pytest.raises(NFRuntimeError):
+            interp.call("f", [0])
+
+    def test_unpack_mismatch(self):
+        interp = Interpreter(program=parse_program("def f(t):\n    a, b = t\n    return a\n"))
+        with pytest.raises(NFRuntimeError, match="unpack"):
+            interp.call("f", [(1, 2, 3)])
+
+    def test_wrong_arity(self):
+        interp = Interpreter(program=parse_program("def f(a, b):\n    return a\n"))
+        with pytest.raises(NFRuntimeError, match="takes 2"):
+            interp.call("f", [1])
+
+    def test_empty_input_queue(self):
+        interp = Interpreter(program=parse_program("def f(a):\n    return recv_packet()\n"))
+        with pytest.raises(NFRuntimeError, match="queue"):
+            interp.call("f", [0])
+
+
+class TestPacketIO:
+    def test_send_copies_packet(self):
+        src = (
+            "def cb(pkt):\n"
+            "    send_packet(pkt)\n"
+            "    pkt.ttl = 1\n"
+            "    send_packet(pkt)\n"
+        )
+        interp = Interpreter(program=parse_program(src, entry="cb"))
+        out = interp.process_packet(Packet(ttl=64))
+        assert out[0][0].ttl == 64
+        assert out[1][0].ttl == 1
+
+    def test_send_with_port(self):
+        src = "def cb(pkt):\n    send_packet(pkt, 3)\n"
+        interp = Interpreter(program=parse_program(src, entry="cb"))
+        out = interp.process_packet(Packet())
+        assert out[0][1] == 3
+
+    def test_recv_packet_pops_queue(self):
+        src = "def f(a):\n    p = recv_packet()\n    return p.ttl\n"
+        interp = Interpreter(program=parse_program(src))
+        interp.inputs.append(Packet(ttl=9))
+        assert interp.call("f", [0]) == 9
+
+    def test_deterministic_hash_builtin(self):
+        src = "def f(a):\n    return hash((a, 1)) % 97\n"
+        interp1 = Interpreter(program=parse_program(src))
+        interp2 = Interpreter(program=parse_program(src))
+        assert interp1.call("f", [5]) == interp2.call("f", [5])
+
+    def test_process_packet_returns_only_new_sends(self):
+        src = "def cb(pkt):\n    send_packet(pkt)\n"
+        interp = Interpreter(program=parse_program(src, entry="cb"))
+        first = interp.process_packet(Packet(ttl=1))
+        second = interp.process_packet(Packet(ttl=2))
+        assert len(first) == 1 and len(second) == 1
+        assert second[0][0].ttl == 2
+
+
+class TestTracing:
+    def test_trace_records_branches(self):
+        src = "def f(a):\n    if a > 1:\n        return 1\n    return 0\n"
+        interp = Interpreter(program=parse_program(src), trace=True)
+        interp.call("f", [5])
+        branches = [e for e in interp.trace if e.branch is not None]
+        assert branches and branches[0].branch is True
+
+    def test_trace_links_dynamic_defs(self):
+        src = "def f(a):\n    x = a\n    y = x\n    return y\n"
+        interp = Interpreter(program=parse_program(src), trace=True)
+        interp.call("f", [1])
+        events = interp.trace.events
+        y_event = events[1]
+        assert y_event.use_defs["x"] == events[0].index
+
+    def test_trace_ctrl_parent(self):
+        src = "def f(a):\n    if a:\n        x = 1\n    return 0\n"
+        interp = Interpreter(program=parse_program(src), trace=True)
+        interp.call("f", [1])
+        events = interp.trace.events
+        assert events[1].ctrl == events[0].index

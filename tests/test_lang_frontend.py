@@ -1,0 +1,192 @@
+"""Tests for the NFPy frontend: parsing, lowering, validation, def/use."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.errors import NFPyError, NFPyRecursionError
+from repro.lang.ir import (
+    EBool,
+    ECall,
+    ECmp,
+    EConst,
+    EName,
+    SAssign,
+    SDelete,
+    SIf,
+    SReturn,
+    SWhile,
+    expr_names,
+    iter_block,
+    stmt_defs,
+    stmt_scope_names,
+    stmt_uses,
+)
+from repro.lang.parser import parse_function, parse_program
+
+
+class TestParsing:
+    def test_module_split(self):
+        p = parse_program("x = 1\n\ndef f(a):\n    return a\n")
+        assert len(p.module_body) == 1
+        assert set(p.functions) == {"f"}
+
+    def test_entry_selection(self):
+        p = parse_program("def f(a):\n    return a\n", entry="f")
+        assert p.entry_function.name == "f"
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(NFPyError):
+            parse_program("x = 1\n", entry="nope")
+
+    def test_main_guard_skipped(self):
+        p = parse_program(
+            "def f(a):\n    return a\n\nif __name__ == '__main__':\n    f(1)\n"
+        )
+        assert p.module_body == []
+
+    def test_docstrings_dropped(self):
+        p = parse_program('"""mod doc"""\n\ndef f(a):\n    "fn doc"\n    return a\n')
+        assert p.module_body == []
+        assert len(p.functions["f"].body) == 1
+
+    def test_sids_unique_and_dense(self):
+        p = parse_program("x = 1\ny = 2\n\ndef f(a):\n    if a:\n        return 1\n    return 0\n")
+        sids = [s.sid for s in p.all_stmts()]
+        assert sorted(sids) == list(range(len(sids)))
+
+    def test_line_numbers_kept(self):
+        p = parse_program("x = 1\ny = 2\n")
+        assert [s.line for s in p.module_body] == [1, 2]
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(NFPyError):
+            parse_program("def f(a):\n    return a\n\ndef f(b):\n    return b\n")
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(NFPyError, match="syntax"):
+            parse_program("def f(:\n")
+
+
+class TestLowering:
+    def test_for_becomes_while(self):
+        fn = parse_function("def f(xs):\n    t = 0\n    for x in xs:\n        t += x\n    return t\n")
+        kinds = [type(s).__name__ for s in fn.body]
+        assert "SWhile" in kinds
+        assert not any(k == "SFor" for k in kinds)
+
+    def test_comparison_chain_expands(self):
+        fn = parse_function("def f(a):\n    return 1 <= a <= 10\n")
+        ret = fn.body[0]
+        assert isinstance(ret, SReturn)
+        assert isinstance(ret.value, EBool)
+        assert all(isinstance(part, ECmp) for part in ret.value.values)
+
+    def test_elif_nests(self):
+        fn = parse_function(
+            "def f(a):\n    if a == 1:\n        return 1\n    elif a == 2:\n        return 2\n    else:\n        return 3\n"
+        )
+        top = fn.body[0]
+        assert isinstance(top, SIf)
+        assert isinstance(top.orelse[0], SIf)
+
+    def test_method_call_normalised(self):
+        fn = parse_function("def f(xs):\n    xs.append(1)\n")
+        call = fn.body[0].value
+        assert isinstance(call, ECall) and call.method and call.func == "append"
+        assert call.args[0] == EName("xs")
+
+    def test_del_statement(self):
+        fn = parse_function("def f(d, k):\n    del d[k]\n")
+        assert isinstance(fn.body[0], SDelete)
+
+    def test_global_collected(self):
+        fn = parse_function("def f(a):\n    global x, y\n    x = a\n")
+        assert fn.global_names == {"x", "y"}
+
+    def test_augmented_assign(self):
+        fn = parse_function("def f(a):\n    a += 2\n    return a\n")
+        assign = fn.body[0]
+        assert isinstance(assign, SAssign) and assign.aug == "+"
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(a):\n    [x for x in a]\n",          # comprehension
+            "def f(a):\n    with a:\n        pass\n",   # with
+            "def f(a):\n    try:\n        pass\n    except Exception:\n        pass\n",
+            "class C:\n    pass\n",
+            "def f(a, *args):\n    return a\n",
+            "def f(a=1):\n    return a\n",
+            "def f(a):\n    return lambda: a\n",
+            "def f(a):\n    assert a\n",
+            "def f(a):\n    return a[1:2]\n",           # slicing
+            "def f(a):\n    del a\n",                   # bare del
+            "async def f(a):\n    return a\n",
+            "def f(a):\n    return f(a - 1)\n",         # recursion
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(NFPyError):
+            parse_program(source)
+
+    def test_mutual_recursion_rejected(self):
+        src = "def f(a):\n    return g(a)\n\ndef g(a):\n    return f(a)\n"
+        with pytest.raises(NFPyRecursionError):
+            parse_program(src)
+
+    def test_imports_tolerated(self):
+        p = parse_program("import os\nfrom sys import path\nx = 1\n")
+        assert len(p.module_body) == 1
+
+
+class TestDefUse:
+    def _stmt(self, body: str):
+        fn = parse_function(f"def f(a, b, d):\n    {body}\n")
+        return fn.body[0]
+
+    def test_simple_assign(self):
+        s = self._stmt("x = a + b")
+        assert stmt_defs(s) == {"x"}
+        assert stmt_uses(s) == {"a", "b"}
+
+    def test_tuple_assign(self):
+        s = self._stmt("x, y = a, b")
+        assert stmt_defs(s) == {"x", "y"}
+
+    def test_subscript_store_is_weak(self):
+        s = self._stmt("d[a] = b")
+        assert stmt_defs(s) == {"d"}
+        assert stmt_uses(s) == {"d", "a", "b"}
+        assert stmt_scope_names(s) == set()  # does not bind `d`
+
+    def test_attr_store_is_weak(self):
+        s = self._stmt("a.ip_src = b")
+        assert stmt_defs(s) == {"a"}
+        assert "a" in stmt_uses(s)
+
+    def test_aug_assign_uses_target(self):
+        s = self._stmt("a += b")
+        assert stmt_uses(s) == {"a", "b"}
+        assert stmt_scope_names(s) == {"a"}  # x += 1 binds x in Python
+
+    def test_method_mutation_defs_receiver(self):
+        s = self._stmt("d.append(a)")
+        assert stmt_defs(s) == {"d"}
+
+    def test_if_uses_condition_only(self):
+        fn = parse_function("def f(a, b):\n    if a > 1:\n        x = b\n")
+        s = fn.body[0]
+        assert stmt_uses(s) == {"a"}
+        assert stmt_defs(s) == set()
+
+    def test_delete_def_use(self):
+        s = self._stmt("del d[a]")
+        assert stmt_defs(s) == {"d"}
+        assert stmt_uses(s) == {"d", "a"}
+
+    def test_expr_names_nested(self):
+        fn = parse_function("def f(a, b, c):\n    return (a + b) * c[a]\n")
+        assert expr_names(fn.body[0].value) == {"a", "b", "c"}

@@ -1,0 +1,64 @@
+"""Tests for the pretty printer: output must re-parse to equal behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program, pretty_slice, pretty_stmt
+from repro.net.packet import Packet
+
+ROUNDTRIP_SOURCES = [
+    "x = 1\ny = (1, 2)\nz = [1, 2, 3]\nd = {1: 2}\n",
+    "def f(a, b):\n    return (a + b) * 2 - a // 3 % 5\n",
+    "def f(a):\n    if a > 1 and a < 10 or not a:\n        return 1\n    return 0\n",
+    "def f(xs):\n    t = 0\n    for x in xs:\n        t += x\n    return t\n",
+    "def f(d, k):\n    if k in d:\n        del d[k]\n    d[k] = 1\n    return d[k]\n",
+    "def f(a):\n    x = 1 if a else 2\n    return -x\n",
+    "def f(xs):\n    xs.append(5)\n    return xs.pop()\n",
+    "def f(a):\n    while a > 0:\n        a -= 1\n        if a == 3:\n            break\n        if a == 5:\n            continue\n    return a\n",
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_SOURCES)
+def test_pretty_output_reparses(source):
+    program = parse_program(source)
+    text = pretty_program(program)
+    reparsed = parse_program(text)
+    assert pretty_program(reparsed) == text  # fixpoint after one round
+
+
+@pytest.mark.parametrize(
+    "source,args,expected",
+    [
+        ("def f(a, b):\n    return (a + b) * 2\n", [3, 4], 14),
+        ("def f(a):\n    if 1 <= a <= 5:\n        return 1\n    return 0\n", [3], 1),
+        ("def f(xs):\n    t = 0\n    for x in xs:\n        t += x\n    return t\n", [[1, 2, 3]], 6),
+        ("def f(a):\n    while a > 0:\n        a -= 2\n    return a\n", [7], -1),
+    ],
+)
+def test_roundtrip_preserves_semantics(source, args, expected):
+    def run(src):
+        program = parse_program(src)
+        return Interpreter(program=program).call("f", args)
+
+    assert run(source) == expected
+    assert run(pretty_program(parse_program(source))) == expected
+
+
+def test_pretty_slice_marks_lines(lb_result):
+    text = pretty_slice(lb_result.program, set())
+    assert ">> " not in text
+    marked = pretty_slice(
+        lb_result.program,
+        {s.sid for s in lb_result.program.all_stmts()},
+    )
+    assert marked.count(">> ") > 10
+
+
+def test_pretty_stmt_multiline_if():
+    program = parse_program("def f(a):\n    if a:\n        x = 1\n    else:\n        x = 2\n")
+    text = pretty_stmt(program.functions["f"].body[0])
+    assert text.splitlines()[0] == "if a:"
+    assert "else:" in text

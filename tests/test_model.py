@@ -1,0 +1,211 @@
+"""Tests for the match/action model, FSM view, rendering and simulator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.model.fsm import build_fsm
+from repro.model.matchaction import (
+    NFModel,
+    TableEntry,
+    classify_leaf,
+    split_constraints,
+)
+from repro.model.serialize import model_to_dict, model_to_json, render_model, sym_text
+from repro.model.simulator import GuardEvalError, eval_symbolic
+from repro.net.packet import Packet
+from repro.symbolic.expr import SApp, SDictVal, SVar, mk_app
+
+PKT_DPORT = SVar("pkt.dport", 0, 65535)
+CFG_MODE = SVar("cfg.mode", 0, 3)
+ST_IDX = SVar("st.rr_idx", 0, 10)
+MEMBER = SApp("member", ("nat", (SVar("pkt.ip_src", 0, 2**32 - 1),)))
+
+
+class TestConstraintSplit:
+    def test_leaf_classification(self):
+        assert classify_leaf(PKT_DPORT) == "flow"
+        assert classify_leaf(CFG_MODE) == "config"
+        assert classify_leaf(ST_IDX) == "state"
+        assert classify_leaf(MEMBER) == "state"
+        assert classify_leaf(SDictVal("nat", "k")) == "state"
+
+    def test_split_priorities(self):
+        config, flow, state = split_constraints(
+            [
+                mk_app("==", CFG_MODE, 1),                # pure config
+                mk_app("==", PKT_DPORT, 80),              # pure flow
+                mk_app("==", PKT_DPORT, CFG_MODE),        # flow+config -> flow
+                MEMBER,                                    # state
+                mk_app("<", ST_IDX, 2),                   # state
+            ]
+        )
+        assert len(config) == 1
+        assert len(flow) == 2
+        assert len(state) == 2
+
+
+def make_entry(entry_id, config=(), flow=(), state=(), sent=(), state_stmts=()):
+    return TableEntry(
+        entry_id=entry_id,
+        config=list(config),
+        match_flow=list(flow),
+        match_state=list(state),
+        action_stmts=[],
+        pkt_action_stmts=[],
+        state_action_stmts=list(state_stmts),
+        sent=list(sent),
+        path_id=entry_id,
+    )
+
+
+class TestNFModel:
+    def test_entries_grouped_by_config(self):
+        model = NFModel(name="t")
+        model.add_entry(make_entry(1, config=[mk_app("==", CFG_MODE, 1)]))
+        model.add_entry(make_entry(2, config=[mk_app("==", CFG_MODE, 1)]))
+        model.add_entry(make_entry(3, config=[mk_app("==", CFG_MODE, 2)]))
+        model.add_entry(make_entry(4))
+        assert len(model.tables) == 3
+        assert model.n_entries == 4
+
+    def test_forwarding_vs_drop(self):
+        model = NFModel(name="t")
+        model.add_entry(make_entry(1, sent=[({"dport": 80}, None)]))
+        model.add_entry(make_entry(2))
+        assert len(model.forwarding_entries()) == 1
+        assert len(model.drop_entries()) == 1
+
+    def test_state_atoms_collected(self):
+        model = NFModel(name="t")
+        model.add_entry(make_entry(1, state=[MEMBER]))
+        assert model.state_atoms() == {"nat"}
+
+    def test_flow_transform_identity_excluded(self):
+        entry = make_entry(
+            1,
+            sent=[({"dport": SVar("pkt.dport", 0, 65535), "ttl": 9}, None)],
+        )
+        assert entry.flow_transform() == {"ttl": 9}
+
+
+class TestRendering:
+    def test_render_contains_tables(self, lb_result):
+        text = render_model(lb_result.model)
+        assert "config" in text
+        assert "default action: drop" in text
+        assert "f2b_nat" in text
+
+    def test_sym_text_shapes(self):
+        assert sym_text(MEMBER) == "f in nat"
+        assert sym_text(mk_app("not", MEMBER)) == "f not in nat"
+        assert "rr_idx" in sym_text(ST_IDX)
+        assert sym_text(SDictVal("nat", "k", (0,))) == "nat[f][0]"
+
+    def test_json_export_roundtrips(self, lb_result):
+        payload = model_to_json(lb_result.model)
+        data = json.loads(payload)
+        assert data["name"] == lb_result.model.name
+        assert data["variables"]["oisVar"]
+        assert all("match" in e for t in data["tables"] for e in t["entries"])
+
+    def test_dict_export_counts(self, lb_result):
+        data = model_to_dict(lb_result.model)
+        n = sum(len(t["entries"]) for t in data["tables"])
+        assert n == lb_result.model.n_entries
+
+
+class TestGuardEvaluation:
+    def test_packet_field(self):
+        pkt = Packet(dport=80)
+        assert eval_symbolic(mk_app("==", PKT_DPORT, 80), {}, pkt) is True
+
+    def test_state_variable(self):
+        pkt = Packet()
+        assert eval_symbolic(mk_app("<", ST_IDX, 2), {"rr_idx": 1}, pkt) is True
+
+    def test_config_variable(self):
+        assert eval_symbolic(mk_app("==", CFG_MODE, 1), {"mode": 1}, Packet()) is True
+
+    def test_member_atom(self):
+        pkt = Packet(ip_src=5)
+        state = {"nat": {(5,): "x"}}
+        assert eval_symbolic(MEMBER, state, pkt) is True
+        assert eval_symbolic(MEMBER, {"nat": {}}, pkt) is False
+
+    def test_dictval_with_path(self):
+        key = (SVar("pkt.ip_src", 0, 2**32 - 1),)
+        dv = SDictVal("nat", "canon", (1,), key=key)
+        state = {"nat": {(5,): (10, 20)}}
+        assert eval_symbolic(dv, state, Packet(ip_src=5)) == 20
+
+    def test_missing_state_raises(self):
+        with pytest.raises(GuardEvalError):
+            eval_symbolic(ST_IDX, {}, Packet())
+
+    def test_missing_key_raises(self):
+        dv = SDictVal("nat", "canon", (), key=(SVar("pkt.ip_src", 0, 10),))
+        with pytest.raises(GuardEvalError):
+            eval_symbolic(dv, {"nat": {}}, Packet(ip_src=5))
+
+
+class TestSimulator:
+    def test_default_drop_when_nothing_matches(self, lb_result):
+        sim = lb_result.make_simulator()
+        # dport != LB_PORT and flow unknown: explicit drop entry matches
+        out = sim.process(Packet(dport=9999))
+        assert out == []
+        assert sim.stats.packets == 1
+
+    def test_stateful_sequence(self, lb_result):
+        sim = lb_result.make_simulator()
+        first = sim.process(Packet(dport=80, ip_src=7, sport=100, ip_dst=50529027))
+        second = sim.process(Packet(dport=80, ip_src=7, sport=100, ip_dst=50529027))
+        assert len(first) == len(second) == 1
+        # same flow maps to the same backend/port
+        assert first[0][0] == second[0][0]
+
+    def test_matched_entries_counted(self, lb_result):
+        sim = lb_result.make_simulator()
+        sim.process(Packet(dport=80, ip_src=1, sport=2, ip_dst=3))
+        assert sum(sim.stats.matched_entries.values()) == 1
+
+
+class TestFSM:
+    def test_lb_fsm_atoms(self, lb_result):
+        fsm = build_fsm(lb_result.model)
+        assert set(fsm.atoms) == {"f2b_nat", "b2f_nat"}
+
+    def test_initial_state_all_absent(self, lb_result):
+        fsm = build_fsm(lb_result.model)
+        assert all(not member for _, member in fsm.initial)
+
+    def test_new_flow_transition_populates_tables(self, lb_result):
+        fsm = build_fsm(lb_result.model)
+        outgoing = fsm.successors(fsm.initial)
+        dst_states = {t.dst for t in outgoing if t.forwards}
+        full = frozenset({("f2b_nat", True), ("b2f_nat", True)})
+        assert full in dst_states
+
+    def test_reachability_and_paths(self, lb_result):
+        fsm = build_fsm(lb_result.model)
+        reachable = fsm.reachable_states()
+        assert fsm.initial in reachable
+        paths = fsm.paths_to_all_states()
+        for state in reachable:
+            assert state in paths
+
+    def test_render_state(self, lb_result):
+        fsm = build_fsm(lb_result.model)
+        text = fsm.render_state(fsm.initial)
+        assert "f2b_nat" in text
+
+    def test_firewall_fsm_has_teardown(self, firewall_result):
+        fsm = build_fsm(firewall_result.model)
+        tracked = frozenset({("conns", True)})
+        back = [
+            t for t in fsm.transitions if t.src == tracked and t.dst == fsm.initial
+        ]
+        assert back  # RST / final-ACK deletes the connection

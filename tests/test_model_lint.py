@@ -1,0 +1,98 @@
+"""Tests for the model linter (guard disjointness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.lint import lint_model
+from repro.model.matchaction import NFModel, TableEntry
+from repro.net.generator import WorkloadSpec
+from repro.nfs import get_nf
+from repro.symbolic.expr import SVar, mk_app
+
+DPORT = SVar("pkt.dport", 0, 65535)
+
+
+def entry(entry_id, flow, sent=True):
+    return TableEntry(
+        entry_id=entry_id,
+        config=[],
+        match_flow=list(flow),
+        match_state=[],
+        action_stmts=[],
+        pkt_action_stmts=[],
+        state_action_stmts=[],
+        sent=[({}, None)] if sent else [],
+        path_id=entry_id,
+    )
+
+
+class TestSyntheticModels:
+    def test_disjoint_model_is_clean(self):
+        model = NFModel(name="t")
+        model.add_entry(entry(1, [mk_app("==", DPORT, 80)]))
+        model.add_entry(entry(2, [mk_app("!=", DPORT, 80)]))
+        report = lint_model(model)
+        assert report.clean
+        assert report.pairs_checked == 1
+
+    def test_overlap_detected(self):
+        model = NFModel(name="t")
+        model.add_entry(entry(1, [mk_app("<", DPORT, 100)]))
+        model.add_entry(entry(2, [mk_app("<", DPORT, 50)]))
+        report = lint_model(model)
+        assert not report.clean
+        assert (1, 2) in report.overlaps
+
+    def test_empty_guard_flagged(self):
+        model = NFModel(name="t")
+        model.add_entry(entry(1, []))
+        report = lint_model(model)
+        assert report.empty_guards == [1]
+
+    def test_pairwise_cap_respected(self):
+        model = NFModel(name="t")
+        for i in range(10):
+            model.add_entry(entry(i, [mk_app("==", DPORT, i)]))
+        report = lint_model(model, max_pairwise_entries=4)
+        assert report.pairs_checked == 0  # table too large, skipped
+
+    def test_summary(self):
+        model = NFModel(name="t")
+        model.add_entry(entry(1, [mk_app("==", DPORT, 80)]))
+        assert "clean" in lint_model(model).summary()
+
+
+class TestCorpusModels:
+    """Synthesized models come from deterministic programs, so their
+    per-config tables must be disjoint."""
+
+    @pytest.mark.parametrize(
+        "fixture",
+        ["lb_result", "nat_result", "monitor_result", "balance_result"],
+    )
+    def test_corpus_model_disjoint(self, fixture, request):
+        result = request.getfixturevalue(fixture)
+        report = lint_model(
+            result.model,
+            simulator=result.make_simulator(),
+            workload=WorkloadSpec(
+                n_packets=200,
+                seed=5,
+                interesting=get_nf(
+                    result.model.name.replace("~unfolded", "")
+                ).interesting,
+            ),
+        )
+        assert not report.empirical_overlaps, report.summary()
+
+    def test_firewall_empirically_disjoint(self, firewall_result):
+        report = lint_model(
+            firewall_result.model,
+            max_pairwise_entries=0,  # 31 entries: empirical only
+            simulator=firewall_result.make_simulator(),
+            workload=WorkloadSpec(
+                n_packets=300, seed=5, interesting=get_nf("firewall").interesting
+            ),
+        )
+        assert not report.empirical_overlaps, report.summary()

@@ -1,0 +1,46 @@
+"""Tests for the workload generator."""
+
+from __future__ import annotations
+
+from repro.net.generator import TrafficGenerator, WorkloadSpec
+from repro.net.packet import FIELD_DOMAINS, PROTO_TCP, TCP_SYN
+
+
+class TestTrafficGenerator:
+    def test_deterministic_for_seed(self):
+        a = list(TrafficGenerator(WorkloadSpec(n_packets=50, seed=1)).packets())
+        b = list(TrafficGenerator(WorkloadSpec(n_packets=50, seed=1)).packets())
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(TrafficGenerator(WorkloadSpec(n_packets=50, seed=1)).packets())
+        b = list(TrafficGenerator(WorkloadSpec(n_packets=50, seed=2)).packets())
+        assert a != b
+
+    def test_packet_count(self):
+        pkts = list(TrafficGenerator(WorkloadSpec(n_packets=137, seed=3)).packets())
+        assert len(pkts) >= 137  # flows may slightly overshoot the last chunk
+
+    def test_fields_within_domains(self):
+        for pkt in TrafficGenerator(WorkloadSpec(n_packets=100, seed=4)).packets():
+            for name, (lo, hi) in FIELD_DOMAINS.items():
+                assert lo <= getattr(pkt, name) <= hi
+
+    def test_interesting_values_show_up(self):
+        spec = WorkloadSpec(
+            n_packets=200, seed=5, bias=0.9, interesting={"dport": [8080]}
+        )
+        pkts = list(TrafficGenerator(spec).packets())
+        assert any(p.dport == 8080 for p in pkts)
+
+    def test_flow_packets_form_handshake(self):
+        gen = TrafficGenerator(WorkloadSpec(seed=6))
+        flow = gen.flow_packets(4)
+        assert flow[0].tcp_flags == TCP_SYN
+        assert flow[0].proto == PROTO_TCP
+        # reverse direction swaps the tuple
+        assert (flow[1].ip_src, flow[1].sport) == (flow[0].ip_dst, flow[0].dport)
+
+    def test_zero_flow_fraction_yields_singletons(self):
+        spec = WorkloadSpec(n_packets=20, seed=7, flow_fraction=0.0)
+        assert len(list(TrafficGenerator(spec).packets())) == 20

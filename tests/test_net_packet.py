@@ -1,0 +1,144 @@
+"""Tests for the packet substrate: addresses, packets, flows."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    MAX_IPV4,
+    int_to_ip,
+    int_to_mac,
+    ip_to_int,
+    mac_to_int,
+    valid_port,
+)
+from repro.net.flow import FiveTuple, bidirectional_key, flow_of
+from repro.net.packet import (
+    FIELD_DOMAINS,
+    PACKET_FIELDS,
+    Packet,
+    PROTO_TCP,
+    TCP_SYN,
+    tcp_packet,
+)
+
+
+class TestAddresses:
+    def test_ip_roundtrip_known(self):
+        assert int_to_ip(ip_to_int("192.168.1.1")) == "192.168.1.1"
+
+    def test_ip_extremes(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == MAX_IPV4
+
+    def test_ip_malformed(self):
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3")
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3.256")
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    def test_mac_roundtrip(self):
+        assert int_to_mac(mac_to_int("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_mac_malformed(self):
+        with pytest.raises(ValueError):
+            mac_to_int("aa:bb:cc")
+
+    def test_valid_port(self):
+        assert valid_port(0) and valid_port(65535)
+        assert not valid_port(-1) and not valid_port(65536)
+
+    @given(st.integers(0, MAX_IPV4))
+    def test_ip_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPacket:
+    def test_defaults(self):
+        p = Packet()
+        assert p.proto == PROTO_TCP
+        assert p.ttl == 64
+
+    def test_field_write_and_read(self):
+        p = Packet()
+        p.dport = 8080
+        assert p.dport == 8080
+
+    def test_unknown_field_rejected(self):
+        p = Packet()
+        with pytest.raises(AttributeError):
+            p.no_such_field = 1
+        with pytest.raises(AttributeError):
+            Packet(nonsense=1)  # type: ignore[call-arg]
+
+    def test_out_of_domain_rejected(self):
+        p = Packet()
+        with pytest.raises(ValueError):
+            p.dport = 70000
+        with pytest.raises(ValueError):
+            p.ttl = -1
+
+    def test_non_int_rejected(self):
+        p = Packet()
+        with pytest.raises(TypeError):
+            p.dport = "80"  # type: ignore[assignment]
+        with pytest.raises(TypeError):
+            p.dport = True  # type: ignore[assignment]
+
+    def test_copy_is_independent(self):
+        p = Packet(dport=80)
+        q = p.copy()
+        q.dport = 443
+        assert p.dport == 80
+
+    def test_equality_and_hash(self):
+        assert Packet(dport=80) == Packet(dport=80)
+        assert Packet(dport=80) != Packet(dport=81)
+        assert hash(Packet(dport=80)) == hash(Packet(dport=80))
+
+    def test_dict_roundtrip(self):
+        p = tcp_packet(1, 1234, 2, 80, flags=TCP_SYN)
+        assert Packet.from_dict(p.to_dict()) == p
+
+    def test_every_field_has_domain(self):
+        assert set(PACKET_FIELDS) == set(FIELD_DOMAINS)
+
+    def test_has_flag(self):
+        p = Packet(tcp_flags=TCP_SYN)
+        assert p.has_flag(TCP_SYN)
+        assert not p.has_flag(1)
+
+    @given(
+        st.fixed_dictionaries(
+            {
+                name: st.integers(lo, hi)
+                for name, (lo, hi) in list(FIELD_DOMAINS.items())[:6]
+            }
+        )
+    )
+    def test_arbitrary_in_domain_accepted(self, fields):
+        p = Packet(**fields)
+        for name, value in fields.items():
+            assert getattr(p, name) == value
+
+
+class TestFlow:
+    def test_flow_of(self):
+        p = tcp_packet(1, 1000, 2, 80)
+        assert flow_of(p) == FiveTuple(1, 1000, 2, 80, PROTO_TCP)
+
+    def test_reversed(self):
+        ft = FiveTuple(1, 1000, 2, 80, PROTO_TCP)
+        assert ft.reversed() == FiveTuple(2, 80, 1, 1000, PROTO_TCP)
+        assert ft.reversed().reversed() == ft
+
+    def test_four_tuple(self):
+        assert FiveTuple(1, 2, 3, 4, 6).four_tuple() == (1, 2, 3, 4)
+
+    def test_bidirectional_key_symmetric(self):
+        fwd = tcp_packet(1, 1000, 2, 80)
+        rev = tcp_packet(2, 80, 1, 1000)
+        assert bidirectional_key(fwd) == bidirectional_key(rev)

@@ -1,0 +1,101 @@
+"""Tests for the TCP endpoint state machine and connection table."""
+
+from __future__ import annotations
+
+from repro.net.packet import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN, tcp_packet
+from repro.net.tcp import (
+    CLIENT_TO_SERVER,
+    SERVER_TO_CLIENT,
+    TcpConnectionTable,
+    TcpEndpoint,
+    TcpState,
+)
+
+
+def handshake(ep: TcpEndpoint) -> None:
+    ep.segment(CLIENT_TO_SERVER, TCP_SYN)
+    ep.segment(SERVER_TO_CLIENT, TCP_SYN | TCP_ACK)
+    ep.segment(CLIENT_TO_SERVER, TCP_ACK)
+
+
+class TestEndpoint:
+    def test_three_way_handshake(self):
+        ep = TcpEndpoint()
+        assert ep.segment(CLIENT_TO_SERVER, TCP_SYN) == TcpState.SYN_RCVD
+        assert ep.segment(SERVER_TO_CLIENT, TCP_SYN | TCP_ACK) == TcpState.SYN_SENT
+        assert ep.segment(CLIENT_TO_SERVER, TCP_ACK) == TcpState.ESTABLISHED
+        assert ep.established
+
+    def test_data_without_handshake_stays_closed(self):
+        ep = TcpEndpoint()
+        assert ep.segment(CLIENT_TO_SERVER, TCP_ACK) == TcpState.CLOSED
+
+    def test_syn_retransmission_is_stable(self):
+        ep = TcpEndpoint()
+        ep.segment(CLIENT_TO_SERVER, TCP_SYN)
+        assert ep.segment(CLIENT_TO_SERVER, TCP_SYN) == TcpState.SYN_RCVD
+
+    def test_rst_resets_from_any_state(self):
+        ep = TcpEndpoint()
+        handshake(ep)
+        assert ep.segment(CLIENT_TO_SERVER, TCP_RST) == TcpState.CLOSED
+
+    def test_client_close_sequence(self):
+        ep = TcpEndpoint()
+        handshake(ep)
+        assert ep.segment(CLIENT_TO_SERVER, TCP_FIN) == TcpState.FIN_WAIT_1
+        assert ep.segment(SERVER_TO_CLIENT, TCP_ACK) == TcpState.FIN_WAIT_2
+        assert ep.segment(SERVER_TO_CLIENT, TCP_FIN) == TcpState.TIME_WAIT
+
+    def test_server_close_sequence(self):
+        ep = TcpEndpoint()
+        handshake(ep)
+        assert ep.segment(SERVER_TO_CLIENT, TCP_FIN) == TcpState.CLOSE_WAIT
+        assert ep.segment(CLIENT_TO_SERVER, TCP_FIN) == TcpState.LAST_ACK
+        assert ep.segment(SERVER_TO_CLIENT, TCP_ACK) == TcpState.CLOSED
+
+    def test_simultaneous_close(self):
+        ep = TcpEndpoint()
+        handshake(ep)
+        ep.segment(CLIENT_TO_SERVER, TCP_FIN)
+        assert ep.segment(SERVER_TO_CLIENT, TCP_FIN) == TcpState.CLOSING
+        assert ep.segment(CLIENT_TO_SERVER, TCP_ACK) == TcpState.TIME_WAIT
+
+
+class TestConnectionTable:
+    def _flow(self, flags, reverse=False):
+        if reverse:
+            return tcp_packet(2, 80, 1, 1000, flags=flags)
+        return tcp_packet(1, 1000, 2, 80, flags=flags)
+
+    def test_tracks_handshake_across_directions(self):
+        table = TcpConnectionTable()
+        table.observe(self._flow(TCP_SYN))
+        table.observe(self._flow(TCP_SYN | TCP_ACK, reverse=True))
+        before, after = table.observe(self._flow(TCP_ACK))
+        assert after == TcpState.ESTABLISHED
+        assert table.established(self._flow(0))
+
+    def test_unknown_flow_is_closed(self):
+        table = TcpConnectionTable()
+        assert table.state_of(self._flow(0)) == TcpState.CLOSED
+
+    def test_rst_removes_connection(self):
+        table = TcpConnectionTable()
+        table.observe(self._flow(TCP_SYN))
+        assert len(table) == 1
+        table.observe(self._flow(TCP_RST))
+        assert len(table) == 0
+
+    def test_observe_returns_before_and_after(self):
+        table = TcpConnectionTable()
+        before, after = table.observe(self._flow(TCP_SYN))
+        assert before == TcpState.CLOSED
+        assert after == TcpState.SYN_RCVD
+
+    def test_direction_detection(self):
+        table = TcpConnectionTable()
+        table.observe(self._flow(TCP_SYN))
+        # A SYN+ACK from the *initiator* direction must not complete SYN_RCVD.
+        before, after = table.observe(self._flow(TCP_SYN | TCP_ACK))
+        assert after == TcpState.SYN_RCVD

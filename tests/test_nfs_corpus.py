@@ -1,0 +1,326 @@
+"""Behavioural tests of the NF corpus (the reference implementations).
+
+Every NF runs under the concrete interpreter; these tests check the NF
+*semantics* — correct NAT mappings, handshake gating, rule verdicts —
+independent of any analysis machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.net.packet import Packet, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+from repro.nfactor.transforms import normalize_structure
+from repro.nfs import all_nfs, get_nf, nf_names
+
+
+def make_interp(name: str) -> Interpreter:
+    spec = get_nf(name)
+    program = parse_program(spec.source, name=name)
+    if spec.socket_level:
+        from repro.nfactor.tcp_unfold import unfold_tcp
+
+        program = unfold_tcp(program)
+    program, _ = normalize_structure(program)
+    interp = Interpreter(program=program)
+    interp.run_module()
+    return interp
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(nf_names()) == {
+            "balance",
+            "firewall",
+            "l2switch",
+            "loadbalancer",
+            "monitor",
+            "nat",
+            "proxycache",
+            "ratelimiter",
+            "snortlite",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_nf("nope")
+
+    def test_all_sources_parse(self):
+        for spec in all_nfs():
+            program = parse_program(spec.source, name=spec.name)
+            assert program.loc() > 5
+
+    def test_sources_are_valid_python(self):
+        import ast
+
+        for spec in all_nfs():
+            ast.parse(spec.source)  # must also be plain Python
+
+
+class TestLoadBalancer:
+    VIP = 50529027
+
+    def test_round_robin_alternates_backends(self):
+        interp = make_interp("loadbalancer")
+        out1 = interp.process_packet(Packet(dport=80, ip_src=1, sport=1, ip_dst=self.VIP))
+        out2 = interp.process_packet(Packet(dport=80, ip_src=2, sport=2, ip_dst=self.VIP))
+        assert out1[0][0].ip_dst != out2[0][0].ip_dst
+
+    def test_same_flow_keeps_mapping(self):
+        interp = make_interp("loadbalancer")
+        a = interp.process_packet(Packet(dport=80, ip_src=1, sport=9, ip_dst=self.VIP))
+        b = interp.process_packet(Packet(dport=80, ip_src=1, sport=9, ip_dst=self.VIP))
+        assert a[0][0] == b[0][0]
+
+    def test_reverse_traffic_translated_back(self):
+        interp = make_interp("loadbalancer")
+        fwd = interp.process_packet(Packet(dport=80, ip_src=1, sport=9, ip_dst=self.VIP))[0][0]
+        reply = Packet(
+            ip_src=fwd.ip_dst, sport=fwd.dport, ip_dst=fwd.ip_src, dport=fwd.sport
+        )
+        back = interp.process_packet(reply)
+        assert back[0][0].ip_dst == 1
+        assert back[0][0].dport == 9
+
+    def test_unsolicited_reverse_dropped(self):
+        interp = make_interp("loadbalancer")
+        assert interp.process_packet(Packet(dport=9999)) == []
+        assert interp.globals["drop_stat"] == 1
+
+    def test_source_nat_applied(self):
+        interp = make_interp("loadbalancer")
+        out = interp.process_packet(Packet(dport=80, ip_src=1, sport=9, ip_dst=self.VIP))
+        assert out[0][0].ip_src == self.VIP
+        assert out[0][0].sport == 10000  # first allocated port
+
+
+class TestNat:
+    EXT = 3405803777
+    INSIDE = 167772161  # 10.0.0.1
+
+    def test_outbound_translation(self):
+        interp = make_interp("nat")
+        out = interp.process_packet(Packet(ip_src=self.INSIDE, sport=999, ip_dst=7))
+        assert out[0][0].ip_src == self.EXT
+        assert out[0][0].sport == 20000
+
+    def test_mapping_reused_per_flow(self):
+        interp = make_interp("nat")
+        a = interp.process_packet(Packet(ip_src=self.INSIDE, sport=999, ip_dst=7))
+        b = interp.process_packet(Packet(ip_src=self.INSIDE, sport=999, ip_dst=8))
+        assert a[0][0].sport == b[0][0].sport
+
+    def test_distinct_flows_distinct_ports(self):
+        interp = make_interp("nat")
+        a = interp.process_packet(Packet(ip_src=self.INSIDE, sport=1, ip_dst=7))
+        b = interp.process_packet(Packet(ip_src=self.INSIDE, sport=2, ip_dst=7))
+        assert a[0][0].sport != b[0][0].sport
+
+    def test_reverse_traffic_detranslated(self):
+        interp = make_interp("nat")
+        out = interp.process_packet(Packet(ip_src=self.INSIDE, sport=999, ip_dst=7))
+        mapped = out[0][0].sport
+        reply = Packet(ip_src=7, sport=80, ip_dst=self.EXT, dport=mapped)
+        back = interp.process_packet(reply)
+        assert back[0][0].ip_dst == self.INSIDE
+        assert back[0][0].dport == 999
+
+    def test_unsolicited_inbound_dropped(self):
+        interp = make_interp("nat")
+        assert interp.process_packet(Packet(ip_src=7, ip_dst=self.EXT, dport=555)) == []
+
+    def test_ttl_expiry(self):
+        interp = make_interp("nat")
+        assert interp.process_packet(Packet(ip_src=self.INSIDE, ttl=1)) == []
+        assert interp.globals["dropped_ttl"] == 1
+
+    def test_ttl_decremented(self):
+        interp = make_interp("nat")
+        out = interp.process_packet(Packet(ip_src=self.INSIDE, ttl=64))
+        assert out[0][0].ttl == 63
+
+
+class TestFirewall:
+    FLOW = dict(ip_src=1, sport=100, ip_dst=2, dport=80)
+
+    def test_trusted_syn_opens_connection(self):
+        interp = make_interp("firewall")
+        out = interp.process_packet(Packet(tcp_flags=TCP_SYN, in_port=0, **self.FLOW))
+        assert len(out) == 1
+        assert len(interp.globals["conns"]) == 1
+
+    def test_untrusted_syn_blocked(self):
+        interp = make_interp("firewall")
+        out = interp.process_packet(Packet(tcp_flags=TCP_SYN, in_port=1, **self.FLOW))
+        assert out == []
+
+    def test_full_handshake_and_data(self):
+        interp = make_interp("firewall")
+        interp.process_packet(Packet(tcp_flags=TCP_SYN, in_port=0, **self.FLOW))
+        synack = Packet(
+            tcp_flags=TCP_SYN | TCP_ACK, in_port=1,
+            ip_src=2, sport=80, ip_dst=1, dport=100,
+        )
+        assert len(interp.process_packet(synack)) == 1
+        ack = Packet(tcp_flags=TCP_ACK, in_port=0, **self.FLOW)
+        assert len(interp.process_packet(ack)) == 1
+        data = Packet(tcp_flags=TCP_ACK, in_port=1, ip_src=2, sport=80, ip_dst=1, dport=100)
+        assert len(interp.process_packet(data)) == 1
+
+    def test_data_without_handshake_blocked(self):
+        interp = make_interp("firewall")
+        out = interp.process_packet(Packet(tcp_flags=TCP_ACK, in_port=0, **self.FLOW))
+        assert out == []
+
+    def test_acl_blocks_port(self):
+        interp = make_interp("firewall")
+        bad = Packet(tcp_flags=TCP_SYN, in_port=0, ip_src=1, sport=9, ip_dst=2, dport=445)
+        assert interp.process_packet(bad) == []
+        assert interp.globals["blocked_acl"] == 1
+
+    def test_rst_teardown(self):
+        interp = make_interp("firewall")
+        interp.process_packet(Packet(tcp_flags=TCP_SYN, in_port=0, **self.FLOW))
+        rst = Packet(tcp_flags=TCP_RST, in_port=0, **self.FLOW)
+        assert len(interp.process_packet(rst)) == 1
+        assert len(interp.globals["conns"]) == 0
+
+    def test_non_tcp_dropped_in_strict_mode(self):
+        interp = make_interp("firewall")
+        assert interp.process_packet(Packet(proto=17)) == []
+
+
+class TestSnortlite:
+    def clean(self, **kw):
+        base = dict(ip_src=99, sport=40000, ip_dst=7, dport=8080, tcp_flags=TCP_ACK)
+        base.update(kw)
+        return Packet(**base)
+
+    def test_benign_traffic_forwarded(self):
+        interp = make_interp("snortlite")
+        assert len(interp.process_packet(self.clean())) == 1
+
+    def test_drop_rule_telnet_to_home(self):
+        interp = make_interp("snortlite")
+        bad = self.clean(ip_dst=167772161, dport=23)
+        assert interp.process_packet(bad) == []
+        assert interp.globals["drop_count"] == 1
+        assert interp.globals["alert_count"] == 1
+
+    def test_alert_rule_forwards_and_logs(self):
+        interp = make_interp("snortlite")
+        # rule 1004: SYN+FIN scan — alert + forward
+        weird = self.clean(tcp_flags=3)
+        assert len(interp.process_packet(weird)) == 1
+        assert interp.globals["alert_count"] == 1
+        assert interp.globals["alerts"]
+
+    def test_pass_rule_overrides_later_alerts(self):
+        interp = make_interp("snortlite")
+        # rule 1007 whitelists ssh from HOME_NET
+        ssh = self.clean(ip_src=167772161, dport=22)
+        assert len(interp.process_packet(ssh)) == 1
+        assert interp.globals["alert_count"] == 0
+
+    def test_malformed_dropped(self):
+        interp = make_interp("snortlite")
+        assert interp.process_packet(self.clean(eth_type=0x0806)) == []
+        assert interp.globals["decode_errors"] == 1
+        assert interp.process_packet(self.clean(length=5)) == []
+
+    def test_portscan_blocking(self):
+        interp = make_interp("snortlite")
+        src = 123456
+        for port in range(20):
+            syn = self.clean(ip_src=src, tcp_flags=TCP_SYN, dport=1000 + port)
+            interp.process_packet(syn)
+        assert src in interp.globals["blocked_hosts"]
+        # once blocked, everything from that source drops
+        assert interp.process_packet(self.clean(ip_src=src)) == []
+
+    def test_established_only_rule(self):
+        interp = make_interp("snortlite")
+        flow = dict(ip_src=5, sport=1000, ip_dst=167772161, dport=80)
+        sig = 3405691582
+        # content rule 1003 requires an established stream: first packet
+        # with the signature but no handshake does not alert.
+        interp.process_packet(Packet(tcp_flags=TCP_ACK, payload_sig=sig, **flow))
+        assert interp.globals["alert_count"] == 0
+        interp.process_packet(Packet(tcp_flags=TCP_SYN, **flow))
+        interp.process_packet(Packet(tcp_flags=TCP_ACK, **flow))
+        interp.process_packet(Packet(tcp_flags=TCP_ACK, payload_sig=sig, **flow))
+        assert interp.globals["alert_count"] == 1
+
+    def test_udp_rule(self):
+        interp = make_interp("snortlite")
+        snmp = Packet(proto=17, ip_src=9, sport=1, ip_dst=167772161, dport=161)
+        assert interp.process_packet(snmp) == []  # drop rule 1005
+
+    def test_stats_accumulate(self):
+        interp = make_interp("snortlite")
+        for _ in range(5):
+            interp.process_packet(self.clean())
+        assert interp.globals["total_pkts"] == 5
+        assert interp.globals["tcp_pkts"] == 5
+
+    def test_http_inspector_counts(self):
+        interp = make_interp("snortlite")
+        interp.process_packet(self.clean(ip_dst=9, dport=8080, payload_len=4000))
+        interp.process_packet(self.clean(ip_src=9, sport=80, dport=40000))
+        assert interp.globals["http_requests"] == 1
+        assert interp.globals["http_responses"] == 1
+        assert interp.globals["http_oversized_uri"] == 1
+
+    def test_alert_tags_flow_and_expires(self):
+        interp = make_interp("snortlite")
+        flow = dict(ip_src=5, sport=1000, ip_dst=6, dport=2000)
+        interp.process_packet(Packet(tcp_flags=3, **flow))  # SYN+FIN alert
+        assert interp.globals["tags_started"] == 1
+        key = (5, 1000, 6, 2000)
+        assert key in interp.globals["tagged_flows"]
+        for _ in range(8):
+            interp.process_packet(Packet(tcp_flags=TCP_ACK, **flow))
+        assert key not in interp.globals["tagged_flows"]
+        assert interp.globals["tags_expired"] == 1
+        assert interp.globals["tagged_logged"] == 8
+
+    def test_alert_threshold_suppresses(self):
+        interp = make_interp("snortlite")
+        for i in range(14):
+            # distinct flows so each SYN+FIN fires rule 1004 freshly
+            interp.process_packet(
+                Packet(tcp_flags=3, ip_src=100 + i, sport=1000, ip_dst=6, dport=2000)
+            )
+        assert interp.globals["alert_count"] == 10  # SUPPRESS_AFTER
+        assert interp.globals["alerts_suppressed"] == 4
+        assert 1004 in interp.globals["suppressed"]
+
+    def test_analytics_never_change_forwarding(self, snortlite_result):
+        """The alert-only machinery is pruned: none of its state is
+        output-impacting and none of its lines is in the slice."""
+        cats = snortlite_result.categories
+        assert {"tagged_flows", "alert_counts", "suppressed"} <= cats.log_vars
+        src = snortlite_result.program.source.splitlines()
+        sliced = snortlite_result.flat.source_lines(snortlite_result.union_slice)
+        text = " ".join(src[ln - 1] for ln in sliced if ln <= len(src))
+        assert "http_inspect" not in text
+        assert "tagged_flows" not in text
+        assert "threshold_allows" not in text
+
+
+class TestMonitor:
+    def test_everything_forwarded(self):
+        interp = make_interp("monitor")
+        for pkt in [Packet(), Packet(proto=17), Packet(dport=443)]:
+            assert len(interp.process_packet(pkt)) == 1
+
+    def test_classification_counters(self):
+        interp = make_interp("monitor")
+        interp.process_packet(Packet(proto=6, dport=80))
+        interp.process_packet(Packet(proto=6, dport=443))
+        interp.process_packet(Packet(proto=17))
+        assert interp.globals["web_pkts"] == 1
+        assert interp.globals["tls_pkts"] == 1
+        assert interp.globals["udp_pkts"] == 1

@@ -1,0 +1,254 @@
+"""Behavioural + synthesis tests for the extended corpus
+(l2switch, ratelimiter, proxycache) and the symbolic-engine features
+they exercise (dict clear, dict length, key aliasing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equiv.differential import differential_test
+from repro.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.net.packet import Packet
+from repro.nfactor.algorithm import NFactor
+from repro.nfactor.transforms import normalize_structure
+from repro.nfs import get_nf
+from repro.symbolic.engine import SymbolicEngine
+from repro.symbolic.expr import SymDict, SymPacket
+
+
+def make_interp(name: str) -> Interpreter:
+    spec = get_nf(name)
+    program, _ = normalize_structure(parse_program(spec.source, name=name))
+    interp = Interpreter(program=program)
+    interp.run_module()
+    return interp
+
+
+@pytest.fixture(scope="module")
+def l2_result():
+    return NFactor(get_nf("l2switch").source, name="l2switch").synthesize()
+
+
+@pytest.fixture(scope="module")
+def rl_result():
+    return NFactor(get_nf("ratelimiter").source, name="ratelimiter").synthesize()
+
+
+@pytest.fixture(scope="module")
+def cache_result():
+    return NFactor(get_nf("proxycache").source, name="proxycache").synthesize()
+
+
+BCAST = 281474976710655
+
+
+class TestL2Switch:
+    def test_unknown_destination_floods(self):
+        interp = make_interp("l2switch")
+        out = interp.process_packet(Packet(eth_src=1, eth_dst=2, in_port=0))
+        assert out[0][1] == 255  # flood port
+
+    def test_learned_destination_forwards(self):
+        interp = make_interp("l2switch")
+        interp.process_packet(Packet(eth_src=2, eth_dst=9, in_port=5))
+        out = interp.process_packet(Packet(eth_src=1, eth_dst=2, in_port=0))
+        assert out[0][1] == 5
+
+    def test_same_segment_filtered(self):
+        interp = make_interp("l2switch")
+        interp.process_packet(Packet(eth_src=2, eth_dst=9, in_port=5))
+        out = interp.process_packet(Packet(eth_src=1, eth_dst=2, in_port=5))
+        assert out == []
+        assert interp.globals["filtered_stat"] == 1
+
+    def test_station_move_relearned(self):
+        interp = make_interp("l2switch")
+        interp.process_packet(Packet(eth_src=2, eth_dst=9, in_port=5))
+        interp.process_packet(Packet(eth_src=2, eth_dst=9, in_port=6))
+        assert interp.globals["mac_table"][2] == 6
+        assert interp.globals["moved_stat"] == 1
+
+    def test_broadcast_floods_and_not_learned_as_source(self):
+        interp = make_interp("l2switch")
+        out = interp.process_packet(Packet(eth_src=BCAST, eth_dst=BCAST, in_port=1))
+        assert out[0][1] == 255
+        assert BCAST not in interp.globals["mac_table"]
+
+    def test_self_addressed_frame_filtered(self):
+        """The aliasing corner: a frame whose dst equals its own src is
+        learned and immediately filtered (out_port == in_port)."""
+        interp = make_interp("l2switch")
+        out = interp.process_packet(Packet(eth_src=7, eth_dst=7, in_port=2))
+        assert out == []
+        assert interp.globals["mac_table"][7] == 2
+
+    def test_model_differential(self, l2_result):
+        spec = get_nf("l2switch")
+        report = differential_test(
+            l2_result, n_packets=400, seed=7, interesting=spec.interesting
+        )
+        assert report.identical, report.summary()
+
+    def test_mac_table_is_ois(self, l2_result):
+        assert "mac_table" in l2_result.categories.ois_vars
+        assert "flooded_stat" in l2_result.categories.log_vars
+
+
+class TestRateLimiter:
+    def test_budget_enforced(self):
+        interp = make_interp("ratelimiter")
+        outs = [interp.process_packet(Packet(ip_src=5)) for _ in range(12)]
+        forwarded = sum(1 for o in outs if o)
+        assert forwarded == 8  # BUDGET
+
+    def test_independent_buckets(self):
+        interp = make_interp("ratelimiter")
+        for _ in range(8):
+            interp.process_packet(Packet(ip_src=5))
+        assert interp.process_packet(Packet(ip_src=5)) == []
+        assert len(interp.process_packet(Packet(ip_src=6))) == 1
+
+    def test_window_reset_refills(self):
+        interp = make_interp("ratelimiter")
+        for _ in range(8):
+            interp.process_packet(Packet(ip_src=5))
+        assert interp.process_packet(Packet(ip_src=5)) == []
+        # burn the rest of the window with another source
+        while interp.globals["window_left"] != 64:
+            interp.process_packet(Packet(ip_src=6))
+        assert len(interp.process_packet(Packet(ip_src=5))) == 1
+        assert interp.globals["resets_stat"] >= 1
+
+    def test_exempt_network_never_limited(self):
+        interp = make_interp("ratelimiter")
+        mgmt = 167772161
+        outs = [interp.process_packet(Packet(ip_src=mgmt)) for _ in range(20)]
+        assert all(outs)
+
+    def test_model_differential(self, rl_result):
+        spec = get_nf("ratelimiter")
+        report = differential_test(
+            rl_result, n_packets=400, seed=7, interesting=spec.interesting
+        )
+        assert report.identical, report.summary()
+
+    def test_window_counter_is_ois(self, rl_result):
+        assert {"buckets", "window_left"} <= rl_result.categories.ois_vars
+
+
+class TestProxyCache:
+    REQ = dict(proto=6, ip_src=500, sport=40000, ip_dst=1000, dport=80)
+
+    def test_miss_forwards_and_registers(self):
+        interp = make_interp("proxycache")
+        out = interp.process_packet(Packet(payload_sig=7, **self.REQ))
+        assert len(out) == 1
+        assert out[0][0].ip_dst == 1000  # forwarded upstream unchanged
+        assert interp.globals["pending"]
+
+    def test_response_fills_cache(self):
+        interp = make_interp("proxycache")
+        interp.process_packet(Packet(payload_sig=7, **self.REQ))
+        resp = Packet(
+            proto=6, ip_src=1000, sport=80, ip_dst=500, dport=40000, payload_sig=99
+        )
+        interp.process_packet(resp)
+        assert interp.globals["cache"] == {(1000, 7): 99}
+        assert interp.globals["pending"] == {}
+
+    def test_hit_answers_locally(self):
+        interp = make_interp("proxycache")
+        interp.process_packet(Packet(payload_sig=7, **self.REQ))
+        interp.process_packet(
+            Packet(proto=6, ip_src=1000, sport=80, ip_dst=500, dport=40000, payload_sig=99)
+        )
+        out = interp.process_packet(Packet(payload_sig=7, **self.REQ))
+        answer = out[0][0]
+        assert answer.ip_src == 1000 and answer.ip_dst == 500  # swapped
+        assert answer.payload_sig == 99                        # cached body
+        assert interp.globals["hit_stat"] == 1
+
+    def test_non_tcp_bypasses(self):
+        interp = make_interp("proxycache")
+        out = interp.process_packet(Packet(proto=17))
+        assert len(out) == 1
+        assert interp.globals["bypass_stat"] == 1
+
+    def test_model_differential(self, cache_result):
+        spec = get_nf("proxycache")
+        report = differential_test(
+            cache_result, n_packets=400, seed=7, interesting=spec.interesting
+        )
+        assert report.identical, report.summary()
+
+
+class TestSymbolicDictFeatures:
+    def _explore(self, source, env):
+        program = parse_program(source, entry="cb")
+        from repro.pdg.flatten import flatten_program
+
+        flat = flatten_program(program)
+        engine = SymbolicEngine()
+        block = [s for s in flat.block if s.sid not in flat.module_sids]
+        full = {"pkt": SymPacket.fresh()}
+        full.update(env)
+        return engine.explore(block, full), engine
+
+    def test_clear_makes_membership_false(self):
+        paths, _ = self._explore(
+            "def cb(pkt):\n"
+            "    table.clear()\n"
+            "    if pkt.ip_src in table:\n"
+            "        send_packet(pkt)\n",
+            {"table": SymDict("table")},
+        )
+        assert len(paths) == 1
+        assert paths[0].drops
+
+    def test_write_after_clear_visible(self):
+        paths, _ = self._explore(
+            "def cb(pkt):\n"
+            "    table.clear()\n"
+            "    table[pkt.ip_src] = 1\n"
+            "    if pkt.ip_src in table:\n"
+            "        send_packet(pkt)\n",
+            {"table": SymDict("table")},
+        )
+        assert len(paths) == 1
+        assert not paths[0].drops
+
+    def test_dictlen_forks(self):
+        paths, _ = self._explore(
+            "def cb(pkt):\n"
+            "    if len(table) < 10:\n"
+            "        send_packet(pkt)\n",
+            {"table": SymDict("table")},
+        )
+        assert len(paths) == 2
+
+    def test_alias_membership_disjunction(self):
+        """A probe with a different key expression can still hit a
+        written entry when the keys are equal at runtime."""
+        paths, _ = self._explore(
+            "def cb(pkt):\n"
+            "    table[pkt.eth_src] = pkt.in_port\n"
+            "    if pkt.eth_dst in table:\n"
+            "        send_packet(pkt)\n",
+            {"table": SymDict("table")},
+        )
+        # both arms feasible: dst == src (hit via alias) and genuinely new
+        assert len(paths) == 2
+
+    def test_alias_read_conditional(self):
+        paths, _ = self._explore(
+            "def cb(pkt):\n"
+            "    table[pkt.eth_src] = 7\n"
+            "    if pkt.eth_dst in table:\n"
+            "        v = table[pkt.eth_dst]\n"
+            "        if v == 7:\n"
+            "            send_packet(pkt)\n",
+            {"table": SymDict("table")},
+        )
+        # some forwarding path must exist where the alias yields 7
+        assert any(not p.drops for p in paths)

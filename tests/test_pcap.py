@@ -1,0 +1,121 @@
+"""Tests for pcap import/export."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.generator import TrafficGenerator, WorkloadSpec
+from repro.net.packet import FIELD_DOMAINS, Packet, PROTO_TCP, PROTO_UDP
+from repro.net.pcap import (
+    PCAP_MAGIC,
+    packet_from_bytes,
+    packet_to_bytes,
+    read_pcap,
+    write_pcap,
+)
+
+#: Fields that survive the wire encoding (in_port/length are host-side).
+WIRE_FIELDS = [
+    "eth_src", "eth_dst", "eth_type", "ip_src", "ip_dst", "proto", "ttl",
+    "sport", "dport", "tcp_flags", "tcp_seq", "tcp_ack",
+    "payload_sig", "payload_len",
+]
+
+
+class TestFrameRoundtrip:
+    def test_tcp_roundtrip(self):
+        pkt = Packet(
+            eth_src=0xAABBCCDDEEFF, eth_dst=0x112233445566,
+            ip_src=167772161, ip_dst=3232235777, sport=443, dport=55555,
+            tcp_flags=18, tcp_seq=12345, tcp_ack=67890,
+            payload_sig=0xDEADBEEF, payload_len=1400,
+        )
+        back = packet_from_bytes(packet_to_bytes(pkt))
+        for name in WIRE_FIELDS:
+            assert getattr(back, name) == getattr(pkt, name), name
+
+    def test_udp_roundtrip(self):
+        pkt = Packet(proto=PROTO_UDP, sport=53, dport=1234, payload_sig=7)
+        back = packet_from_bytes(packet_to_bytes(pkt))
+        assert back.proto == PROTO_UDP
+        assert (back.sport, back.dport) == (53, 1234)
+        assert back.payload_sig == 7
+
+    def test_icmp_roundtrip(self):
+        pkt = Packet(proto=1, ip_src=5, ip_dst=6)
+        back = packet_from_bytes(packet_to_bytes(pkt))
+        assert back.proto == 1
+        assert (back.ip_src, back.ip_dst) == (5, 6)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ValueError):
+            packet_from_bytes(b"short")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.fixed_dictionaries(
+            {
+                name: st.integers(*FIELD_DOMAINS[name])
+                for name in WIRE_FIELDS
+                if name not in ("proto", "eth_type")
+            }
+        ),
+        st.sampled_from([PROTO_TCP, PROTO_UDP]),
+    )
+    def test_roundtrip_property(self, fields, proto):
+        pkt = Packet(proto=proto, **fields)
+        back = packet_from_bytes(packet_to_bytes(pkt))
+        for name in WIRE_FIELDS:
+            if name in ("tcp_flags", "tcp_seq", "tcp_ack") and proto != PROTO_TCP:
+                continue
+            assert getattr(back, name) == getattr(pkt, name), name
+
+
+class TestFileRoundtrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "w.pcap"
+        pkts = list(TrafficGenerator(WorkloadSpec(n_packets=40, seed=3)).packets())
+        assert write_pcap(path, pkts) == len(pkts)
+        back = read_pcap(path)
+        assert len(back) == len(pkts)
+        for a, b in zip(pkts, back):
+            for name in WIRE_FIELDS:
+                if name.startswith("tcp_") and a.proto != PROTO_TCP:
+                    continue
+                if name in ("sport", "dport") and a.proto not in (
+                    PROTO_TCP, PROTO_UDP
+                ):
+                    continue  # no L4 header on the wire for other protos
+                assert getattr(a, name) == getattr(b, name)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.pcap"
+        assert write_pcap(path, []) == 0
+        assert read_pcap(path) == []
+
+    def test_magic_validated(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(struct.pack("<IHHiIII", 0x12345678, 2, 4, 0, 0, 65535, 1))
+        with pytest.raises(ValueError, match="magic"):
+            read_pcap(path)
+
+    def test_truncated_record_detected(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, [Packet()])
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises(ValueError, match="truncated"):
+            read_pcap(path)
+
+    def test_replayable_against_nf(self, tmp_path, monitor_result):
+        """pcap workloads replay identically through program and model."""
+        path = tmp_path / "replay.pcap"
+        spec_pkts = list(TrafficGenerator(WorkloadSpec(n_packets=30, seed=4)).packets())
+        write_pcap(path, spec_pkts)
+        ref = monitor_result.make_reference()
+        sim = monitor_result.make_simulator()
+        for pkt in read_pcap(path):
+            assert ref.process_packet(pkt.copy()) == sim.process(pkt.copy())

@@ -1,0 +1,181 @@
+"""Tests for whole-program flattening (inlining) and the PDG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import Env, Interpreter
+from repro.lang.errors import NFPyError
+from repro.lang.ir import iter_block
+from repro.lang.parser import parse_program
+from repro.net.packet import Packet
+from repro.pdg.flatten import flatten_program
+from repro.pdg.pdg import build_pdg
+
+
+def run_flat(source: str, entry: str, pkt: Packet):
+    """Execute the flattened program on one packet; return sent packets."""
+    program = parse_program(source, entry=entry)
+    flat = flatten_program(program)
+    interp = Interpreter()
+    env = Env(globals={flat.entry_params[0]: pkt})
+    interp.run_block(flat.block, env)
+    return interp.sent, env
+
+
+def run_direct(source: str, entry: str, pkt: Packet):
+    program = parse_program(source, entry=entry)
+    interp = Interpreter(program=program)
+    interp.run_module()
+    return interp.process_packet(pkt)
+
+
+AGREEMENT_SOURCES = [
+    # simple helper call
+    (
+        "W = 3\n"
+        "def scale(v):\n    return v * W\n"
+        "def cb(pkt):\n    pkt.ttl = scale(2)\n    send_packet(pkt)\n",
+        "cb",
+    ),
+    # helper mutating global state
+    (
+        "tbl = {}\nnxt = 5\n"
+        "def alloc(k):\n    global nxt\n    tbl[k] = nxt\n    nxt += 1\n    return tbl[k]\n"
+        "def cb(pkt):\n    p = alloc(pkt.ip_src)\n    pkt.sport = p\n    send_packet(pkt)\n",
+        "cb",
+    ),
+    # return inside a loop of the helper
+    (
+        "XS = [3, 5, 7]\n"
+        "def find(v):\n    for x in XS:\n        if x == v:\n            return 1\n    return 0\n"
+        "def cb(pkt):\n    if find(pkt.ttl) == 1:\n        send_packet(pkt)\n",
+        "cb",
+    ),
+    # nested helpers
+    (
+        "def inner(v):\n    return v + 1\n"
+        "def outer(v):\n    return inner(v) * 2\n"
+        "def cb(pkt):\n    pkt.ttl = outer(3)\n    send_packet(pkt)\n",
+        "cb",
+    ),
+    # early returns in helper (drop path)
+    (
+        "def check(v):\n    if v < 10:\n        return 0\n    if v > 200:\n        return 0\n    return 1\n"
+        "def cb(pkt):\n    if check(pkt.ttl) == 1:\n        send_packet(pkt)\n",
+        "cb",
+    ),
+]
+
+
+class TestInlining:
+    @pytest.mark.parametrize("source,entry", AGREEMENT_SOURCES)
+    @pytest.mark.parametrize("ttl", [3, 7, 64, 255])
+    def test_flat_agrees_with_direct(self, source, entry, ttl):
+        pkt = Packet(ttl=ttl)
+        flat_sent, _ = run_flat(source, entry, pkt.copy())
+        direct_sent = run_direct(source, entry, pkt.copy())
+        assert flat_sent == direct_sent
+
+    def test_locals_renamed_no_capture(self):
+        source = (
+            "def helper(x):\n    y = x + 1\n    return y\n"
+            "def cb(pkt):\n    y = 100\n    z = helper(1)\n    pkt.ttl = y + z\n    send_packet(pkt)\n"
+        )
+        sent, _ = run_flat(source, "cb", Packet())
+        assert sent[0][0].ttl == 102
+
+    def test_repeated_calls_get_fresh_instances(self):
+        source = (
+            "def bump(x):\n    t = x + 1\n    return t\n"
+            "def cb(pkt):\n    a = bump(1)\n    b = bump(10)\n    pkt.ttl = a + b\n    send_packet(pkt)\n"
+        )
+        sent, _ = run_flat(source, "cb", Packet())
+        assert sent[0][0].ttl == 13
+
+    def test_module_starter_calls_skipped(self):
+        source = (
+            "def cb(pkt):\n    send_packet(pkt)\n"
+            "def Main():\n    sniff('eth0', cb)\n"
+            "Main()\n"
+        )
+        program = parse_program(source, entry="cb")
+        flat = flatten_program(program)
+        # Nothing from Main/sniff should appear in the flat block.
+        from repro.lang.pretty import pretty_stmt
+
+        text = "\n".join(pretty_stmt(s) for s in flat.block)
+        assert "sniff" not in text
+
+    def test_weak_update_does_not_localise_global(self):
+        source = (
+            "tbl = {}\n"
+            "def record(k):\n    tbl[k] = 1\n    return 0\n"
+            "def cb(pkt):\n    record(pkt.ip_src)\n    send_packet(pkt)\n"
+        )
+        _, env = run_flat(source, "cb", Packet(ip_src=9))
+        assert env.globals["tbl"] == {9: 1}
+
+    def test_call_in_short_circuit_rejected(self):
+        source = (
+            "def t(v):\n    return 1\n"
+            "def cb(pkt):\n    if pkt.ttl > 1 and t(pkt.ttl):\n        send_packet(pkt)\n"
+        )
+        with pytest.raises(NFPyError):
+            flatten_program(parse_program(source, entry="cb"))
+
+    def test_origin_maps_to_source_lines(self):
+        source = "x = 1\n\ndef cb(pkt):\n    send_packet(pkt)\n"
+        flat = flatten_program(parse_program(source, entry="cb"))
+        lines = flat.source_lines({s.sid for s in iter_block(flat.block)})
+        assert {1, 4} <= lines
+
+    def test_module_sids_marked(self):
+        source = "x = 1\ny = 2\n\ndef cb(pkt):\n    send_packet(pkt)\n"
+        flat = flatten_program(parse_program(source, entry="cb"))
+        assert len(flat.module_sids) == 2
+
+    def test_no_entry_raises(self):
+        with pytest.raises(ValueError):
+            flatten_program(parse_program("x = 1\n"))
+
+
+class TestPDG:
+    def test_data_and_control_preds(self):
+        source = (
+            "def cb(pkt):\n"
+            "    x = pkt.ttl\n"
+            "    if x > 5:\n"
+            "        y = x + 1\n"
+            "        send_packet(pkt)\n"
+        )
+        flat = flatten_program(parse_program(source, entry="cb"))
+        pdg = build_pdg(flat.block, flat.entry_vars())
+        stmts = list(iter_block(flat.block))
+        x_def, branch, y_def, send = stmts
+        assert x_def.sid in pdg.data_preds[branch.sid]
+        assert x_def.sid in pdg.data_preds[y_def.sid]
+        assert branch.sid in pdg.control_preds[y_def.sid]
+        assert branch.sid in pdg.control_preds[send.sid]
+
+    def test_backward_and_forward_reachability(self):
+        source = (
+            "def cb(pkt):\n"
+            "    a = pkt.ttl\n"
+            "    b = a + 1\n"
+            "    c = 42\n"
+            "    pkt.ttl = b\n"
+            "    send_packet(pkt)\n"
+        )
+        flat = flatten_program(parse_program(source, entry="cb"))
+        pdg = build_pdg(flat.block, flat.entry_vars())
+        a_def, b_def, c_def, store, send = list(iter_block(flat.block))
+        back = pdg.backward_reachable({send.sid})
+        assert {a_def.sid, b_def.sid, store.sid, send.sid} <= back
+        assert c_def.sid not in back
+        fwd = pdg.forward_reachable({a_def.sid})
+        assert {b_def.sid, store.sid} <= fwd
+        assert c_def.sid not in fwd
+
+    def test_edge_count_positive(self, lb_result):
+        assert lb_result.pdg.edge_count() > 20

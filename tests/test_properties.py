@@ -1,0 +1,261 @@
+"""Property-based tests over randomly generated NFPy programs.
+
+Hypothesis generates small structured programs; the properties are the
+contracts the analyses must uphold for *any* input program:
+
+* interpreter ≡ CPython on the pure-Python fragment;
+* pretty-print → parse is a fixpoint;
+* CFG well-formedness (reachability, dominator-tree rootedness);
+* **slice soundness** (Weiser): running the executable backward slice
+  preserves the criterion variable's value;
+* **path partition**: symbolic execution paths of a loop-free program
+  partition the concrete input space.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.dominance import immediate_dominators
+from repro.cfg.graph import ENTRY, EXIT
+from repro.interp import Env, Interpreter
+from repro.lang.ir import iter_block
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.net.packet import FIELD_DOMAINS, Packet
+from repro.nfactor.refactor import executable_slice
+from repro.pdg.flatten import flatten_program
+from repro.pdg.pdg import build_pdg
+from repro.slicing.criteria import SliceCriterion
+from repro.slicing.static import StaticSlicer
+from repro.symbolic.expr import SymPacket, eval_sym
+from repro.symbolic.engine import SymbolicEngine
+
+VARS = ["a", "b", "c", "d"]
+FIELDS = ["ttl", "dport", "sport", "length"]
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    """A side-effect-free integer expression over VARS and constants."""
+    if depth >= 2 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(0, 50)))
+        if choice == 1:
+            return draw(st.sampled_from(VARS))
+        return f"pkt.{draw(st.sampled_from(FIELDS))}"
+    op = draw(st.sampled_from(["+", "-", "*", "%"]))
+    left = draw(int_expr(depth=depth + 1))
+    right = draw(int_expr(depth=depth + 1))
+    if op == "%":
+        right = str(draw(st.integers(1, 13)))  # avoid modulo-by-zero
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def cond_expr(draw):
+    op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+    return f"({draw(int_expr())} {op} {draw(int_expr())})"
+
+
+@st.composite
+def block(draw, depth=0, indent="    "):
+    """A random statement block as source lines."""
+    lines = []
+    n = draw(st.integers(1, 3))
+    for _ in range(n):
+        kind = draw(st.integers(0, 5)) if depth < 2 else 0
+        if kind <= 2:
+            var = draw(st.sampled_from(VARS))
+            lines.append(f"{indent}{var} = {draw(int_expr())}")
+        elif kind == 3:
+            lines.append(f"{indent}if {draw(cond_expr())}:")
+            lines.extend(draw(block(depth=depth + 1, indent=indent + '    ')))
+            if draw(st.booleans()):
+                lines.append(f"{indent}else:")
+                lines.extend(draw(block(depth=depth + 1, indent=indent + '    ')))
+        elif kind == 4:
+            loop_var = "i"
+            lines.append(f"{indent}for {loop_var} in range({draw(st.integers(1, 4))}):")
+            inner = draw(block(depth=depth + 1, indent=indent + "    "))
+            lines.extend(inner)
+        else:
+            var = draw(st.sampled_from(VARS))
+            lines.append(f"{indent}{var} += {draw(int_expr())}")
+    return lines
+
+
+@st.composite
+def nf_program(draw):
+    """A random per-packet program ending in a criterion assignment."""
+    body = draw(block())
+    lines = ["def cb(pkt):"]
+    lines.append("    a = pkt.ttl")
+    lines.append("    b = pkt.dport")
+    lines.append("    c = 1")
+    lines.append("    d = 0")
+    lines.extend(body)
+    lines.append(f"    out = {draw(int_expr())}")
+    lines.append("    pkt.length = out % 65536")
+    lines.append("    send_packet(pkt)")
+    return "\n".join(lines) + "\n"
+
+
+def random_packet(data: st.DataObject) -> Packet:
+    fields = {
+        name: data.draw(st.integers(lo, min(hi, 10_000)), label=name)
+        for name, (lo, hi) in FIELD_DOMAINS.items()
+        if name in FIELDS
+    }
+    return Packet(**fields)
+
+
+class TestInterpreterEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(nf_program(), st.data())
+    def test_matches_cpython(self, source, data):
+        pkt = random_packet(data)
+
+        # CPython oracle: emulate the packet with a tiny object.
+        class PyPacket:
+            pass
+
+        py_pkt = PyPacket()
+        for name in FIELDS + ["length"]:
+            setattr(py_pkt, name, getattr(pkt, name))
+        sent = []
+        namespace = {"send_packet": lambda p, port=None: sent.append(p.length)}
+        exec(source, namespace)  # noqa: S102 - generated test source
+        namespace["cb"](py_pkt)
+
+        program = parse_program(source, entry="cb")
+        interp = Interpreter(program=program)
+        out = interp.process_packet(pkt.copy())
+        assert [p.length for p, _ in out] == sent
+
+
+class TestPrettyFixpoint:
+    @settings(max_examples=40, deadline=None)
+    @given(nf_program())
+    def test_pretty_parse_fixpoint(self, source):
+        program = parse_program(source, entry="cb")
+        text = pretty_program(program)
+        again = pretty_program(parse_program(text, entry="cb"))
+        assert text == again
+
+
+class TestCfgWellFormed:
+    @settings(max_examples=40, deadline=None)
+    @given(nf_program())
+    def test_reachability_and_dominators(self, source):
+        program = parse_program(source, entry="cb")
+        fn = program.entry_function
+        cfg = build_cfg(fn.body)
+        stmt_sids = {s.sid for s in fn.stmts()}
+        assert stmt_sids <= cfg.reachable(ENTRY)
+        assert EXIT in cfg.reachable(ENTRY)
+        idom = immediate_dominators(cfg)
+        for sid in stmt_sids:
+            walk, seen = sid, set()
+            while idom[walk] != walk:
+                assert walk not in seen
+                seen.add(walk)
+                walk = idom[walk]
+            assert walk == ENTRY
+
+
+class TestSliceSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(nf_program(), st.data())
+    def test_slice_preserves_criterion(self, source, data):
+        """Weiser soundness: the executable backward slice computes the
+        same criterion values as the full program."""
+        pkt = random_packet(data)
+        program = parse_program(source, entry="cb")
+        flat = flatten_program(program)
+        pdg = build_pdg(flat.block, flat.entry_vars())
+        send = [
+            s for s in iter_block(flat.block)
+            if "send_packet" in str(getattr(s, "value", ""))
+        ][-1]
+        slice_sids = StaticSlicer(pdg).backward(SliceCriterion(send.sid, None))
+        sliced, _ = executable_slice(flat.block, slice_sids, pdg)
+
+        full = Interpreter()
+        full.run_block(list(flat.block), Env(globals={"pkt": pkt.copy()}))
+        part = Interpreter()
+        part.run_block(list(sliced), Env(globals={"pkt": pkt.copy()}))
+        assert [p.length for p, _ in full.sent] == [p.length for p, _ in part.sent]
+
+
+class TestSliceClosure:
+    @settings(max_examples=40, deadline=None)
+    @given(nf_program())
+    def test_slice_closed_under_dependences(self, source):
+        """A backward slice is a fixpoint: every member's data and
+        control predecessors are members too."""
+        program = parse_program(source, entry="cb")
+        flat = flatten_program(program)
+        pdg = build_pdg(flat.block, flat.entry_vars())
+        send = [
+            s for s in iter_block(flat.block)
+            if "send_packet" in str(getattr(s, "value", ""))
+        ][-1]
+        sids = StaticSlicer(pdg).backward(SliceCriterion(send.sid, None))
+        for sid in sids:
+            if sid == send.sid:
+                continue
+            assert pdg.data_preds.get(sid, set()) <= sids
+            assert pdg.control_preds.get(sid, set()) <= sids
+
+    @settings(max_examples=25, deadline=None)
+    @given(nf_program())
+    def test_slice_monotone_in_criterion(self, source):
+        """Slicing on a subset of variables yields a subset slice."""
+        program = parse_program(source, entry="cb")
+        flat = flatten_program(program)
+        pdg = build_pdg(flat.block, flat.entry_vars())
+        out_stmt = [
+            s for s in iter_block(flat.block)
+            if "out" in {n for n in _defs(s)}
+        ]
+        if not out_stmt:
+            return
+        stmt = out_stmt[-1]
+        full = StaticSlicer(pdg).backward(SliceCriterion(stmt.sid, None))
+        from repro.lang.ir import stmt_uses
+
+        for var in sorted(stmt_uses(stmt)):
+            partial = StaticSlicer(pdg).backward(
+                SliceCriterion(stmt.sid, frozenset({var}))
+            )
+            assert partial <= full
+
+
+def _defs(stmt):
+    from repro.lang.ir import stmt_defs
+
+    return stmt_defs(stmt)
+
+
+class TestPathPartition:
+    @settings(max_examples=25, deadline=None)
+    @given(nf_program(), st.data())
+    def test_paths_partition_inputs(self, source, data):
+        program = parse_program(source, entry="cb")
+        flat = flatten_program(program)
+        engine = SymbolicEngine()
+        paths = engine.explore(list(flat.block), {"pkt": SymPacket.fresh()})
+        if engine.stats.exhausted:
+            return  # partition claim only holds for complete exploration
+        pkt = random_packet(data)
+        assignment = {f"v:pkt.{name}": getattr(pkt, name) for name in FIELD_DOMAINS}
+        matching = [
+            p for p in paths
+            if all(bool(eval_sym(c, assignment)) for c in p.constraints)
+        ]
+        assert len(matching) == 1

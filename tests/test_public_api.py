@@ -1,0 +1,60 @@
+"""The documented top-level API surface must stay importable."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_top_level_reexports():
+    import repro
+
+    assert repro.__version__
+    assert repro.NFactor is not None
+    assert repro.synthesize_model is not None
+    assert repro.NFModel is not None
+    assert repro.TableEntry is not None
+    assert repro.Packet is not None
+    with pytest.raises(AttributeError):
+        _ = repro.no_such_symbol
+
+
+def test_readme_quickstart_snippet():
+    """The exact code shown in README.md#quickstart must run."""
+    from repro.nfactor.algorithm import synthesize_model
+    from repro.model.serialize import render_model
+    from repro.nfs import get_nf
+
+    result = synthesize_model(get_nf("loadbalancer").source, name="lb")
+    assert "config" in render_model(result.model)
+
+    sim = result.make_simulator()
+    ref = result.make_reference()
+    from repro.net.packet import Packet
+
+    pkt = Packet(dport=80, ip_src=1, sport=1234, ip_dst=50529027)
+    assert sim.process(pkt.copy()) == ref.process_packet(pkt.copy())
+
+
+def test_subpackage_all_exports_resolve():
+    import importlib
+
+    for name in (
+        "repro.lang",
+        "repro.cfg",
+        "repro.dataflow",
+        "repro.pdg",
+        "repro.slicing",
+        "repro.interp",
+        "repro.symbolic",
+        "repro.statealyzer",
+        "repro.nfactor",
+        "repro.model",
+        "repro.net",
+        "repro.nfs",
+        "repro.apps",
+        "repro.equiv",
+        "repro.util",
+    ):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert getattr(module, symbol, None) is not None, f"{name}.{symbol}"

@@ -1,0 +1,249 @@
+"""Tests for static and dynamic slicing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import Env, Interpreter
+from repro.lang.ir import ECall, SExpr, iter_block
+from repro.lang.parser import parse_program
+from repro.net.packet import Packet
+from repro.nfactor.refactor import executable_slice
+from repro.pdg.flatten import flatten_program
+from repro.pdg.pdg import build_pdg
+from repro.slicing.criteria import SliceCriterion
+from repro.slicing.dynamic import dynamic_slice
+from repro.slicing.static import StaticSlicer, backward_slice, forward_slice
+
+
+def setup(source: str, entry: str = "cb"):
+    program = parse_program(source, entry=entry)
+    flat = flatten_program(program)
+    pdg = build_pdg(flat.block, flat.entry_vars())
+    sends = [
+        s
+        for s in iter_block(flat.block)
+        if isinstance(s, SExpr)
+        and isinstance(s.value, ECall)
+        and s.value.func == "send_packet"
+    ]
+    return program, flat, pdg, sends
+
+
+WEISER_EXAMPLE = (
+    "def cb(pkt):\n"
+    "    total = 0\n"       # in slice of total, not of count? both feed...
+    "    count = 0\n"
+    "    n = pkt.ttl\n"
+    "    i = 1\n"
+    "    while i <= n:\n"
+    "        total = total + i\n"
+    "        count = count + 1\n"
+    "        i = i + 1\n"
+    "    pkt.length = total\n"
+    "    send_packet(pkt)\n"
+)
+
+
+class TestStaticSlicing:
+    def test_irrelevant_computation_excluded(self):
+        program, flat, pdg, sends = setup(WEISER_EXAMPLE)
+        sl = backward_slice(pdg, SliceCriterion(sends[0].sid, None))
+        lines = flat.source_lines(sl)
+        assert 3 not in lines  # count = 0
+        assert 8 not in lines  # count = count + 1
+        assert {2, 4, 5, 6, 7, 9, 10, 11} <= lines
+
+    def test_criterion_variable_restriction(self):
+        source = (
+            "def cb(pkt):\n"
+            "    a = pkt.ttl\n"
+            "    b = pkt.length\n"
+            "    pkt.sport = a\n"
+            "    pkt.dport = b\n"
+            "    send_packet(pkt)\n"
+        )
+        program, flat, pdg, sends = setup(source)
+        stmts = list(iter_block(flat.block))
+        a_def, b_def, sp_store, dp_store, send = stmts
+        sl = StaticSlicer(pdg).backward(SliceCriterion.at(sp_store, "a"))
+        assert a_def.sid in sl
+        assert b_def.sid not in sl
+
+    def test_control_dependence_pulls_branches(self):
+        source = (
+            "def cb(pkt):\n"
+            "    if pkt.ttl > 5:\n"
+            "        send_packet(pkt)\n"
+        )
+        program, flat, pdg, sends = setup(source)
+        sl = backward_slice(pdg, SliceCriterion(sends[0].sid, None))
+        branch = list(iter_block(flat.block))[0]
+        assert branch.sid in sl
+
+    def test_unknown_criterion_raises(self):
+        program, flat, pdg, _ = setup("def cb(pkt):\n    send_packet(pkt)\n")
+        with pytest.raises(KeyError):
+            StaticSlicer(pdg).backward(SliceCriterion(999, None))
+
+    def test_forward_slice(self):
+        source = (
+            "def cb(pkt):\n"
+            "    a = pkt.ttl\n"
+            "    b = a + 1\n"
+            "    c = 7\n"
+            "    pkt.length = b\n"
+            "    send_packet(pkt)\n"
+        )
+        program, flat, pdg, sends = setup(source)
+        a_def, b_def, c_def, store, send = list(iter_block(flat.block))
+        fwd = forward_slice(pdg, SliceCriterion(a_def.sid, None))
+        assert b_def.sid in fwd and store.sid in fwd
+        assert c_def.sid not in fwd
+
+    def test_slice_union_many(self):
+        source = (
+            "def cb(pkt):\n"
+            "    if pkt.dport == 1:\n"
+            "        send_packet(pkt, 1)\n"
+            "    else:\n"
+            "        send_packet(pkt, 2)\n"
+        )
+        program, flat, pdg, sends = setup(source)
+        assert len(sends) == 2
+        union = StaticSlicer(pdg).backward_many(
+            [SliceCriterion(s.sid) for s in sends]
+        )
+        assert {s.sid for s in sends} <= union
+
+
+class TestExecutableSlice:
+    def test_drop_return_preserved(self):
+        """Removing the unsliced `return` must not change forwarding."""
+        source = (
+            "bad = {}\n"
+            "def cb(pkt):\n"
+            "    if pkt.ip_src in bad:\n"
+            "        return\n"
+            "    send_packet(pkt)\n"
+        )
+        program, flat, pdg, sends = setup(source)
+        sl = StaticSlicer(pdg).backward(SliceCriterion(sends[0].sid, None))
+        sliced_block, kept = executable_slice(flat.block, sl, pdg)
+        # Run the sliced program: with ip_src in bad it must still drop.
+        interp = Interpreter()
+        env = Env(globals={"pkt": Packet(ip_src=7)})
+        interp.run_block([s for s in sliced_block], env)
+        assert len(interp.sent) == 1  # empty table: forwards
+
+        program2, flat2, pdg2, sends2 = setup(source)
+        sl2 = StaticSlicer(pdg2).backward(SliceCriterion(sends2[0].sid, None))
+        sliced2, _ = executable_slice(flat2.block, sl2, pdg2)
+        interp2 = Interpreter()
+        env2 = Env(globals={"pkt": Packet(ip_src=7)})
+        # Pre-populate the table: the packet must now be dropped.
+        interp2.run_block([s for s in sliced2 if s.sid not in flat2.module_sids],
+                          Env(globals={"pkt": Packet(ip_src=7), "bad": {7: 1}}))
+        assert len(interp2.sent) == 0
+
+    def test_slice_behaviour_matches_original_on_criterion(self, lb_result):
+        """The executable slice forwards exactly like the original LB."""
+        from repro.interp.values import deep_copy
+
+        for dport, ip_src in [(80, 11), (80, 11), (9999, 5), (443, 1)]:
+            pkt = Packet(dport=dport, ip_src=ip_src, sport=1234, ip_dst=50529027)
+            # original
+            ref = lb_result.make_reference()
+            ref_out = ref.process_packet(pkt.copy())
+            # sliced program (module init + sliced entry)
+            interp = Interpreter()
+            state = deep_copy(lb_result.module_env)
+            state["pkt"] = pkt.copy()
+            interp.run_block(list(lb_result.sliced_entry), Env(globals=state))
+            assert len(interp.sent) == len(ref_out)
+
+
+class TestDynamicSlicing:
+    def _trace(self, source: str, pkt: Packet):
+        program = parse_program(source, entry="cb")
+        flat = flatten_program(program)
+        interp = Interpreter(trace=True)
+        env = Env(globals={flat.entry_params[0]: pkt})
+        interp.run_block(flat.block, env)
+        return flat, interp
+
+    def test_dynamic_subset_of_static(self):
+        flat, interp = self._trace(WEISER_EXAMPLE, Packet(ttl=3))
+        pdg = build_pdg(flat.block, flat.entry_vars())
+        send = [
+            s for s in iter_block(flat.block)
+            if isinstance(s, SExpr) and isinstance(s.value, ECall)
+            and s.value.func == "send_packet"
+        ][0]
+        static = backward_slice(pdg, SliceCriterion(send.sid, None))
+        dynamic = dynamic_slice(interp.trace, SliceCriterion(send.sid, None))
+        assert dynamic <= static
+
+    def test_untaken_branch_excluded(self):
+        source = (
+            "def cb(pkt):\n"
+            "    x = 0\n"
+            "    if pkt.ttl > 100:\n"
+            "        x = 1\n"
+            "    pkt.length = x\n"
+            "    send_packet(pkt)\n"
+        )
+        flat, interp = self._trace(source, Packet(ttl=5))
+        stmts = list(iter_block(flat.block))
+        x0, branch, x1, store, send = stmts
+        dslice = dynamic_slice(interp.trace, SliceCriterion(send.sid, None))
+        assert x1.sid not in dslice
+        assert x0.sid in dslice
+
+    def test_never_executed_criterion_empty(self):
+        source = (
+            "def cb(pkt):\n"
+            "    if pkt.ttl > 300:\n"
+            "        send_packet(pkt)\n"
+        )
+        flat, interp = self._trace(source, Packet(ttl=5))
+        send = list(iter_block(flat.block))[1]
+        assert dynamic_slice(interp.trace, SliceCriterion(send.sid, None)) == set()
+
+    def test_occurrence_selection(self):
+        source = (
+            "def cb(pkt):\n"
+            "    i = 0\n"
+            "    while i < 3:\n"
+            "        i = i + 1\n"
+        )
+        flat, interp = self._trace(source, Packet())
+        incr = list(iter_block(flat.block))[2]
+        first = dynamic_slice(interp.trace, SliceCriterion(incr.sid), occurrence=0)
+        last = dynamic_slice(interp.trace, SliceCriterion(incr.sid))
+        assert first <= last
+        with pytest.raises(IndexError):
+            dynamic_slice(interp.trace, SliceCriterion(incr.sid), occurrence=99)
+
+    def test_figure1_first_packet_slice(self, lb_result):
+        """Paper Fig. 1: the dynamic slice of the LB's first-packet path
+        contains the round-robin selection but not the hash branch or
+        the log counters."""
+        from repro.interp.values import deep_copy
+
+        interp = Interpreter(trace=True)
+        state = deep_copy(lb_result.module_env)
+        state["pkt"] = Packet(dport=80, ip_src=42, sport=999, ip_dst=50529027)
+        interp.run_block(lb_result.flat.block, Env(globals=state))
+        sends = [
+            s for s in iter_block(lb_result.flat.block)
+            if isinstance(s, SExpr) and isinstance(s.value, ECall)
+            and s.value.func == "send_packet"
+        ]
+        dslice = dynamic_slice(interp.trace, SliceCriterion(sends[0].sid, None))
+        lines = lb_result.flat.source_lines(dslice)
+        text = lb_result.program.source.splitlines()
+        sliced_text = " ".join(text[ln - 1] for ln in lines)
+        assert "servers[rr_idx]" in sliced_text          # RR selection taken
+        assert "hash(si)" not in sliced_text             # hash branch not taken
+        assert "pass_stat" not in sliced_text            # log update pruned

@@ -1,0 +1,141 @@
+"""Tests for StateAlyzer variable classification (paper Table 1)."""
+
+from __future__ import annotations
+
+from repro.lang.parser import parse_program
+from repro.nfactor.algorithm import NFactor
+from repro.nfs import get_nf
+from repro.pdg.flatten import flatten_program
+from repro.pdg.pdg import build_pdg
+from repro.slicing.criteria import SliceCriterion
+from repro.slicing.static import StaticSlicer
+from repro.statealyzer.classify import classify_variables
+from repro.statealyzer.features import compute_features
+
+
+def classify(source: str, entry: str = "cb"):
+    program = parse_program(source, entry=entry)
+    nf = NFactor(program)
+    flat, module_part, entry_part = nf.flatten()
+    pdg = build_pdg(flat.block, flat.entry_vars())
+    slicer = StaticSlicer(pdg)
+    pkt_slice = slicer.backward_many(nf.output_criteria(flat))
+    return classify_variables(flat, pkt_slice), flat, pkt_slice
+
+
+class TestPaperTable1:
+    """The exact categorisation the paper's Table 1 lists for the LB."""
+
+    def test_load_balancer_categories(self, lb_result):
+        cats = lb_result.categories
+        assert cats.pkt_vars == {"pkt"}
+        assert "mode" in cats.cfg_vars
+        assert "LB_IP" in cats.cfg_vars
+        assert {"f2b_nat", "b2f_nat", "rr_idx", "cur_port"} <= cats.ois_vars
+        assert {"pass_stat", "drop_stat"} <= cats.log_vars
+
+    def test_no_overlap_between_categories(self, lb_result):
+        cats = lb_result.categories
+        groups = [cats.pkt_vars, cats.cfg_vars, cats.ois_vars, cats.log_vars]
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                assert not (groups[i] & groups[j])
+
+    def test_category_of(self, lb_result):
+        cats = lb_result.categories
+        assert cats.category_of("pkt") == "pktVar"
+        assert cats.category_of("mode") == "cfgVar"
+        assert cats.category_of("rr_idx") == "oisVar"
+        assert cats.category_of("pass_stat") == "logVar"
+        assert cats.category_of("nonexistent") == "other"
+
+    def test_as_table_layout(self, lb_result):
+        table = lb_result.categories.as_table()
+        assert set(table) == {"pktVar", "cfgVar", "oisVar", "logVar"}
+
+
+class TestFeatures:
+    SOURCE = (
+        "limit = 10\n"      # cfg: read in a condition, never written
+        "seen = {}\n"       # ois: stateful, affects forwarding
+        "counter = 0\n"     # log: updated, never affects output
+        "def cb(pkt):\n"
+        "    global counter\n"
+        "    counter += 1\n"
+        "    if pkt.ttl > limit:\n"
+        "        seen[pkt.ip_src] = 1\n"
+        "    if pkt.ip_src in seen:\n"
+        "        send_packet(pkt)\n"
+    )
+
+    def test_persistence(self):
+        cats, flat, pkt_slice = classify(self.SOURCE)
+        features = cats.features
+        assert {"limit", "seen", "counter"} <= features.persistent
+        assert "pkt" not in features.persistent
+
+    def test_updateable(self):
+        cats, flat, _ = classify(self.SOURCE)
+        features = cats.features
+        assert "counter" in features.updateable
+        assert "seen" in features.updateable
+        assert "limit" not in features.updateable
+
+    def test_output_impacting_split(self):
+        cats, _, _ = classify(self.SOURCE)
+        assert "seen" in cats.ois_vars
+        assert "counter" in cats.log_vars
+
+    def test_cfg_var(self):
+        cats, _, _ = classify(self.SOURCE)
+        assert "limit" in cats.cfg_vars
+
+    def test_recv_packet_binding_is_pkt_var(self):
+        source = (
+            "def loop():\n"
+            "    while True:\n"
+            "        p = recv_packet()\n"
+            "        send_packet(p)\n"
+            "loop()\n"
+        )
+        program = parse_program(source)
+        nf = NFactor(program)
+        flat, _, _ = nf.flatten()
+        pdg = build_pdg(flat.block, flat.entry_vars())
+        pkt_slice = StaticSlicer(pdg).backward_many(nf.output_criteria(flat))
+        cats = classify_variables(flat, pkt_slice)
+        assert "p" in cats.pkt_vars
+
+    def test_unused_global_not_categorised(self):
+        source = (
+            "unused = 99\n"
+            "def cb(pkt):\n"
+            "    send_packet(pkt)\n"
+        )
+        cats, _, _ = classify(source)
+        assert cats.category_of("unused") == "other"
+
+
+class TestCorpusCategories:
+    def test_nat(self, nat_result):
+        cats = nat_result.categories
+        assert {"out_map", "in_map", "next_port"} <= cats.ois_vars
+        assert {"translated_out", "translated_in"} <= cats.log_vars
+        assert "EXT_IP" in cats.cfg_vars
+
+    def test_firewall(self, firewall_result):
+        cats = firewall_result.categories
+        assert "conns" in cats.ois_vars
+        assert {"allowed_stat", "blocked_acl"} <= cats.log_vars
+
+    def test_snortlite(self, snortlite_result):
+        cats = snortlite_result.categories
+        assert {"scan_tracker", "blocked_hosts", "streams"} <= cats.ois_vars
+        assert "RULES" in cats.cfg_vars
+        assert "alerts" in cats.log_vars
+        assert "total_pkts" in cats.log_vars
+
+    def test_monitor_all_log(self, monitor_result):
+        cats = monitor_result.categories
+        assert cats.ois_vars == set()
+        assert {"total_pkts", "web_pkts"} <= cats.log_vars

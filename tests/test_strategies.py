@@ -1,0 +1,87 @@
+"""Tests for symbolic exploration strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.pdg.flatten import flatten_program
+from repro.symbolic.engine import EngineConfig, SymbolicEngine
+from repro.symbolic.expr import SymPacket, canon
+from repro.symbolic.strategies import (
+    BreadthFirst,
+    DepthFirst,
+    RandomOrder,
+    make_strategy,
+)
+
+SOURCE = (
+    "def cb(pkt):\n"
+    "    if pkt.dport == 80:\n"
+    "        if pkt.ttl > 5:\n"
+    "            if pkt.sport == 53:\n"
+    "                send_packet(pkt)\n"
+    "    else:\n"
+    "        send_packet(pkt)\n"
+)
+
+
+def path_signatures(strategy: str, seed: int = 0, max_paths: int = 4096):
+    flat = flatten_program(parse_program(SOURCE, entry="cb"))
+    engine = SymbolicEngine(
+        EngineConfig(strategy=strategy, strategy_seed=seed, max_paths=max_paths)
+    )
+    paths = engine.explore(list(flat.block), {"pkt": SymPacket.fresh()})
+    return [frozenset(canon(c) for c in p.constraints) for p in paths]
+
+
+class TestSchedulingDiscipline:
+    def test_dfs_is_lifo(self):
+        s = DepthFirst()
+        from repro.symbolic.state import SymState
+
+        a, b = SymState(pc=1, env={}), SymState(pc=2, env={})
+        s.push(a)
+        s.push(b)
+        assert s.pop() is b and s.pop() is a
+
+    def test_bfs_is_fifo(self):
+        s = BreadthFirst()
+        from repro.symbolic.state import SymState
+
+        a, b = SymState(pc=1, env={}), SymState(pc=2, env={})
+        s.push(a)
+        s.push(b)
+        assert s.pop() is a and s.pop() is b
+
+    def test_random_is_seeded(self):
+        from repro.symbolic.state import SymState
+
+        def drain(seed):
+            s = RandomOrder(seed)
+            states = [SymState(pc=i, env={}) for i in range(8)]
+            for st in states:
+                s.push(st)
+            return [s.pop().pc for _ in range(8)]
+
+        assert drain(3) == drain(3)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("dijkstra")
+
+
+class TestOrderIndependence:
+    def test_complete_exploration_is_order_independent(self):
+        dfs = set(path_signatures("dfs"))
+        bfs = set(path_signatures("bfs"))
+        rnd = set(path_signatures("random", seed=9))
+        assert dfs == bfs == rnd
+
+    def test_bfs_prefers_short_paths_under_budget(self):
+        """With a 2-path budget, BFS keeps the shallow behaviours."""
+        bfs = path_signatures("bfs", max_paths=2)
+        dfs = path_signatures("dfs", max_paths=2)
+        assert len(bfs) == len(dfs) == 2
+        shortest = min(len(sig) for sig in set(path_signatures("dfs")))
+        assert min(len(s) for s in bfs) == shortest

@@ -1,0 +1,266 @@
+"""Tests for the symbolic execution engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.pdg.flatten import flatten_program
+from repro.symbolic.engine import EngineConfig, SymbolicEngine
+from repro.symbolic.expr import SApp, SVar, SymDict, SymPacket, eval_sym, leaf_key
+from repro.symbolic.solver import Solver
+
+
+def explore(source: str, extra_env=None, watched=None, config=None, entry="cb"):
+    program = parse_program(source, entry=entry)
+    flat = flatten_program(program)
+    env = {"pkt": SymPacket.fresh()}
+    env.update(extra_env or {})
+    engine = SymbolicEngine(config)
+    # skip the module part: callers pass state explicitly
+    entry_block = [s for s in flat.block if s.sid not in flat.module_sids]
+    paths = engine.explore(entry_block, env, watched=watched or set())
+    return paths, engine
+
+
+class TestBranching:
+    def test_two_way_fork(self):
+        paths, engine = explore(
+            "def cb(pkt):\n    if pkt.dport == 80:\n        send_packet(pkt)\n"
+        )
+        assert len(paths) == 2
+        assert engine.stats.forks == 1
+        kinds = sorted(p.drops for p in paths)
+        assert kinds == [False, True]
+
+    def test_concrete_condition_no_fork(self):
+        paths, engine = explore(
+            "def cb(pkt):\n    x = 3\n    if x > 1:\n        send_packet(pkt)\n"
+        )
+        assert len(paths) == 1
+        assert engine.stats.forks == 0
+
+    def test_infeasible_arm_pruned(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    if pkt.dport == 80:\n"
+            "        if pkt.dport == 81:\n"
+            "            send_packet(pkt)\n"
+        )
+        # dport==80 ∧ dport==81 is unsat: only 2 paths survive.
+        assert len(paths) == 2
+        assert all(p.drops for p in paths)
+
+    def test_nested_forks_multiply(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    if pkt.dport == 80:\n"
+            "        x = 1\n"
+            "    if pkt.sport == 80:\n"
+            "        y = 1\n"
+        )
+        assert len(paths) == 4
+
+    def test_path_conditions_recorded(self):
+        paths, _ = explore(
+            "def cb(pkt):\n    if pkt.ttl > 5:\n        send_packet(pkt)\n"
+        )
+        send_path = next(p for p in paths if not p.drops)
+        assert len(send_path.constraints) == 1
+        solver = Solver()
+        model = solver.model(send_path.constraints)
+        assert model[leaf_key(SVar("pkt.ttl", 0, 255))] > 5
+
+    def test_branch_outcomes_recorded(self):
+        paths, _ = explore(
+            "def cb(pkt):\n    if pkt.ttl > 5:\n        send_packet(pkt)\n"
+        )
+        outcomes = {p.branches[0][1] for p in paths}
+        assert outcomes == {True, False}
+
+
+class TestLoops:
+    def test_concrete_loop_executes(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    t = 0\n"
+            "    for i in range(4):\n"
+            "        t += i\n"
+            "    pkt.ttl = t\n"
+            "    send_packet(pkt)\n"
+        )
+        assert len(paths) == 1
+        assert paths[0].sent[0][0]["ttl"] == 6
+
+    def test_symbolic_loop_bounded(self):
+        config = EngineConfig(loop_bound=3, keep_pruned=True)
+        paths, engine = explore(
+            "def cb(pkt):\n"
+            "    i = 0\n"
+            "    while i < pkt.ttl:\n"
+            "        i += 1\n"
+            "    send_packet(pkt)\n",
+            config=config,
+        )
+        done = [p for p in paths if p.status == "done"]
+        # bounded exploration: exits after 0..bound iterations
+        assert 1 <= len(done) <= config.loop_bound + 1
+
+    def test_concrete_infinite_loop_truncated(self):
+        config = EngineConfig(concrete_loop_bound=50, keep_pruned=True)
+        paths, engine = explore(
+            "def cb(pkt):\n    while True:\n        x = 1\n",
+            config=config,
+        )
+        assert engine.stats.paths_truncated == 1
+
+
+class TestStateDicts:
+    def test_membership_forks_and_assumes(self):
+        table = SymDict("table")
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    k = (pkt.ip_src, pkt.sport)\n"
+            "    if k in table:\n"
+            "        send_packet(pkt)\n",
+            extra_env={"table": table},
+        )
+        assert len(paths) == 2
+        member_path = next(p for p in paths if not p.drops)
+        atom = member_path.constraints[0]
+        assert isinstance(atom, SApp) and atom.op == "member"
+
+    def test_membership_consistent_within_path(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    k = pkt.ip_src\n"
+            "    if k in table:\n"
+            "        x = 1\n"
+            "    if k in table:\n"
+            "        send_packet(pkt)\n",
+            extra_env={"table": SymDict("table")},
+        )
+        # The second test reuses the assumption: only 2 paths, not 4.
+        assert len(paths) == 2
+
+    def test_write_then_membership_is_concrete(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    table[pkt.ip_src] = 1\n"
+            "    if pkt.ip_src in table:\n"
+            "        send_packet(pkt)\n",
+            extra_env={"table": SymDict("table")},
+        )
+        assert len(paths) == 1
+        assert not paths[0].drops
+
+    def test_read_of_assumed_key_constrains_path(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    v = table[pkt.ip_src]\n"
+            "    if v == 3:\n"
+            "        send_packet(pkt)\n",
+            extra_env={"table": SymDict("table")},
+        )
+        for p in paths:
+            assert any(
+                isinstance(c, SApp) and c.op == "member" for c in p.constraints
+            )
+
+    def test_delete_then_membership_false(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    table[pkt.ip_src] = 1\n"
+            "    del table[pkt.ip_src]\n"
+            "    if pkt.ip_src in table:\n"
+            "        send_packet(pkt)\n",
+            extra_env={"table": SymDict("table")},
+        )
+        assert len(paths) == 1
+        assert paths[0].drops
+
+    def test_watched_writes_recorded(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    table[pkt.ip_src] = 1\n"
+            "    counter = counter + 1\n"
+            "    send_packet(pkt)\n",
+            extra_env={"table": SymDict("table"), "counter": SVar("st.counter", 0, 100)},
+            watched={"table", "counter"},
+        )
+        written = {var for _, var in paths[0].state_writes}
+        assert written == {"table", "counter"}
+
+
+class TestPacketHandling:
+    def test_field_rewrite_appears_in_sent(self):
+        paths, _ = explore(
+            "def cb(pkt):\n    pkt.dport = 8080\n    send_packet(pkt)\n"
+        )
+        assert paths[0].sent[0][0]["dport"] == 8080
+
+    def test_unmodified_fields_stay_symbolic(self):
+        paths, _ = explore("def cb(pkt):\n    send_packet(pkt)\n")
+        ttl = paths[0].sent[0][0]["ttl"]
+        assert isinstance(ttl, SVar) and ttl.name == "pkt.ttl"
+
+    def test_send_port_recorded(self):
+        paths, _ = explore("def cb(pkt):\n    send_packet(pkt, 2)\n")
+        assert paths[0].sent[0][1] == 2
+
+    def test_drop_paths_have_no_sends(self):
+        paths, _ = explore(
+            "def cb(pkt):\n"
+            "    if pkt.ttl == 0:\n"
+            "        return\n"
+            "    send_packet(pkt)\n"
+        )
+        drop = next(p for p in paths if p.drops)
+        assert drop.sent == []
+
+
+class TestPathDisjointness:
+    def test_conditions_partition_inputs(self):
+        """Sampled concrete packets satisfy exactly one path condition."""
+        source = (
+            "def cb(pkt):\n"
+            "    if pkt.dport == 80:\n"
+            "        if pkt.ttl > 10:\n"
+            "            send_packet(pkt)\n"
+            "    else:\n"
+            "        if pkt.sport == 53:\n"
+            "            send_packet(pkt)\n"
+        )
+        paths, _ = explore(source)
+        import random
+
+        rng = random.Random(5)
+        from repro.net.packet import FIELD_DOMAINS
+
+        for _ in range(50):
+            assignment = {
+                f"v:pkt.{name}": rng.randint(lo, hi)
+                for name, (lo, hi) in FIELD_DOMAINS.items()
+            }
+            matching = [
+                p
+                for p in paths
+                if all(bool(eval_sym(c, assignment)) for c in p.constraints)
+            ]
+            assert len(matching) == 1
+
+
+class TestErrorsAndLimits:
+    def test_undefined_name_is_path_error(self):
+        config = EngineConfig(keep_pruned=True)
+        paths, engine = explore("def cb(pkt):\n    x = nope\n", config=config)
+        assert engine.stats.paths_error == 1
+
+    def test_max_paths_marks_exhausted(self):
+        source = "def cb(pkt):\n" + "".join(
+            f"    if pkt.ttl == {i}:\n        x{i} = 1\n" for i in range(8)
+        )
+        config = EngineConfig(max_paths=4)
+        paths, engine = explore(source, config=config)
+        assert engine.stats.exhausted
+        assert len(paths) == 4

@@ -1,0 +1,189 @@
+"""Tests for symbolic expressions: folding, canonicalisation, evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.symbolic.expr import (
+    SApp,
+    SDictVal,
+    SVar,
+    SymDict,
+    SymPacket,
+    canon,
+    eval_sym,
+    is_concrete,
+    leaf_key,
+    mk_app,
+    sym_vars,
+)
+from repro.util.hashing import stable_hash
+
+X = SVar("pkt.x", 0, 100)
+Y = SVar("pkt.y", 0, 100)
+
+
+class TestMkApp:
+    def test_concrete_folds(self):
+        assert mk_app("+", 2, 3) == 5
+        assert mk_app("==", 2, 2) is True
+        assert mk_app("%", 7, 3) == 1
+
+    def test_symbolic_stays(self):
+        out = mk_app("+", X, 1)
+        assert isinstance(out, SApp) and out.op == "+"
+
+    def test_not_of_comparison_flips(self):
+        eq = mk_app("==", X, 5)
+        ne = mk_app("not", eq)
+        assert isinstance(ne, SApp) and ne.op == "!="
+
+    def test_double_negation_cancels(self):
+        atom = SApp("member", ("t", X))
+        assert mk_app("not", mk_app("not", atom)) == atom
+
+    def test_and_identity_and_absorbing(self):
+        c = mk_app("==", X, 1)
+        assert mk_app("and", True, c) == c
+        assert mk_app("and", False, c) is False
+        assert mk_app("or", True, c) is True
+        assert mk_app("or", False, c) == c
+        assert mk_app("and") is True
+
+    def test_hash_folds_via_stable_hash(self):
+        assert mk_app("hash", (1, 2)) == stable_hash((1, 2))
+
+    def test_getitem_folds(self):
+        assert mk_app("getitem", (10, 20), 1) == 20
+
+    def test_cond_folds(self):
+        assert mk_app("cond", True, 1, 2) == 1
+        assert mk_app("cond", False, 1, 2) == 2
+
+
+class TestCanon:
+    def test_structural_identity(self):
+        a = mk_app("==", X, 5)
+        b = mk_app("==", SVar("pkt.x", 0, 100), 5)
+        assert canon(a) == canon(b)
+
+    def test_distinguishes_values(self):
+        assert canon(mk_app("==", X, 5)) != canon(mk_app("==", X, 6))
+
+    def test_distinguishes_types(self):
+        assert canon(1) != canon(True)
+        assert canon(1) != canon("1")
+
+    def test_tuple_vs_list(self):
+        assert canon((1, 2)) != canon([1, 2])
+
+
+class TestEvalSym:
+    def test_var_lookup(self):
+        assert eval_sym(X, {leaf_key(X): 42}) == 42
+
+    def test_app_evaluation(self):
+        expr = mk_app("+", mk_app("*", X, 2), Y)
+        assert eval_sym(expr, {leaf_key(X): 3, leaf_key(Y): 4}) == 10
+
+    def test_member_atom(self):
+        atom = SApp("member", ("t", X))
+        assert eval_sym(atom, {leaf_key(atom): True}) is True
+        assert eval_sym(atom, {}) is False
+
+    def test_dictval_default(self):
+        dv = SDictVal("t", "k")
+        assert eval_sym(dv, {}) == 0
+        assert eval_sym(dv, {leaf_key(dv): 9}) == 9
+
+    def test_structured(self):
+        assert eval_sym((X, [Y, 1]), {leaf_key(X): 1, leaf_key(Y): 2}) == (1, [2, 1])
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_fold_equals_eval(self, a, b):
+        """Folding concrete args must equal evaluating the symbolic tree."""
+        for op in ("+", "-", "*", "&", "|", "^", "==", "<", ">="):
+            tree = SApp(op, (X, Y))
+            assignment = {leaf_key(X): a, leaf_key(Y): b}
+            assert eval_sym(tree, assignment) == mk_app(op, a, b)
+
+
+class TestSymVars:
+    def test_collects_leaves(self):
+        expr = mk_app("and", mk_app("==", X, 1), mk_app("<", Y, 2))
+        names = {v.name for v in sym_vars(expr) if isinstance(v, SVar)}
+        assert names == {"pkt.x", "pkt.y"}
+
+    def test_member_atom_is_leaf_and_recursed(self):
+        atom = SApp("member", ("t", (X,)))
+        leaves = sym_vars(atom)
+        assert atom in leaves
+        assert X in leaves
+
+    def test_is_concrete(self):
+        assert is_concrete((1, [2, {"a": 3}]))
+        assert not is_concrete((1, X))
+        assert not is_concrete(SymDict("t"))
+
+
+class TestSymPacket:
+    def test_fresh_fields_are_vars(self):
+        p = SymPacket.fresh()
+        assert isinstance(p.get("dport"), SVar)
+        assert p.get("dport").name == "pkt.dport"
+
+    def test_set_get(self):
+        p = SymPacket.fresh()
+        p.set("dport", 80)
+        assert p.get("dport") == 80
+
+    def test_unknown_field_rejected(self):
+        p = SymPacket.fresh()
+        with pytest.raises(KeyError):
+            p.get("nope")
+        with pytest.raises(KeyError):
+            p.set("nope", 1)
+
+    def test_copy_independent(self):
+        p = SymPacket.fresh()
+        q = p.copy()
+        q.set("dport", 1)
+        assert isinstance(p.get("dport"), SVar)
+
+
+class TestSymDict:
+    def test_written_value_lookup(self):
+        d = SymDict("t")
+        d.store((X, 1), "v")
+        assert d.written_value((X, 1)) == (True, "v")
+        assert d.written_value((X, 2)) is None
+
+    def test_last_write_wins(self):
+        d = SymDict("t")
+        d.store(1, "a")
+        d.store(1, "b")
+        assert d.written_value(1) == (True, "b")
+
+    def test_delete_hides_write(self):
+        d = SymDict("t")
+        d.store(1, "a")
+        d.delete(1)
+        assert d.written_value(1) is None
+        assert canon(1) in d.deleted
+
+    def test_store_after_delete_revives(self):
+        d = SymDict("t")
+        d.delete(1)
+        d.store(1, "a")
+        assert d.written_value(1) == (True, "a")
+        assert canon(1) not in d.deleted
+
+    def test_copy_independent(self):
+        d = SymDict("t")
+        d.store(1, "a")
+        e = d.copy()
+        e.store(2, "b")
+        e.assumed["x"] = True
+        assert d.written_value(2) is None
+        assert "x" not in d.assumed

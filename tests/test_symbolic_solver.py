@@ -1,0 +1,166 @@
+"""Tests for the propagate-and-sample constraint solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic.expr import SApp, SVar, eval_sym, leaf_key, mk_app
+from repro.symbolic.solver import Solver
+
+X = SVar("pkt.x", 0, 1000)
+Y = SVar("pkt.y", 0, 1000)
+B = SVar("cfg.b", 0, 1, boolean=True)
+
+
+def check(*constraints):
+    return Solver(seed=1).check(list(constraints))
+
+
+class TestBasics:
+    def test_empty_is_sat(self):
+        assert check().status == "sat"
+
+    def test_literal_false_unsat(self):
+        assert check(False).status == "unsat"
+        assert check(True, False).status == "unsat"
+
+    def test_equality_pin(self):
+        result = check(mk_app("==", X, 5))
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(X)] == 5
+
+    def test_contradictory_pins(self):
+        assert check(mk_app("==", X, 5), mk_app("==", X, 6)).status == "unsat"
+
+    def test_interval_conflict(self):
+        assert check(mk_app("<", X, 5), mk_app(">", X, 10)).status == "unsat"
+
+    def test_interval_tight_fit(self):
+        result = check(mk_app(">=", X, 7), mk_app("<=", X, 7))
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(X)] == 7
+
+    def test_not_equal_excludes(self):
+        result = check(
+            mk_app(">=", X, 5), mk_app("<=", X, 6), mk_app("!=", X, 5)
+        )
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(X)] == 6
+
+    def test_exhausted_domain_via_exclusions(self):
+        assert check(
+            mk_app(">=", X, 5),
+            mk_app("<=", X, 5),
+            mk_app("!=", X, 5),
+        ).status == "unsat"
+
+    def test_domain_bounds_respected(self):
+        small = SVar("pkt.s", 0, 3)
+        assert check(mk_app(">", small, 3)).status == "unsat"
+
+    def test_flipped_operand_order(self):
+        result = check(mk_app(">", 10, X))  # 10 > x  ⇒  x < 10
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(X)] < 10
+
+
+class TestStructural:
+    def test_var_equality_union_find(self):
+        result = check(mk_app("==", X, Y), mk_app("==", X, 9))
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(Y)] == 9
+
+    def test_var_equality_conflict(self):
+        assert check(
+            mk_app("==", X, Y), mk_app("==", X, 1), mk_app("==", Y, 2)
+        ).status == "unsat"
+
+    def test_member_atom_polarity(self):
+        atom = SApp("member", ("t", X))
+        result = check(atom)
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(atom)] is True
+        assert check(atom, mk_app("not", atom)).status == "unsat"
+
+    def test_complement_of_compound(self):
+        compound = mk_app(
+            "and", mk_app("!=", mk_app("&", X, 2), 0), mk_app("==", mk_app("&", X, 16), 0)
+        )
+        assert check(compound, mk_app("not", compound)).status == "unsat"
+
+    def test_conjunction_expansion_propagates(self):
+        conj = mk_app("and", mk_app("==", X, 4), mk_app("==", Y, 5))
+        result = check(conj)
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(X)] == 4
+        assert result.assignment[leaf_key(Y)] == 5
+
+    def test_demorgan_or(self):
+        neg_or = mk_app("not", mk_app("or", mk_app("==", X, 1), mk_app("==", X, 2)))
+        result = check(neg_or, mk_app("<=", X, 2), mk_app(">=", X, 1))
+        assert result.status == "unsat"
+
+    def test_boolean_var(self):
+        result = check(B)
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(B)] == 1
+
+
+class TestSampling:
+    def test_arith_constraint_found_by_sampling(self):
+        result = check(mk_app("==", mk_app("%", X, 7), 3))
+        assert result.status == "sat"
+        assert result.assignment[leaf_key(X)] % 7 == 3
+
+    def test_hash_constraint(self):
+        # hash-based constraints are only solvable by sampling
+        result = check(mk_app("==", mk_app("%", mk_app("hash", (X,)), 2), 0))
+        assert result.status == "sat"
+
+    def test_unknown_on_hard_constraint(self):
+        # Hash preimage of a fixed value: propagation can't and sampling
+        # won't find it — must return unknown, never unsat.
+        result = Solver(seed=1, max_samples=10).check(
+            [mk_app("==", mk_app("hash", (X,)), 123456789)]
+        )
+        assert result.status == "unknown"
+        assert result.feasible  # treated as possibly-sat
+
+    def test_determinism(self):
+        constraints = [mk_app(">", mk_app("%", X, 13), 7), mk_app("<", X, 500)]
+        a = Solver(seed=3).check(constraints).assignment
+        b = Solver(seed=3).check(constraints).assignment
+        assert a == b
+
+
+@st.composite
+def simple_constraints(draw):
+    """A random satisfiable-ish constraint set over X and Y."""
+    out = []
+    for var in (X, Y):
+        lo = draw(st.integers(0, 900))
+        hi = draw(st.integers(lo, 1000))
+        out.append(mk_app(">=", var, lo))
+        out.append(mk_app("<=", var, hi))
+        if draw(st.booleans()):
+            out.append(mk_app("!=", var, draw(st.integers(0, 1000))))
+    return out
+
+
+class TestWitnessSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(simple_constraints())
+    def test_sat_witness_actually_satisfies(self, constraints):
+        result = Solver(seed=0).check(constraints)
+        assert result.status in ("sat", "unsat")
+        if result.status == "sat":
+            for c in constraints:
+                assert bool(eval_sym(c, result.assignment)) is True
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_never_unsat_when_witness_exists(self, a, b):
+        # x == a ∧ y == b is always satisfiable within domains.
+        result = check(mk_app("==", X, a), mk_app("==", Y, b))
+        assert result.status == "sat"

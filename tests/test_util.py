@@ -1,0 +1,74 @@
+"""Tests for repro.util: deterministic hashing and timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.hashing import fnv1a, stable_hash
+from repro.util.timer import Stopwatch
+
+
+class TestFnv1a:
+    def test_empty(self):
+        assert fnv1a(b"") == 0xCBF29CE484222325
+
+    def test_known_vector(self):
+        # FNV-1a 64-bit of "a" (standard test vector)
+        assert fnv1a(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_distinct_inputs(self):
+        assert fnv1a(b"abc") != fnv1a(b"abd")
+
+    def test_64_bit_range(self):
+        for data in (b"", b"x", b"hello world" * 100):
+            assert 0 <= fnv1a(data) < (1 << 64)
+
+
+class TestStableHash:
+    def test_int(self):
+        assert stable_hash(42) == stable_hash(42)
+
+    def test_type_distinction(self):
+        # 1 and True and "1" must hash differently (type-tagged encoding)
+        assert stable_hash(1) != stable_hash(True)
+        assert stable_hash(1) != stable_hash("1")
+
+    def test_tuple_nesting_distinction(self):
+        assert stable_hash((1, (2, 3))) != stable_hash((1, 2, 3))
+
+    def test_none(self):
+        assert stable_hash(None) == stable_hash(None)
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(TypeError):
+            stable_hash([1, 2])
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63))
+    def test_deterministic_over_ints(self, value):
+        assert stable_hash(value) == stable_hash(value)
+
+    @given(
+        st.tuples(st.integers(0, 2**32), st.text(max_size=20), st.booleans())
+    )
+    def test_deterministic_over_tuples(self, value):
+        assert stable_hash(value) == stable_hash(value)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_collision_free_enough(self, a, b):
+        if a != b:
+            assert stable_hash(a) != stable_hash(b)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+
+    def test_elapsed_ms(self):
+        with Stopwatch() as sw:
+            pass
+        assert sw.elapsed_ms == pytest.approx(sw.elapsed * 1000.0)
