@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from common import print_table, synthesize
+from common import print_phase_profile, print_table, profile_snapshot, synthesize
 from repro.nfactor.algorithm import NFactor
 from repro.nfs import get_nf
 from repro.symbolic.engine import EngineConfig
@@ -53,6 +53,7 @@ def table2_row(name: str) -> dict:
         "ep_slice": stats.n_paths,
         "se_orig_s": round(sw.elapsed, 3),
         "se_slice_s": round(stats.se_time_s, 3),
+        "profile": profile_snapshot(result),
     }
 
 
@@ -98,6 +99,8 @@ def test_table2_speedup_shape(benchmark):
             f"{r['se_orig_s']}s", f"{r['se_slice_s']}s",
         ] for r in rows.values()],
     )
+    print_phase_profile({name: synthesize(name) for name in NFS})
+
     snort, balance = rows["snortlite"], rows["balance"]
     snort_reduction = snort["loc_orig"] / snort["loc_slice"]
     balance_reduction = balance["loc_orig"] / balance["loc_slice"]

@@ -3,12 +3,19 @@
 Each benchmark regenerates one artifact of the paper's evaluation
 (tables/figures, DESIGN.md §4) and prints a paper-style table.  Heavy
 syntheses are cached per process so benches can share them.
+
+Syntheses run under an enabled observer (:mod:`repro.obs`), so every
+cached :class:`SynthesisResult` carries the per-phase timings and the
+full metrics snapshot in ``result.stats.phase_timings`` /
+``result.stats.metrics`` — benchmark rows can report *where* the time
+went, not just how much there was.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
+from repro import obs
 from repro.nfactor.algorithm import NFactor, NFactorConfig, SynthesisResult
 from repro.nfs import get_nf
 from repro.symbolic.engine import EngineConfig
@@ -17,12 +24,44 @@ _CACHE: Dict[str, SynthesisResult] = {}
 
 
 def synthesize(name: str, max_paths: int = 16384) -> SynthesisResult:
-    """Synthesize (and cache) the model of a corpus NF."""
+    """Synthesize (and cache) the model of a corpus NF, observed."""
     if name not in _CACHE:
         spec = get_nf(name)
         config = NFactorConfig(engine=EngineConfig(max_paths=max_paths))
-        _CACHE[name] = NFactor(spec.source, name=name, config=config).synthesize()
+        with obs.observed():
+            _CACHE[name] = NFactor(
+                spec.source, name=name, config=config
+            ).synthesize()
     return _CACHE[name]
+
+
+def profile_snapshot(result: SynthesisResult) -> Dict[str, Any]:
+    """The per-phase/metric snapshot of one synthesis (bench artifact)."""
+    return {
+        "phase_timings_s": dict(result.stats.phase_timings),
+        "metrics": result.stats.metrics,
+    }
+
+
+def print_phase_profile(results: Dict[str, SynthesisResult]) -> None:
+    """Append a per-NF phase-timing table to a bench's output."""
+    phases: List[str] = []
+    for result in results.values():
+        for name in result.stats.phase_timings:
+            if name not in phases:
+                phases.append(name)
+    print_table(
+        "Per-phase timings (ms)",
+        ["NF"] + phases,
+        [
+            [name]
+            + [
+                f"{result.stats.phase_timings.get(p, 0.0) * 1000:.1f}"
+                for p in phases
+            ]
+            for name, result in results.items()
+        ],
+    )
 
 
 def print_table(title: str, headers: Sequence[str], rows: List[Sequence[str]]) -> None:

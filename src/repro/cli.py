@@ -12,9 +12,20 @@ on NF source and ships the resulting model::
     python -m repro testgen firewall
     python -m repro fsm loadbalancer --dot
     python -m repro workload loadbalancer out.pcap -n 200
+    python -m repro profile nat
 
 Positional NF arguments accept either a corpus name (see ``list``) or a
 path to an NFPy source file.
+
+Observability (see :mod:`repro.obs`) is available on every subcommand
+through two global flags, given *before* the subcommand::
+
+    python -m repro --trace out.jsonl synthesize nat   # JSONL span events
+    python -m repro --profile difftest nat             # per-phase table after
+
+``profile <nf>`` is the one-stop profiling run: it synthesizes the NF
+with tracing and metrics enabled and prints the full per-phase/metric
+breakdown.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.apps.testing import generate_tests, validate_suite
 from repro.equiv.differential import differential_test
 from repro.model.fsm import build_fsm
@@ -31,6 +43,18 @@ from repro.model.serialize import model_to_json, render_model
 from repro.nfactor.algorithm import NFactor, SynthesisResult
 from repro.nfs import get_nf, nf_names
 from repro.nfs.registry import NFSpec
+
+
+def _version() -> str:
+    """The installed distribution version, else the source-tree one."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not pip-installed (e.g. PYTHONPATH=src runs)
+        import repro
+
+        return repro.__version__
 
 
 def load_spec(target: str, entry: Optional[str] = None) -> NFSpec:
@@ -168,10 +192,46 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    spec = load_spec(args.nf, args.entry)
+    result = synthesize(spec, args.entry)
+    print(_render_ambient_profile(result))
+    stats = result.stats
+    print(
+        f"\n{spec.name}: {stats.n_paths} paths -> {stats.n_entries} entries; "
+        f"{stats.solver_checks} solver checks; "
+        f"pipeline {sum(stats.phase_timings.values()) * 1000:.1f} ms"
+    )
+    return 0
+
+
+def _render_ambient_profile(result: Optional[SynthesisResult] = None) -> str:
+    """The profile table from the ambient tracer/registry (CLI view)."""
+    profile = obs.collect_profile(
+        obs.trace.active(),
+        obs.metrics.active() if obs.metrics.active().enabled else None,
+        phase_timings=result.stats.phase_timings if result is not None else None,
+    )
+    return obs.render_profile(profile)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NFactor: synthesize NF forwarding models by program analysis",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="stream span events of this run to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase/metric profile after the command",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -208,13 +268,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--packets", type=int, default=100)
     p.add_argument("--seed", type=int, default=7)
     # reorder: nf positional already added by nf_command before output
+
+    nf_command(
+        "profile", cmd_profile, "synthesize with tracing on, print the profile"
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    want_obs = bool(args.trace) or args.profile or args.command == "profile"
+    if not want_obs:
+        return args.func(args)
+
+    writer = obs.JsonlWriter(args.trace) if args.trace else None
+    tracer = obs.Tracer(sink=writer)
+    registry = obs.MetricsRegistry()
+    try:
+        with obs.observed(tracer, registry):
+            code = args.func(args)
+            if args.profile and args.command != "profile":
+                print()
+                print(_render_ambient_profile())
+    finally:
+        if writer is not None:
+            writer.close()
+    return code
 
 
 if __name__ == "__main__":

@@ -43,6 +43,8 @@ from repro.model.simulator import ModelSimulator
 from repro.nfactor.refactor import build_model, executable_slice
 from repro.nfactor.tcp_unfold import has_socket_calls, unfold_tcp
 from repro.nfactor.transforms import NormalizeReport, normalize_structure
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.pdg.flatten import FlatView, flatten_program
 from repro.pdg.pdg import PDG, build_pdg
 from repro.slicing.criteria import SliceCriterion
@@ -72,7 +74,14 @@ class NFactorConfig:
 
 @dataclass
 class SynthesisStats:
-    """Timings and sizes reported per synthesis (paper Table 2 columns)."""
+    """Timings and sizes reported per synthesis (paper Table 2 columns).
+
+    ``phase_timings`` maps pipeline phase name → wall seconds and is
+    always populated (its collection is a pair of monotonic-clock reads
+    per phase); ``metrics`` is the ambient metrics-registry snapshot,
+    populated when the synthesis ran under an installed registry (see
+    :mod:`repro.obs`) and empty otherwise.
+    """
 
     source_loc: int = 0
     ir_loc: int = 0
@@ -85,6 +94,8 @@ class SynthesisStats:
     n_paths: int = 0
     n_entries: int = 0
     solver_checks: int = 0
+    phase_timings: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -128,6 +139,23 @@ class SynthesisResult:
         return self.flat.source_lines(self.union_slice)
 
 
+@dataclass
+class _Prep:
+    """Intermediate products of the shared pipeline front half."""
+
+    flat: FlatView
+    module_part: Block
+    entry_part: Block
+    pkt_param: str
+    loop_sid: int
+    pdg: PDG
+    slicer: StaticSlicer
+    pkt_slice: Set[int]
+    categories: VarCategories
+    module_env: Dict[str, Any]
+    sym_env: Dict[str, Any]
+
+
 class NFactor:
     """The NFactor synthesis tool."""
 
@@ -138,16 +166,20 @@ class NFactor:
         entry: Optional[str] = None,
         config: Optional[NFactorConfig] = None,
     ) -> None:
+        self._phase_timings: Dict[str, float] = {}
         if isinstance(program, str):
-            program = parse_program(program, name=name, entry=entry)
+            with obs_trace.phase("parse", self._phase_timings):
+                program = parse_program(program, name=name, entry=entry)
         elif entry is not None:
             program.entry = entry
         self.config = config or NFactorConfig()
         self.unfolded = False
         if has_socket_calls(program):
-            program = unfold_tcp(program)
+            with obs_trace.phase("unfold", self._phase_timings):
+                program = unfold_tcp(program)
             self.unfolded = True
-        self.program, self.normalize_report = normalize_structure(program)
+        with obs_trace.phase("normalize", self._phase_timings):
+            self.program, self.normalize_report = normalize_structure(program)
 
     # -- pieces (exposed for benchmarks/ablations) ---------------------------
 
@@ -262,62 +294,110 @@ class NFactor:
 
     # -- the full pipeline -----------------------------------------------------
 
+    def _prepare(self, timings: Dict[str, float]) -> "_Prep":
+        """The shared pipeline front half (both entry points run this).
+
+        Flatten, build the looped analysis view and its PDG, compute the
+        packet slice, classify variables and seed the concrete/symbolic
+        environments.  ``synthesize`` continues with the state slice and
+        the sliced exploration; ``explore_original`` explores the
+        unsliced entry directly.
+        """
+        with obs_trace.phase("flatten", timings):
+            flat, module_part, entry_part = self.flatten()
+        pkt_param = flat.entry_params[0] if flat.entry_params else "pkt"
+
+        with obs_trace.phase("pdg", timings):
+            looped, loop_sid = self.looped_view(flat, module_part, entry_part)
+            pdg = build_pdg(looped, flat.entry_vars())
+            obs_metrics.gauge("pdg.nodes").set(len(pdg.stmts))
+            obs_metrics.gauge("pdg.edges").set(pdg.edge_count())
+        slicer = StaticSlicer(pdg)
+
+        with obs_trace.phase("slice", timings):
+            pkt_slice = slicer.backward_many(self.output_criteria(flat))
+            pkt_slice.discard(loop_sid)
+        with obs_trace.phase("classify", timings):
+            categories = classify_variables(flat, pkt_slice)
+
+        # Concrete initial state (module init runs unsliced: state must
+        # start exactly as the original program starts it), then the
+        # symbolic environment over it.
+        with obs_trace.phase("env", timings):
+            interp = Interpreter()
+            module_env = interp.run_block(list(module_part)).globals
+            module_env.pop(pkt_param, None)
+            sym_env = self.build_symbolic_env(
+                module_env, categories, entry_part, pkt_param
+            )
+
+        return _Prep(
+            flat=flat,
+            module_part=module_part,
+            entry_part=entry_part,
+            pkt_param=pkt_param,
+            loop_sid=loop_sid,
+            pdg=pdg,
+            slicer=slicer,
+            pkt_slice=pkt_slice,
+            categories=categories,
+            module_env=module_env,
+            sym_env=sym_env,
+        )
+
     def synthesize(self) -> SynthesisResult:
         """Run the whole pipeline and return the synthesis result."""
         stats = SynthesisStats()
-        flat, module_part, entry_part = self.flatten()
-        pkt_param = flat.entry_params[0] if flat.entry_params else "pkt"
+        timings = dict(self._phase_timings)  # parse/unfold/normalize
 
-        with Stopwatch() as slicing_sw:
-            looped, loop_sid = self.looped_view(flat, module_part, entry_part)
-            pdg = build_pdg(looped, flat.entry_vars())
-            slicer = StaticSlicer(pdg)
+        with obs_trace.span("synthesize", nf=self.program.name):
+            prep = self._prepare(timings)
+            flat, entry_part = prep.flat, prep.entry_part
+            categories, pkt_slice = prep.categories, prep.pkt_slice
 
-            pkt_slice = slicer.backward_many(self.output_criteria(flat))
-            pkt_slice.discard(loop_sid)
-            categories = classify_variables(flat, pkt_slice)
-            state_slice = slicer.backward_many(
-                self.state_criteria(flat, categories.ois_vars, entry_part)
+            with obs_trace.phase("slice", timings):
+                state_slice = prep.slicer.backward_many(
+                    self.state_criteria(flat, categories.ois_vars, entry_part)
+                )
+                state_slice.discard(prep.loop_sid)
+                union = pkt_slice | state_slice
+                # Jump augmentation needs the loop header "present" so jumps
+                # directly under it qualify; filtering drops it again.
+                sliced_block, kept = executable_slice(
+                    flat.block, union | {prep.loop_sid}, prep.pdg
+                )
+                kept.discard(prep.loop_sid)
+            stats.slicing_time_s = (
+                timings.get("pdg", 0.0)
+                + timings.get("slice", 0.0)
+                + timings.get("classify", 0.0)
             )
-            state_slice.discard(loop_sid)
-            union = pkt_slice | state_slice
-            # Jump augmentation needs the loop header "present" so jumps
-            # directly under it qualify; filtering drops it again.
-            sliced_block, kept = executable_slice(
-                flat.block, union | {loop_sid}, pdg
-            )
-            kept.discard(loop_sid)
-        stats.slicing_time_s = slicing_sw.elapsed
 
-        module_sids = flat.module_sids
-        sliced_entry = [s for s in sliced_block if s.sid not in module_sids]
+            module_sids = flat.module_sids
+            sliced_entry = [s for s in sliced_block if s.sid not in module_sids]
 
-        # Concrete initial state (module init runs unsliced: state must
-        # start exactly as the original program starts it).
-        interp = Interpreter()
-        module_env = interp.run_block(list(module_part)).globals
-        module_env.pop(pkt_param, None)
+            engine = SymbolicEngine(self.config.engine)
+            with obs_trace.phase("symbolic", timings):
+                with Stopwatch() as se_sw:
+                    paths = engine.explore(
+                        sliced_entry, prep.sym_env, watched=categories.ois_vars
+                    )
+            stats.se_time_s = se_sw.elapsed
+            stats.solver_checks = engine.solver.checks
 
-        sym_env = self.build_symbolic_env(module_env, categories, entry_part, pkt_param)
-
-        engine = SymbolicEngine(self.config.engine)
-        with Stopwatch() as se_sw:
-            paths = engine.explore(sliced_entry, sym_env, watched=categories.ois_vars)
-        stats.se_time_s = se_sw.elapsed
-        stats.solver_checks = engine.solver.checks
-
-        stmts = flat.stmts()
-        model = build_model(
-            self.program.name,
-            paths,
-            stmts,
-            pkt_slice,
-            state_slice,
-            ois_vars=categories.ois_vars,
-        )
-        model.cfg_vars = set(categories.cfg_vars)
-        model.pkt_vars = set(categories.pkt_vars)
-        model.log_vars = set(categories.log_vars)
+            stmts = flat.stmts()
+            with obs_trace.phase("refactor", timings):
+                model = build_model(
+                    self.program.name,
+                    paths,
+                    stmts,
+                    pkt_slice,
+                    state_slice,
+                    ois_vars=categories.ois_vars,
+                )
+            model.cfg_vars = set(categories.cfg_vars)
+            model.pkt_vars = set(categories.pkt_vars)
+            model.log_vars = set(categories.log_vars)
 
         stats.source_loc = count_source_loc(self.program.source)
         stats.ir_loc = len(list(iter_block(flat.block)))
@@ -332,20 +412,24 @@ class NFactor:
         stats.path_loc_avg = sum(path_lens) / len(path_lens) if path_lens else 0.0
         stats.n_paths = sum(1 for p in paths if p.status == "done")
         stats.n_entries = model.n_entries
+        stats.phase_timings = timings
+        registry = obs_metrics.active()
+        if registry.enabled:
+            stats.metrics = registry.snapshot()
 
         return SynthesisResult(
             model=model,
             program=self.program,
             flat=flat,
-            pdg=pdg,
+            pdg=prep.pdg,
             pkt_slice=pkt_slice,
             state_slice=state_slice,
             union_slice=kept,
             sliced_entry=sliced_entry,
             categories=categories,
             paths=paths,
-            module_env=module_env,
-            sym_env=sym_env,
+            module_env=prep.module_env,
+            sym_env=prep.sym_env,
             stats=stats,
             normalize_report=self.normalize_report,
             unfolded=self.unfolded,
@@ -358,22 +442,11 @@ class NFactor:
 
         The Table-2 baseline: same symbolic environment, no slicing.
         """
-        flat, module_part, entry_part = self.flatten()
-        pkt_param = flat.entry_params[0] if flat.entry_params else "pkt"
-        looped, loop_sid = self.looped_view(flat, module_part, entry_part)
-        pdg = build_pdg(looped, flat.entry_vars())
-        slicer = StaticSlicer(pdg)
-        pkt_slice = slicer.backward_many(self.output_criteria(flat))
-        pkt_slice.discard(loop_sid)
-        categories = classify_variables(flat, pkt_slice)
-
-        interp = Interpreter()
-        module_env = interp.run_block(list(module_part)).globals
-        module_env.pop(pkt_param, None)
-        sym_env = self.build_symbolic_env(module_env, categories, entry_part, pkt_param)
-
+        prep = self._prepare({})
         engine = SymbolicEngine(engine_config or self.config.engine)
-        paths = engine.explore(list(entry_part), sym_env, watched=categories.ois_vars)
+        paths = engine.explore(
+            list(prep.entry_part), prep.sym_env, watched=prep.categories.ois_vars
+        )
         return paths, engine
 
 

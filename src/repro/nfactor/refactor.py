@@ -29,6 +29,8 @@ from repro.lang.ir import (
     iter_block,
 )
 from repro.model.matchaction import NFModel, TableEntry, split_constraints
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.pdg.pdg import PDG
 from repro.symbolic.state import PathResult
 
@@ -118,6 +120,25 @@ def build_model(
     """
     from repro.lang.ir import stmt_defs
 
+    span = obs_trace.span("refactor.build_model", nf=name, paths=len(paths))
+    with span:
+        model = _build_model(
+            name, paths, stmts, pkt_slice, state_slice, ois_vars, stmt_defs
+        )
+        span.set(entries=model.n_entries)
+    obs_metrics.counter("model.entries").inc(model.n_entries)
+    return model
+
+
+def _build_model(
+    name: str,
+    paths: Sequence[PathResult],
+    stmts: Dict[int, Stmt],
+    pkt_slice: Set[int],
+    state_slice: Set[int],
+    ois_vars: Optional[Set[str]],
+    stmt_defs,
+) -> NFModel:
     model = NFModel(name=name)
     model.ois_vars = set(ois_vars or set())
     union = pkt_slice | state_slice

@@ -1,0 +1,70 @@
+"""Observability for the synthesis pipeline: tracing, metrics, profiles.
+
+Three layers, composable and individually usable:
+
+- :mod:`repro.obs.trace` — hierarchical spans over a monotonic clock,
+  with an in-memory collector and a JSONL event exporter;
+- :mod:`repro.obs.metrics` — process-local counters, gauges and
+  fixed-bucket histograms;
+- :mod:`repro.obs.report` — folding both into per-phase profile tables.
+
+Everything is **off by default**: pipeline call sites route through
+ambient module-level helpers (``trace.span(...)``,
+``metrics.counter(...)``) that no-op until a tracer/registry is
+installed, so the un-observed pipeline pays an attribute check per
+event.  The :func:`observed` context manager is the one-liner opt-in::
+
+    from repro import obs
+
+    with obs.observed() as (tracer, registry):
+        result = NFactor(source).synthesize()
+    print(obs.render_profile(obs.collect_profile(tracer, registry)))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import collect_profile, render_phase_timings, render_profile
+from repro.obs.trace import JsonlWriter, Span, Tracer
+
+__all__ = [
+    "trace",
+    "metrics",
+    "Tracer",
+    "Span",
+    "JsonlWriter",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "collect_profile",
+    "render_profile",
+    "render_phase_timings",
+    "observed",
+]
+
+
+@contextmanager
+def observed(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Enable ambient tracing + metrics for the duration of the block.
+
+    Fresh instances are created unless passed in; the previously
+    installed tracer/registry (usually: none) are restored on exit, so
+    nested observations compose.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    registry = registry if registry is not None else MetricsRegistry()
+    prev_tracer = trace.install(tracer)
+    prev_registry = metrics.install(registry)
+    try:
+        yield tracer, registry
+    finally:
+        trace.uninstall(prev_tracer)
+        metrics.uninstall(prev_registry)

@@ -1,0 +1,339 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named instruments; instruments are
+created on first use and shared afterwards::
+
+    registry = MetricsRegistry()
+    registry.counter("se.paths_forked").inc()
+    registry.histogram("solver.check_seconds").observe(0.0021)
+    registry.snapshot()   # plain-dict view of everything
+
+Pipeline code does not hold a registry reference: the module-level
+:func:`counter` / :func:`gauge` / :func:`histogram` helpers route to the
+*installed* registry (see :func:`install`).  The default registry is
+disabled — its instruments are shared no-op singletons, so an
+un-observed pipeline pays one attribute check per call site.
+
+All instruments are thread-safe (per-instrument locks); histograms use
+cumulative ``le`` (less-or-equal) bucket semantics, i.e. a value equal
+to a bucket's upper bound lands **in** that bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "install",
+    "uninstall",
+    "active",
+    "TIME_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+#: Default bucket upper bounds (seconds) for latency histograms.
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Default bucket upper bounds for size/count histograms.
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (sizes, current levels)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: Number = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: Number = 1) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram with ``le`` (≤ upper bound) semantics.
+
+    ``buckets`` are finite upper bounds in increasing order; an implicit
+    overflow bucket (``+inf``) catches everything above the last bound.
+    Also tracks count, sum, min and max, so means and rough percentiles
+    are recoverable from a snapshot.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[Number]] = None) -> None:
+        bounds = tuple(sorted(buckets if buckets is not None else TIME_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow (+inf)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        idx = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs, ending with ``(inf, total)``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        with self._lock:
+            for bound, n in zip(self.bounds, self._counts):
+                running += n
+                out.append((bound, running))
+            out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        running = 0
+        for bound, n in zip(self.bounds, self._counts):
+            running += n
+            if running >= target:
+                return bound
+        return self._max if self._max is not None else self.bounds[-1]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": self._min,
+            "max": self._max,
+            "buckets": [[le, n] for le, n in self.bucket_counts()],
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def inc(self, n: Number = 1) -> None:
+        pass
+
+    def dec(self, n: Number = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<disabled>"
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        return []
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"count": 0, "sum": 0.0, "mean": 0.0, "min": None, "max": None, "buckets": []}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """A named collection of instruments with a plain-dict snapshot."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument factories (create-or-get) -------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                self._check_free(name, self._counters)
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                self._check_free(name, self._gauges)
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str, buckets: Optional[Sequence[Number]] = None) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                self._check_free(name, self._histograms)
+                inst = self._histograms[name] = Histogram(name, buckets)
+            return inst
+
+    def _check_free(self, name: str, own: Dict[str, Any]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ValueError(f"metric {name!r} already registered with another type")
+
+    # -- views ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything, as plain JSON-serialisable dicts."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in sorted(counters.items())},
+            "gauges": {k: g.value for k, g in sorted(gauges.items())},
+            "histograms": {k: h.as_dict() for k, h in sorted(histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh start for the next run)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# ---------------------------------------------------------------------------
+# Ambient registry (module-level helpers used by instrumented code)
+# ---------------------------------------------------------------------------
+
+_DISABLED = MetricsRegistry(enabled=False)
+_active: MetricsRegistry = _DISABLED
+
+
+def install(registry: MetricsRegistry) -> MetricsRegistry:
+    """Make ``registry`` the ambient registry; returns the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+def uninstall(previous: Optional[MetricsRegistry] = None) -> None:
+    """Restore the ambient registry (to ``previous``, default: disabled)."""
+    global _active
+    _active = previous if previous is not None else _DISABLED
+
+
+def active() -> MetricsRegistry:
+    """The ambient registry (the shared disabled one by default)."""
+    return _active
+
+
+def counter(name: str) -> Counter:
+    return _active.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _active.gauge(name)
+
+
+def histogram(name: str, buckets: Optional[Sequence[Number]] = None) -> Histogram:
+    return _active.histogram(name, buckets)

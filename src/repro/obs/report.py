@@ -1,0 +1,177 @@
+"""Rendering collected traces and metrics into profiles.
+
+:func:`collect_profile` folds a :class:`~repro.obs.trace.Tracer`'s span
+collection and a :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+into one machine-readable dict; :func:`render_profile` turns that dict
+into the human-readable per-phase table the CLI prints for
+``--profile`` / ``python -m repro profile <nf>``.
+
+The per-phase table groups spans named ``phase.<name>`` (the pipeline
+phases opened by :class:`~repro.nfactor.algorithm.NFactor`); *self*
+time is a span's duration minus its children's, so a phase that mostly
+waits on sub-spans (e.g. ``symbolic`` on ``se.explore``) reads near
+zero self time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import PHASE_PREFIX, Tracer
+
+__all__ = ["collect_profile", "render_profile", "render_phase_timings"]
+
+
+def _span_aggregates(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Per-name aggregates (count/total/self), in first-start order."""
+    spans = sorted(tracer.spans, key=lambda s: (s.start, s.span_id))
+    child_time: Dict[int, float] = {}
+    for s in spans:
+        if s.parent_id is not None:
+            child_time[s.parent_id] = child_time.get(s.parent_id, 0.0) + s.duration
+
+    rows: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for s in spans:
+        row = rows.get(s.name)
+        if row is None:
+            row = rows[s.name] = {"name": s.name, "count": 0, "total_s": 0.0, "self_s": 0.0}
+            order.append(s.name)
+        row["count"] += 1
+        row["total_s"] += s.duration
+        row["self_s"] += max(0.0, s.duration - child_time.get(s.span_id, 0.0))
+    return [rows[name] for name in order]
+
+
+def collect_profile(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    phase_timings: Optional[Mapping[str, float]] = None,
+) -> Dict[str, Any]:
+    """Fold trace + metrics into one machine-readable profile dict.
+
+    Phases come from ``phase.*`` spans when a tracer is given, else from
+    an explicit ``phase_timings`` mapping (``SynthesisStats``'s field).
+    """
+    spans = _span_aggregates(tracer) if tracer is not None else []
+    phases = [
+        {
+            "name": row["name"][len(PHASE_PREFIX):],
+            "count": row["count"],
+            "total_s": row["total_s"],
+            "self_s": row["self_s"],
+        }
+        for row in spans
+        if row["name"].startswith(PHASE_PREFIX)
+    ]
+    if not phases and phase_timings:
+        phases = [
+            {"name": name, "count": 1, "total_s": t, "self_s": t}
+            for name, t in phase_timings.items()
+        ]
+    return {
+        "phases": phases,
+        "spans": spans,
+        "metrics": registry.snapshot() if registry is not None else {},
+    }
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return lines
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}"
+
+
+def render_phase_timings(phase_timings: Mapping[str, float]) -> str:
+    """The per-phase table straight from ``SynthesisStats.phase_timings``."""
+    return render_profile(collect_profile(phase_timings=phase_timings))
+
+
+def render_profile(profile: Mapping[str, Any]) -> str:
+    """The human-readable profile: phase table, hot spans, metrics."""
+    out: List[str] = []
+
+    phases = profile.get("phases") or []
+    total = sum(p["total_s"] for p in phases) or 1.0
+    out.append("Per-phase profile")
+    if phases:
+        out.extend(
+            _table(
+                ["phase", "calls", "total ms", "self ms", "share"],
+                [
+                    [
+                        p["name"],
+                        p["count"],
+                        _ms(p["total_s"]),
+                        _ms(p["self_s"]),
+                        f"{100.0 * p['total_s'] / total:5.1f}%",
+                    ]
+                    for p in phases
+                ],
+            )
+        )
+    else:
+        out.append("  (no phase spans recorded)")
+
+    inner = [s for s in profile.get("spans", []) if not s["name"].startswith(PHASE_PREFIX)]
+    if inner:
+        out.append("")
+        out.append("Spans")
+        out.extend(
+            _table(
+                ["span", "calls", "total ms", "self ms"],
+                [
+                    [s["name"], s["count"], _ms(s["total_s"]), _ms(s["self_s"])]
+                    for s in inner
+                ],
+            )
+        )
+
+    metrics = profile.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    if counters or gauges:
+        out.append("")
+        out.append("Counters / gauges")
+        rows = [[name, value] for name, value in counters.items()]
+        rows += [[name, value] for name, value in gauges.items()]
+        out.extend(_table(["metric", "value"], rows))
+
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        out.append("")
+        out.append("Histograms")
+        rows = []
+        for name, h in histograms.items():
+            # Latency histograms (named *_seconds) read best in ms;
+            # size/count histograms keep their raw unit.
+            if name.endswith("_seconds"):
+                fmt, unit = (lambda v: _ms(v or 0.0)), " (ms)"
+            else:
+                fmt, unit = (lambda v: f"{(v or 0):g}"), ""
+            rows.append(
+                [
+                    name + unit,
+                    h["count"],
+                    fmt(h["mean"]),
+                    fmt(h["max"]),
+                    fmt(h["sum"]),
+                ]
+            )
+        out.extend(_table(["histogram", "count", "mean", "max", "total"], rows))
+
+    return "\n".join(out)

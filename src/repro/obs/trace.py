@@ -1,0 +1,317 @@
+"""Hierarchical execution tracing for the synthesis pipeline.
+
+A :class:`Tracer` records **spans** — named, attributed intervals on a
+monotonic clock — nested by a per-thread context stack, so a span opened
+while another is active becomes its child.  Spans double as context
+managers::
+
+    tracer = Tracer()
+    with tracer.span("phase.slice", nf="nat"):
+        with tracer.span("slice.backward", sid=7):
+            ...
+
+Finished spans land in the in-memory collector (``tracer.spans``) and,
+when a *sink* is configured, are streamed as JSONL events — one event
+per line, a start (``"ev": "B"``) when the span opens and an end
+(``"ev": "E"``, carrying the duration and final attributes) when it
+closes.  :class:`JsonlWriter` is the file sink; :func:`Tracer.dump_jsonl`
+replays the collector after the fact.
+
+Pipeline code does not hold a tracer reference: it calls the
+module-level :func:`span` helper, which routes to the *installed*
+tracer (see :func:`install`).  When no tracer is installed — the
+default — :func:`span` returns a shared no-op span, so instrumentation
+costs one attribute check per call site.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "JsonlWriter",
+    "span",
+    "phase",
+    "install",
+    "uninstall",
+    "active",
+    "NULL_SPAN",
+]
+
+#: Span name prefix marking top-level pipeline phases (report.py groups
+#: spans with this prefix into the per-phase profile table).
+PHASE_PREFIX = "phase."
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One named interval; a context manager tied to its tracer."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "attrs", "start", "end")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from open to close (live reading while still open)."""
+        end = self.end if self.end is not None else self.tracer._now()
+        return end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (merged into the span-end event)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.tracer._close(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration * 1e3:.2f}ms"
+        return f"<Span {self.span_id} {self.name!r} {state}>"
+
+
+class Tracer:
+    """Collects hierarchical spans; optionally streams JSONL events.
+
+    Thread-safe: the parent/child context stack is thread-local (spans
+    opened on different threads nest independently), while id
+    allocation, the collector and the sink are lock-protected.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.sink = sink
+        self.spans: List[Span] = []  #: finished spans, in completion order
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+
+    # -- clock / context ----------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """A new span parented under this thread's innermost open span."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self.current()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(
+            self,
+            span_id,
+            parent.span_id if parent is not None else None,
+            name,
+            dict(attrs),
+        )
+
+    def _open(self, span: Span) -> None:
+        span.start = self._now()
+        self._stack().append(span)
+        self._emit(
+            {
+                "ev": "B",
+                "span": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "ts": round(span.start, 9),
+            }
+        )
+
+    def _close(self, span: Span) -> None:
+        span.end = self._now()
+        stack = self._stack()
+        if span in stack:  # tolerate out-of-order exits
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self.spans.append(span)
+        self._emit(
+            {
+                "ev": "E",
+                "span": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "ts": round(span.end, 9),
+                "dur": round(span.end - span.start, 9),
+                "attrs": span.attrs,
+            }
+        )
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self.sink is not None:
+            self.sink(event)
+
+    # -- exporters ----------------------------------------------------------
+
+    def dump_jsonl(self, fh: IO[str]) -> int:
+        """Replay the collected spans as JSONL events; returns line count."""
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: s.start)
+        events: List[Dict[str, Any]] = []
+        for s in spans:
+            events.append(
+                {
+                    "ev": "B",
+                    "span": s.span_id,
+                    "parent": s.parent_id,
+                    "name": s.name,
+                    "ts": round(s.start, 9),
+                }
+            )
+            events.append(
+                {
+                    "ev": "E",
+                    "span": s.span_id,
+                    "parent": s.parent_id,
+                    "name": s.name,
+                    "ts": round(s.end if s.end is not None else s.start, 9),
+                    "dur": round(s.duration, 9),
+                    "attrs": s.attrs,
+                }
+            )
+        events.sort(key=lambda e: e["ts"])
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        return len(events)
+
+
+class JsonlWriter:
+    """A live JSONL event sink writing one event per line to a file."""
+
+    def __init__(self, path_or_fh: Any) -> None:
+        if hasattr(path_or_fh, "write"):
+            self._fh: IO[str] = path_or_fh
+            self._owned = False
+        else:
+            self._fh = open(path_or_fh, "w", encoding="utf-8")
+            self._owned = True
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owned:
+                self._fh.close()
+
+
+# ---------------------------------------------------------------------------
+# Ambient tracer (module-level helpers used by instrumented code)
+# ---------------------------------------------------------------------------
+
+_active: Optional[Tracer] = None
+
+
+def install(tracer: Tracer) -> Optional[Tracer]:
+    """Make ``tracer`` the ambient tracer; returns the previous one."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+def uninstall(previous: Optional[Tracer] = None) -> None:
+    """Restore the ambient tracer (to ``previous``, default: none)."""
+    global _active
+    _active = previous
+
+
+def active() -> Optional[Tracer]:
+    """The ambient tracer, or None when tracing is disabled."""
+    return _active
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the ambient tracer (no-op span when disabled)."""
+    tracer = _active
+    if tracer is None or not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+@contextmanager
+def phase(name: str, timings: Optional[Dict[str, float]] = None) -> Iterator[None]:
+    """A pipeline-phase span that also accumulates wall time.
+
+    ``timings`` (when given) gets ``timings[name] += duration`` whether
+    or not tracing is enabled — this is how ``SynthesisStats``'s
+    ``phase_timings`` stays populated at zero configuration.
+    """
+    s = span(PHASE_PREFIX + name)
+    t0 = time.perf_counter()
+    s.__enter__()
+    try:
+        yield
+    finally:
+        s.__exit__(None, None, None)
+        if timings is not None:
+            timings[name] = timings.get(name, 0.0) + (time.perf_counter() - t0)

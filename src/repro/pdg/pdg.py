@@ -19,6 +19,7 @@ from repro.cfg.control_dependence import control_dependence
 from repro.cfg.graph import CFG
 from repro.dataflow.defuse import DefUseChains, def_use_chains
 from repro.lang.ir import Block, Stmt, iter_block
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass
@@ -39,12 +40,16 @@ class PDG:
         """Transitive closure of dependence predecessors from ``seeds``."""
         out: Set[int] = set()
         work = [s for s in seeds]
+        pops = 0
         while work:
             sid = work.pop()
+            pops += 1
             if sid in out:
                 continue
             out.add(sid)
             work.extend(self.preds(sid) - out)
+        if pops:
+            obs_metrics.counter("slicer.worklist_iterations").inc(pops)
         return out
 
     def forward_reachable(self, seeds: Iterable[int]) -> Set[int]:

@@ -12,6 +12,9 @@ from __future__ import annotations
 from typing import Iterable, Set
 
 from repro.dataflow.reaching import INITIAL
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.pdg.pdg import PDG
 from repro.slicing.criteria import SliceCriterion
 
@@ -29,14 +32,19 @@ class StaticSlicer:
             raise KeyError(f"criterion sid {criterion.sid} is not in the block")
         variables = criterion.effective_vars(stmt)
 
-        seeds: Set[int] = set()
-        for var in variables:
-            for def_sid in self.pdg.chains.def_sites(criterion.sid, var):
-                if def_sid != INITIAL:
-                    seeds.add(def_sid)
-        seeds |= self.pdg.control_preds.get(criterion.sid, set())
-        slice_sids = self.pdg.backward_reachable(seeds)
-        slice_sids.add(criterion.sid)
+        with obs_trace.span("slice.backward", sid=criterion.sid):
+            seeds: Set[int] = set()
+            for var in variables:
+                for def_sid in self.pdg.chains.def_sites(criterion.sid, var):
+                    if def_sid != INITIAL:
+                        seeds.add(def_sid)
+            seeds |= self.pdg.control_preds.get(criterion.sid, set())
+            slice_sids = self.pdg.backward_reachable(seeds)
+            slice_sids.add(criterion.sid)
+        obs_metrics.counter("slicer.slices").inc()
+        obs_metrics.histogram("slicer.slice_size", SIZE_BUCKETS).observe(
+            len(slice_sids)
+        )
         return slice_sids
 
     def backward_many(self, criteria: Iterable[SliceCriterion]) -> Set[int]:

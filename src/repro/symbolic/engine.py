@@ -57,6 +57,8 @@ from repro.lang.ir import (
     iter_block,
 )
 from repro.net.packet import Packet
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.symbolic.expr import (
     SApp,
     SDictVal,
@@ -158,7 +160,8 @@ class SymbolicEngine:
         stack.push(initial)
         path_counter = 0
 
-        with Stopwatch() as sw:
+        span = obs_trace.span("se.explore", stmts=len(stmts), strategy=self.config.strategy)
+        with span, Stopwatch() as sw:
             while stack:
                 if self.stats.paths_done >= self.config.max_paths:
                     self.stats.exhausted = True
@@ -181,19 +184,33 @@ class SymbolicEngine:
                 )
                 if finished.status == "done":
                     self.stats.paths_done += 1
+                    obs_metrics.counter("se.paths_done").inc()
                     results.append(result)
                 elif finished.status == "truncated":
                     self.stats.paths_truncated += 1
+                    obs_metrics.counter("se.paths_truncated").inc()
                     if self.config.keep_pruned:
                         results.append(result)
                 elif finished.status == "error":
                     self.stats.paths_error += 1
+                    obs_metrics.counter("se.paths_error").inc()
                     if self.config.keep_pruned:
                         results.append(result)
                 else:
                     self.stats.paths_pruned += 1
+                    obs_metrics.counter("se.paths_infeasible").inc()
+            span.set(
+                paths_done=self.stats.paths_done,
+                paths_pruned=self.stats.paths_pruned,
+                paths_truncated=self.stats.paths_truncated,
+                paths_error=self.stats.paths_error,
+                forks=self.stats.forks,
+                steps=self.stats.steps,
+                exhausted=self.stats.exhausted,
+            )
         self.stats.elapsed_s = sw.elapsed
         self.stats.solver_checks = self.solver.checks
+        obs_metrics.counter("se.steps").inc(self.stats.steps)
         return results
 
     # -- per-state loop -------------------------------------------------------
@@ -328,6 +345,7 @@ class SymbolicEngine:
 
         if len(feasible) == 2:
             self.stats.forks += 1
+            obs_metrics.counter("se.paths_forked").inc()
             other = state.fork()
             self._take(other, stmt, cond, False, cfg)
             target_false = self._branch_target(cfg, stmt.sid, False)

@@ -21,9 +21,12 @@ only add spurious paths, never lose real ones.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import Histogram, TIME_BUCKETS
 from repro.symbolic.expr import (
     Assignment,
     SApp,
@@ -139,16 +142,40 @@ class Solver:
     def __init__(self, seed: int = 0, max_samples: int = 200) -> None:
         self.seed = seed
         self.max_samples = max_samples
-        self.checks = 0
+        #: Per-check latency histogram; its count doubles as the old
+        #: ``checks`` counter (kept below as a compatibility property).
+        self.check_hist = Histogram("solver.check_seconds", buckets=TIME_BUCKETS)
         self.sat_hits = 0
         self.unsat_hits = 0
         self.unknown_hits = 0
 
+    @property
+    def checks(self) -> int:
+        """Number of ``check()`` calls (compatibility view of the histogram)."""
+        return self.check_hist.count
+
     # -- public -----------------------------------------------------------
 
     def check(self, constraints: Sequence[Any]) -> SolverResult:
-        """Decide satisfiability of a conjunction of symbolic booleans."""
-        self.checks += 1
+        """Decide satisfiability of a conjunction of symbolic booleans.
+
+        Every call is timed into ``check_hist`` and, when an ambient
+        metrics registry is installed (:mod:`repro.obs.metrics`), into
+        the ``solver.checks`` counter / ``solver.check_seconds``
+        histogram plus a per-status counter.
+        """
+        t0 = time.perf_counter()
+        result = self._check(constraints)
+        elapsed = time.perf_counter() - t0
+        self.check_hist.observe(elapsed)
+        registry = obs_metrics.active()
+        if registry.enabled:
+            registry.counter("solver.checks").inc()
+            registry.counter(f"solver.{result.status}").inc()
+            registry.histogram("solver.check_seconds", TIME_BUCKETS).observe(elapsed)
+        return result
+
+    def _check(self, constraints: Sequence[Any]) -> SolverResult:
         residual: List[Any] = []
         for c in constraints:
             if isinstance(c, bool):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 
 class Stopwatch:
@@ -12,18 +13,56 @@ class Stopwatch:
     ...     _ = sum(range(10))
     >>> sw.elapsed >= 0.0
     True
+
+    ``elapsed`` gives a live reading while the context is still open,
+    and ``split()`` returns lap times (seconds since the previous split,
+    or since the start for the first one):
+
+    >>> with Stopwatch() as sw:
+    ...     live = sw.elapsed
+    ...     lap1 = sw.split()
+    ...     lap2 = sw.split()
+    >>> 0.0 <= live <= lap1
+    True
+    >>> lap2 >= 0.0
+    True
+    >>> sw.elapsed >= lap1 + lap2
+    True
     """
 
     def __init__(self) -> None:
-        self._start = 0.0
-        self.elapsed = 0.0
+        self._start: Optional[float] = None
+        self._elapsed = 0.0
+        self._last_split: Optional[float] = None
 
     def __enter__(self) -> "Stopwatch":
         self._start = time.perf_counter()
+        self._last_split = self._start
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        assert self._start is not None
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds: live while running, final after exit."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def split(self) -> float:
+        """Lap time: seconds since the previous ``split()`` (or start).
+
+        Only meaningful while the stopwatch is running.
+        """
+        if self._start is None or self._last_split is None:
+            raise RuntimeError("split() on a stopwatch that is not running")
+        now = time.perf_counter()
+        lap = now - self._last_split
+        self._last_split = now
+        return lap
 
     @property
     def elapsed_ms(self) -> float:

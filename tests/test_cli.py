@@ -106,3 +106,51 @@ class TestCommands:
         from repro.net.pcap import read_pcap
 
         assert len(read_pcap(path)) >= 20
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        import repro
+
+        assert repro.__version__ in out
+
+    def test_profile_subcommand(self, capsys):
+        code, out = run_cli(capsys, "profile", "nat")
+        assert code == 0
+        assert "Per-phase profile" in out
+        for phase in (
+            "parse", "normalize", "flatten", "pdg",
+            "slice", "classify", "symbolic", "refactor",
+        ):
+            assert phase in out
+        assert "se.explore" in out
+        assert "solver.checks" in out
+
+    def test_trace_flag_writes_valid_jsonl(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(capsys, "--trace", str(out_path), "synthesize", "monitor")
+        assert code == 0
+        events = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert events
+        ends = [e for e in events if e["ev"] == "E"]
+        assert ends and all("dur" in e and e["dur"] >= 0.0 for e in ends)
+        names = {e["name"] for e in events}
+        assert "phase.symbolic" in names and "se.explore" in names
+        # every end matches a start of the same span id
+        begins = {e["span"] for e in events if e["ev"] == "B"}
+        assert {e["span"] for e in ends} == begins
+
+    def test_profile_flag_appends_table(self, capsys):
+        code, out = run_cli(capsys, "--profile", "synthesize", "monitor")
+        assert code == 0
+        assert "default action" in out  # the command's own output first
+        assert "Per-phase profile" in out
+
+    def test_observer_uninstalled_after_run(self, capsys):
+        from repro import obs
+
+        run_cli(capsys, "--profile", "synthesize", "monitor")
+        assert obs.trace.active() is None
+        assert not obs.metrics.active().enabled

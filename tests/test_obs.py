@@ -1,0 +1,307 @@
+"""Tests for repro.obs: tracing, metrics, reporting, and the guarantee
+that observing a synthesis never changes its result."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.model.serialize import model_to_json
+from repro.nfactor.algorithm import NFactor
+from repro.nfs import get_nf
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.report import collect_profile, render_profile
+from repro.obs.trace import NULL_SPAN, JsonlWriter, Tracer
+
+
+class TestSpans:
+    def test_nesting_and_ordering(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("inner") as inner:
+                    pass
+            with tracer.span("mid2") as mid2:
+                pass
+        assert outer.parent_id is None
+        assert mid.parent_id == outer.span_id
+        assert inner.parent_id == mid.span_id
+        assert mid2.parent_id == outer.span_id
+        # completion order: innermost first
+        assert [s.name for s in tracer.spans] == ["inner", "mid", "mid2", "outer"]
+        # intervals nest
+        assert outer.start <= mid.start <= inner.start
+        assert inner.end <= mid.end <= outer.end
+        assert all(s.duration >= 0.0 for s in tracer.spans)
+
+    def test_sibling_spans_after_exit(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert b.parent_id is None
+
+    def test_attrs_merge(self):
+        tracer = Tracer()
+        with tracer.span("s", x=1) as s:
+            s.set(y=2)
+        assert s.attrs == {"x": 1, "y": 2}
+
+    def test_disabled_tracer_returns_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        with tracer.span("x") as s:
+            s.set(a=1)  # no-op, no error
+        assert tracer.spans == []
+
+    def test_ambient_span_without_tracer_is_null(self):
+        assert obs.trace.active() is None
+        assert obs.trace.span("x") is NULL_SPAN
+
+    def test_thread_local_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name) as s:
+                seen[name] = s.parent_id
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker, args=("t1",))
+            t.start()
+            t.join()
+        # the other thread's span must NOT be parented under main's root
+        assert seen["t1"] is None
+
+
+class TestJsonl:
+    def _parse(self, path):
+        with open(path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh]
+
+    def test_live_sink_round_trip(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        writer = JsonlWriter(out)
+        tracer = Tracer(sink=writer)
+        with tracer.span("root", nf="x"):
+            with tracer.span("child"):
+                pass
+        writer.close()
+
+        events = self._parse(out)
+        assert len(events) == 4  # B/E per span
+        by_kind = {}
+        for e in events:
+            by_kind.setdefault(e["ev"], []).append(e)
+        assert {e["name"] for e in by_kind["B"]} == {"root", "child"}
+        for end in by_kind["E"]:
+            assert "dur" in end and end["dur"] >= 0.0
+        child_end = next(e for e in by_kind["E"] if e["name"] == "child")
+        root_begin = next(e for e in by_kind["B"] if e["name"] == "root")
+        assert child_end["parent"] == root_begin["span"]
+
+    def test_dump_matches_live(self, tmp_path):
+        live, dumped = tmp_path / "live.jsonl", tmp_path / "dump.jsonl"
+        writer = JsonlWriter(live)
+        tracer = Tracer(sink=writer)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        writer.close()
+        with open(dumped, "w") as fh:
+            n = tracer.dump_jsonl(fh)
+        assert n == 4
+        key = lambda e: (e["span"], e["ev"])
+        assert sorted(self._parse(live), key=key) == sorted(
+            self._parse(dumped), key=key
+        )
+
+
+class TestMetrics:
+    def test_counter_inc_and_monotonicity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_thread_safety(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        n_threads, n_incs = 8, 2000
+
+        def worker():
+            for _ in range(n_incs):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_incs
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_histogram_bucket_edges(self):
+        h = Histogram("h", buckets=[1, 10, 100])
+        # le semantics: a value equal to a bound lands IN that bucket
+        for v in (0, 1, 2, 10, 11, 100, 101):
+            h.observe(v)
+        buckets = dict(h.bucket_counts())  # cumulative {le: count}
+        assert buckets[1] == 2  # 0, 1
+        assert buckets[10] == 4  # + 2, 10
+        assert buckets[100] == 6  # + 11, 100
+        assert buckets[float("inf")] == 7  # + 101
+        assert h.count == 7
+        assert h.sum == 225
+        assert h.as_dict()["min"] == 0 and h.as_dict()["max"] == 101
+
+    def test_histogram_quantile(self):
+        h = Histogram("h", buckets=[1, 10, 100])
+        for v in [1] * 9 + [100]:
+            h.observe(v)
+        assert h.quantile(0.5) == 1
+        assert h.quantile(1.0) == 100
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_disabled_registry_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc(100)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=[1, 2]).observe(1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serialisable
+
+    def test_ambient_default_disabled(self):
+        assert not obs.metrics.active().enabled
+        obs.metrics.counter("nope").inc()  # silently dropped
+        assert obs.metrics.active().snapshot()["counters"] == {}
+
+
+class TestObserved:
+    def test_install_and_restore(self):
+        assert obs.trace.active() is None
+        with obs.observed() as (tracer, registry):
+            assert obs.trace.active() is tracer
+            assert obs.metrics.active() is registry
+            with obs.trace.span("x"):
+                obs.metrics.counter("c").inc()
+        assert obs.trace.active() is None
+        assert not obs.metrics.active().enabled
+        assert [s.name for s in tracer.spans] == ["x"]
+        assert registry.snapshot()["counters"] == {"c": 1}
+
+    def test_nested_observation_restores_outer(self):
+        with obs.observed() as (outer, _):
+            with obs.observed() as (inner, _):
+                assert obs.trace.active() is inner
+            assert obs.trace.active() is outer
+
+
+class TestReport:
+    def test_profile_phases_and_render(self):
+        with obs.observed() as (tracer, registry):
+            with obs.trace.phase("alpha"):
+                with obs.trace.span("inner.work"):
+                    pass
+            with obs.trace.phase("beta"):
+                pass
+            registry.counter("k").inc(3)
+        profile = collect_profile(tracer, registry)
+        names = [p["name"] for p in profile["phases"]]
+        assert names == ["alpha", "beta"]
+        alpha = profile["phases"][0]
+        assert alpha["self_s"] <= alpha["total_s"]
+        text = render_profile(profile)
+        assert "alpha" in text and "beta" in text and "inner.work" in text
+        assert "k" in text
+
+    def test_phase_accumulates_timings_without_tracer(self):
+        timings = {}
+        with obs.trace.phase("p", timings):
+            pass
+        with obs.trace.phase("p", timings):
+            pass
+        assert timings["p"] >= 0.0
+        profile = collect_profile(phase_timings=timings)
+        assert profile["phases"][0]["name"] == "p"
+
+
+class TestSynthesisGuard:
+    """Observation must never change what the pipeline produces."""
+
+    @pytest.mark.parametrize("name", ["monitor", "nat"])
+    def test_model_identical_enabled_vs_disabled(self, name):
+        spec = get_nf(name)
+        plain = NFactor(spec.source, name=name).synthesize()
+        with obs.observed() as (tracer, registry):
+            observed = NFactor(spec.source, name=name).synthesize()
+
+        assert model_to_json(plain.model) == model_to_json(observed.model)
+        assert plain.pkt_slice == observed.pkt_slice
+        assert plain.state_slice == observed.state_slice
+        assert plain.union_slice == observed.union_slice
+        assert plain.stats.n_paths == observed.stats.n_paths
+        assert plain.stats.solver_checks == observed.stats.solver_checks
+
+        # the observed run carried the extras...
+        assert observed.stats.metrics["counters"]["model.entries"] >= 1
+        assert any(s.name == "se.explore" for s in tracer.spans)
+        # ...and the plain run still got phase timings for free
+        for phase in ("flatten", "pdg", "slice", "classify", "symbolic", "refactor"):
+            assert phase in plain.stats.phase_timings
+
+    def test_engine_spans_nest_under_symbolic_phase(self):
+        spec = get_nf("monitor")
+        with obs.observed() as (tracer, _):
+            NFactor(spec.source, name="monitor").synthesize()
+        by_id = {s.span_id: s for s in tracer.spans}
+        engine_spans = [s for s in tracer.spans if s.name == "se.explore"]
+        assert engine_spans
+        for s in engine_spans:
+            assert by_id[s.parent_id].name == "phase.symbolic"
+
+    def test_solver_checks_compat_property(self):
+        from repro.symbolic.solver import Solver
+        from repro.symbolic.expr import SVar, mk_app
+
+        solver = Solver()
+        assert solver.checks == 0
+        x = SVar("x", 0, 10)
+        solver.check([mk_app(">", x, 3)])
+        solver.check([mk_app(">", x, 100)])
+        assert solver.checks == 2
+        assert solver.check_hist.count == 2
+        assert solver.check_hist.sum > 0.0

@@ -72,3 +72,33 @@ class TestStopwatch:
         with Stopwatch() as sw:
             pass
         assert sw.elapsed_ms == pytest.approx(sw.elapsed * 1000.0)
+
+    def test_live_elapsed_mid_context(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+            live = sw.elapsed
+            assert live >= 0.009  # not 0.0 while still running
+            time.sleep(0.005)
+            assert sw.elapsed > live  # keeps advancing
+        final = sw.elapsed
+        assert final >= 0.014
+        assert sw.elapsed == final  # frozen after exit
+
+    def test_split_laps(self):
+        with Stopwatch() as sw:
+            time.sleep(0.005)
+            lap1 = sw.split()
+            time.sleep(0.005)
+            lap2 = sw.split()
+        assert lap1 >= 0.004
+        assert lap2 >= 0.004
+        assert sw.elapsed >= lap1 + lap2
+
+    def test_split_requires_running(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            sw.split()
+        with sw:
+            sw.split()
+        with pytest.raises(RuntimeError):
+            sw.split()
