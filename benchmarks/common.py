@@ -2,7 +2,9 @@
 
 Each benchmark regenerates one artifact of the paper's evaluation
 (tables/figures, DESIGN.md §4) and prints a paper-style table.  Heavy
-syntheses are cached per process so benches can share them.
+syntheses are cached per process so benches can share them;
+:func:`warm_cache` pre-fills that cache across worker processes
+(:mod:`repro.parallel`).
 
 Syntheses run under an enabled observer (:mod:`repro.obs`), so every
 cached :class:`SynthesisResult` carries the per-phase timings and the
@@ -33,6 +35,32 @@ def synthesize(name: str, max_paths: int = 16384) -> SynthesisResult:
                 spec.source, name=name, config=config
             ).synthesize()
     return _CACHE[name]
+
+
+def warm_cache(names: Sequence[str], jobs: int = 0, max_paths: int = 16384) -> None:
+    """Pre-fill the synthesis cache for ``names`` across worker processes.
+
+    Benches that need several corpus NFs can warm them in parallel
+    instead of synthesizing one-by-one on first use.  Results land in
+    the same per-process cache :func:`synthesize` reads, and each
+    worker's metrics snapshot is folded into the ambient registry (when
+    one is installed), so a parallel warm profiles like a sequential
+    one.  ``jobs=0`` picks one worker per missing NF, capped by CPUs.
+    """
+    from repro.parallel import synthesize_many
+
+    missing = [n for n in names if n not in _CACHE]
+    if not missing:
+        return
+    outcomes = synthesize_many(
+        missing, jobs=jobs or None, max_paths=max_paths
+    )
+    for outcome in outcomes:
+        if outcome.result is None:
+            raise RuntimeError(
+                f"warm_cache: {outcome.name} failed:\n{outcome.error}"
+            )
+        _CACHE[outcome.name] = outcome.result
 
 
 def profile_snapshot(result: SynthesisResult) -> Dict[str, Any]:

@@ -6,6 +6,7 @@ on NF source and ships the resulting model::
     python -m repro list
     python -m repro synthesize loadbalancer
     python -m repro synthesize path/to/my_nf.py --entry my_handler --json
+    python -m repro batch --all -j 4
     python -m repro slice loadbalancer
     python -m repro categories snortlite
     python -m repro difftest nat -n 1000
@@ -108,7 +109,8 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
             f"LoC {stats.source_loc} -> slice {stats.slice_loc}; "
             f"slicing {stats.slicing_time_s * 1000:.1f} ms; "
             f"{stats.n_paths} paths in {stats.se_time_s * 1000:.1f} ms SE "
-            f"({stats.solver_checks} solver checks)"
+            f"({stats.solver_checks} solver checks, "
+            f"{stats.solver_cache_hits} cache hits)"
         )
     return 0
 
@@ -192,6 +194,75 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.parallel import BatchTarget, synthesize_many
+
+    names = list(args.nfs)
+    if args.all:
+        names = nf_names()
+    if not names:
+        raise SystemExit("error: give NF names or --all")
+    targets = []
+    for name in names:
+        spec = load_spec(name)
+        targets.append(BatchTarget(name=spec.name, source=spec.source, entry=spec.entry))
+
+    import time
+
+    t0 = time.perf_counter()
+    outcomes = synthesize_many(
+        targets, jobs=args.jobs, max_paths=args.max_paths
+    )
+    wall = time.perf_counter() - t0
+
+    header = f"{'nf':14s} {'paths':>6s} {'entries':>8s} {'time':>9s} {'cache hits':>11s}"
+    print(header)
+    print("-" * len(header))
+    failed = 0
+    for out in outcomes:
+        if not out.ok:
+            failed += 1
+            reason = out.error.strip().splitlines()[-1] if out.error else "failed"
+            print(f"{out.name:14s} {'-':>6s} {'-':>8s} {out.elapsed_s * 1000:7.1f}ms {reason}")
+            continue
+        stats = out.result.stats
+        print(
+            f"{out.name:14s} {stats.n_paths:6d} {stats.n_entries:8d} "
+            f"{out.elapsed_s * 1000:7.1f}ms {stats.solver_cache_hits:11d}"
+        )
+    jobs = args.jobs if args.jobs is not None else "auto"
+    print(f"\n{len(outcomes) - failed}/{len(outcomes)} synthesized in {wall:.2f}s (jobs={jobs})")
+
+    if args.json:
+        import json
+
+        payload = [
+            {
+                "name": out.name,
+                "elapsed_s": out.elapsed_s,
+                "error": out.error,
+                "model": (
+                    json.loads(model_to_json(out.result.model)) if out.ok else None
+                ),
+                "stats": (
+                    {
+                        "n_paths": out.result.stats.n_paths,
+                        "n_entries": out.result.stats.n_entries,
+                        "solver_checks": out.result.stats.solver_checks,
+                        "solver_cache_hits": out.result.stats.solver_cache_hits,
+                        "solver_cache_misses": out.result.stats.solver_cache_misses,
+                    }
+                    if out.ok
+                    else None
+                ),
+            }
+            for out in outcomes
+        ]
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     spec = load_spec(args.nf, args.entry)
     result = synthesize(spec, args.entry)
@@ -262,6 +333,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = nf_command("fsm", cmd_fsm, "print the model's per-flow state machine")
     p.add_argument("--dot", action="store_true", help="emit Graphviz dot")
+
+    p = sub.add_parser(
+        "batch", help="synthesize many NFs across worker processes"
+    )
+    p.add_argument("nfs", nargs="*", help="corpus NF names or NFPy .py paths")
+    p.add_argument("--all", action="store_true", help="the whole corpus")
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: one per NF, capped by CPUs; 1 = in-process)",
+    )
+    p.add_argument("--max-paths", type=int, default=16384)
+    p.add_argument("--json", metavar="FILE", help="also write results to FILE as JSON")
+    p.set_defaults(func=cmd_batch)
 
     p = nf_command("workload", cmd_workload, "generate a pcap workload for an NF")
     p.add_argument("output", help="output .pcap path")

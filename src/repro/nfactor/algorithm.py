@@ -94,6 +94,8 @@ class SynthesisStats:
     n_paths: int = 0
     n_entries: int = 0
     solver_checks: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
     phase_timings: Dict[str, float] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
 
@@ -384,6 +386,8 @@ class NFactor:
                     )
             stats.se_time_s = se_sw.elapsed
             stats.solver_checks = engine.solver.checks
+            stats.solver_cache_hits = engine.solver.cache_hits
+            stats.solver_cache_misses = engine.solver.cache_misses
 
             stmts = flat.stmts()
             with obs_trace.phase("refactor", timings):

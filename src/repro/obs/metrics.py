@@ -184,6 +184,36 @@ class Histogram:
             "buckets": [[le, n] for le, n in self.bucket_counts()],
         }
 
+    def merge_dict(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`as_dict` snapshot into this one.
+
+        Used to merge per-child-process metrics into the parent registry
+        (:meth:`MetricsRegistry.merge`).  Bucket bounds must match; the
+        snapshot's cumulative bucket counts are de-cumulated back into
+        per-bucket increments.
+        """
+        buckets = snapshot.get("buckets") or []
+        if not buckets:
+            return
+        bounds = tuple(b[0] for b in buckets[:-1])
+        if bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched buckets"
+            )
+        with self._lock:
+            previous = 0
+            for idx, (_, cumulative) in enumerate(buckets):
+                self._counts[idx] += cumulative - previous
+                previous = cumulative
+            self._count += snapshot.get("count", 0)
+            self._sum += snapshot.get("sum", 0.0)
+            for bound_attr, pick in (("_min", min), ("_max", max)):
+                other = snapshot.get(bound_attr.lstrip("_"))
+                if other is None:
+                    continue
+                mine = getattr(self, bound_attr)
+                setattr(self, bound_attr, other if mine is None else pick(mine, other))
+
 
 class _NullCounter:
     __slots__ = ()
@@ -298,6 +328,26 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters and histogram observations add; gauges (point-in-time
+        levels) take the incoming value.  This is how parallel corpus
+        synthesis (:mod:`repro.parallel`) folds each worker process's
+        metrics back into the parent's ambient registry, so a batch run
+        reports one coherent profile.
+        """
+        if not self.enabled:
+            return
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, hist_dict in (snapshot.get("histograms") or {}).items():
+            buckets = hist_dict.get("buckets") or []
+            bounds = [b[0] for b in buckets[:-1]] or None
+            self.histogram(name, bounds).merge_dict(hist_dict)
 
 
 # ---------------------------------------------------------------------------

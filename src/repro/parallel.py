@@ -1,0 +1,153 @@
+"""Parallel corpus synthesis (the batch front-end).
+
+One NF synthesis is a deterministic, CPU-bound pipeline with no shared
+mutable state, which makes a corpus of them embarrassingly parallel:
+:func:`synthesize_many` fans the targets out over a
+``ProcessPoolExecutor`` and returns per-target outcomes **in input
+order**, so a parallel batch is byte-for-byte the same as a sequential
+one — only faster.  Used by the ``repro batch`` CLI subcommand and by
+the benchmark harness (:mod:`benchmarks.common`) to warm its
+per-process synthesis cache.
+
+Each worker runs observed (:mod:`repro.obs`) and ships its metrics
+snapshot home; the parent folds the snapshots into its own ambient
+registry (:meth:`repro.obs.metrics.MetricsRegistry.merge`) so a batch
+run still produces one coherent profile.
+
+Workers solve with their own process-wide constraint cache
+(:mod:`repro.symbolic.solver`); caching never changes results, so
+parallel/sequential and warm/cold runs all agree.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.nfactor.algorithm import NFactor, NFactorConfig, SynthesisResult
+from repro.symbolic.engine import EngineConfig
+
+__all__ = ["BatchTarget", "BatchOutcome", "synthesize_many", "resolve_targets"]
+
+
+@dataclass(frozen=True)
+class BatchTarget:
+    """One synthesis job: a named NF source with an optional entry."""
+
+    name: str
+    source: str
+    entry: Optional[str] = None
+
+
+@dataclass
+class BatchOutcome:
+    """What one batch job produced (order matches the input order)."""
+
+    name: str
+    elapsed_s: float = 0.0
+    result: Optional[SynthesisResult] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def resolve_targets(names: Sequence[Union[str, BatchTarget]]) -> List[BatchTarget]:
+    """Corpus names (or ready-made targets) → :class:`BatchTarget` list."""
+    from repro.nfs import get_nf
+
+    out: List[BatchTarget] = []
+    for item in names:
+        if isinstance(item, BatchTarget):
+            out.append(item)
+        else:
+            spec = get_nf(item)
+            out.append(BatchTarget(name=item, source=spec.source, entry=spec.entry))
+    return out
+
+
+def _run_one(
+    target: BatchTarget, max_paths: int, solver_cache: bool
+) -> BatchOutcome:
+    """Synthesize one target, observed; never raises (errors are data)."""
+    from repro import obs
+
+    t0 = time.perf_counter()
+    try:
+        config = NFactorConfig(
+            engine=EngineConfig(max_paths=max_paths, solver_cache=solver_cache)
+        )
+        with obs.observed():
+            result = NFactor(
+                target.source, name=target.name, entry=target.entry, config=config
+            ).synthesize()
+        return BatchOutcome(
+            name=target.name,
+            elapsed_s=time.perf_counter() - t0,
+            result=result,
+            metrics=result.stats.metrics,
+        )
+    except Exception:
+        return BatchOutcome(
+            name=target.name,
+            elapsed_s=time.perf_counter() - t0,
+            error=traceback.format_exc(limit=8),
+        )
+
+
+def _worker(payload: Tuple[BatchTarget, int, bool]) -> BatchOutcome:
+    target, max_paths, solver_cache = payload
+    return _run_one(target, max_paths, solver_cache)
+
+
+def default_jobs(n_targets: int) -> int:
+    """Worker-count default: one per target, capped by the CPU count."""
+    return max(1, min(n_targets, os.cpu_count() or 1))
+
+
+def synthesize_many(
+    targets: Sequence[Union[str, BatchTarget]],
+    jobs: Optional[int] = None,
+    max_paths: int = 16384,
+    solver_cache: bool = True,
+    merge_metrics: bool = True,
+) -> List[BatchOutcome]:
+    """Synthesize many NFs, optionally across worker processes.
+
+    ``jobs=None`` picks :func:`default_jobs`; ``jobs<=1`` runs in-process
+    (the degenerate batch — same code path minus the pool, so ``-j 1``
+    is the determinism reference for ``-j N``).  Outcomes preserve input
+    order regardless of completion order.  A worker failure is reported
+    in that target's :attr:`BatchOutcome.error`; it never aborts the
+    rest of the batch.
+
+    When the parent runs under an ambient metrics registry and
+    ``merge_metrics`` is true, each child's metrics snapshot is folded
+    into it.
+    """
+    resolved = resolve_targets(targets)
+    if jobs is None:
+        jobs = default_jobs(len(resolved))
+
+    payloads = [(t, max_paths, solver_cache) for t in resolved]
+    if jobs <= 1 or len(resolved) <= 1:
+        outcomes = [_worker(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_worker, payloads))
+
+    if merge_metrics:
+        from repro.obs import metrics as obs_metrics
+
+        registry = obs_metrics.active()
+        if registry.enabled:
+            for outcome in outcomes:
+                if outcome.metrics:
+                    registry.merge(outcome.metrics)
+    return outcomes

@@ -18,7 +18,14 @@ from repro.symbolic.expr import (
     is_concrete,
     sym_vars,
 )
-from repro.symbolic.solver import Solver, SolverResult
+from repro.symbolic.solver import (
+    ConstraintCache,
+    Solver,
+    SolverContext,
+    SolverResult,
+    clear_global_cache,
+    global_cache,
+)
 from repro.symbolic.state import SymState, PathResult
 from repro.symbolic.engine import SymbolicEngine, EngineConfig
 
@@ -35,6 +42,10 @@ __all__ = [
     "sym_vars",
     "Solver",
     "SolverResult",
+    "SolverContext",
+    "ConstraintCache",
+    "global_cache",
+    "clear_global_cache",
     "SymState",
     "PathResult",
     "SymbolicEngine",

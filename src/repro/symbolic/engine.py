@@ -70,7 +70,7 @@ from repro.symbolic.expr import (
     is_concrete,
     mk_app,
 )
-from repro.symbolic.solver import Solver
+from repro.symbolic.solver import DEFAULT_MAX_SAMPLES, Solver, SolverContext
 from repro.symbolic.state import PathResult, SymState, sym_copy
 from repro.symbolic.strategies import Strategy
 from repro.util.timer import Stopwatch
@@ -91,6 +91,13 @@ class EngineConfig:
     concrete loops against runaway iteration; ``max_paths`` caps the
     total number of finished paths (exploration stops afterwards and
     the run is flagged as exhausted).
+
+    ``solver_samples`` is the per-check randomized witness budget; its
+    default is :data:`repro.symbolic.solver.DEFAULT_MAX_SAMPLES` — the
+    single source of truth shared with a bare ``Solver()``.
+    ``solver_cache`` toggles the process-wide constraint cache; results
+    are byte-identical either way (caching only skips re-deriving a
+    deterministic answer).
     """
 
     loop_bound: int = 6
@@ -98,7 +105,8 @@ class EngineConfig:
     max_paths: int = 4096
     max_steps_per_path: int = 100_000
     solver_seed: int = 0
-    solver_samples: int = 120
+    solver_samples: int = DEFAULT_MAX_SAMPLES
+    solver_cache: bool = True
     keep_pruned: bool = False
     #: Exploration order: "dfs" (default), "bfs" or "random".
     strategy: str = "dfs"
@@ -116,6 +124,8 @@ class ExploreStats:
     forks: int = 0
     steps: int = 0
     solver_checks: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
     elapsed_s: float = 0.0
     exhausted: bool = False
 
@@ -126,7 +136,9 @@ class SymbolicEngine:
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
         self.solver = Solver(
-            seed=self.config.solver_seed, max_samples=self.config.solver_samples
+            seed=self.config.solver_seed,
+            max_samples=self.config.solver_samples,
+            cache=self.config.solver_cache,
         )
         self.stats = ExploreStats()
 
@@ -210,6 +222,8 @@ class SymbolicEngine:
             )
         self.stats.elapsed_s = sw.elapsed
         self.stats.solver_checks = self.solver.checks
+        self.stats.solver_cache_hits = self.solver.cache_hits
+        self.stats.solver_cache_misses = self.solver.cache_misses
         obs_metrics.counter("se.steps").inc(self.stats.steps)
         return results
 
@@ -317,26 +331,41 @@ class SymbolicEngine:
                 return None
             return target
 
-        # Symbolic condition.
+        # Symbolic condition.  Feasibility checks extend the state's
+        # incremental solver context (propagated knowledge of the
+        # constraint prefix) with one arm each, instead of
+        # re-propagating the whole prefix per check; the arm's context
+        # is installed on whichever state commits that arm.
+        ctx = state.solver_ctx
+        if ctx is None:
+            ctx = state.solver_ctx = self.solver.context()
+
         if is_loop and state.loop_counts[stmt.sid] > self.config.loop_bound:
             # Force the exit arm if feasible; otherwise truncate.
             exit_cond = mk_app("not", cond)
-            if self.solver.check(state.constraints + [exit_cond]).feasible:
+            result, exit_ctx = self.solver.check_extended(
+                state.constraints, ctx, exit_cond
+            )
+            if result.feasible:
                 self._take(state, stmt, cond, False, cfg)
+                state.solver_ctx = exit_ctx
                 return self._branch_target(cfg, stmt.sid, False)
             state.status = "truncated"
             state.note = f"symbolic loop bound exceeded at sid {stmt.sid}"
             return None
 
         feasible: List[bool] = []
+        arm_ctxs: Dict[bool, SolverContext] = {}
         for outcome in (True, False):
             arm = cond if outcome else mk_app("not", cond)
             if isinstance(arm, bool):
                 if arm:
                     feasible.append(outcome)
                 continue
-            if self.solver.check(state.constraints + [arm]).feasible:
+            result, arm_ctx = self.solver.check_extended(state.constraints, ctx, arm)
+            if result.feasible:
                 feasible.append(outcome)
+                arm_ctxs[outcome] = arm_ctx
 
         if not feasible:
             state.status = "pruned"
@@ -348,6 +377,7 @@ class SymbolicEngine:
             obs_metrics.counter("se.paths_forked").inc()
             other = state.fork()
             self._take(other, stmt, cond, False, cfg)
+            other.solver_ctx = arm_ctxs.get(False, other.solver_ctx)
             target_false = self._branch_target(cfg, stmt.sid, False)
             if target_false is not None:
                 other.pc = target_false
@@ -357,6 +387,8 @@ class SymbolicEngine:
             outcome = feasible[0]
 
         self._take(state, stmt, cond, outcome, cfg)
+        if outcome in arm_ctxs:
+            state.solver_ctx = arm_ctxs[outcome]
         return self._branch_target(cfg, stmt.sid, outcome)
 
     def _take(

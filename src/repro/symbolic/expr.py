@@ -33,6 +33,16 @@ class Sym:
 
     __slots__ = ()
 
+    def __getstate__(self) -> Dict[str, Any]:
+        # The hash-consed memos (see canon / _leaves_of) are derived
+        # state, and a leaf's _leaves_memo frozenset contains the leaf
+        # itself — a cycle through a hashable container that pickle
+        # cannot rebuild. Ship nodes bare; memos regrow on first use.
+        state = dict(self.__dict__)
+        state.pop("_canon_memo", None)
+        state.pop("_leaves_memo", None)
+        return state
+
 
 @dataclass(frozen=True)
 class SVar(Sym):
@@ -207,15 +217,30 @@ class SymDict:
 
 
 def canon(value: Any) -> str:
-    """A canonical string for a symbolic value (structural identity)."""
-    if isinstance(value, SVar):
-        return f"v:{value.name}"
-    if isinstance(value, SDictVal):
-        path = ",".join(map(str, value.path))
-        return f"dv:{value.dict_name}:{value.key_canon}:{path}"
-    if isinstance(value, SApp):
-        inner = ",".join(canon(a) for a in value.args)
-        return f"a:{value.op}({inner})"
+    """A canonical string for a symbolic value (structural identity).
+
+    Results are hash-consed onto the (immutable) expression nodes
+    themselves: ``canon``/``leaf_key`` run in the solver's innermost
+    loops (cache keying, complement detection, domain lookup), and a
+    node's canonical form never changes, so each tree is stringified at
+    most once per node.
+    """
+    if isinstance(value, Sym):
+        memo = getattr(value, "_canon_memo", None)
+        if memo is not None:
+            return memo
+        if isinstance(value, SVar):
+            result = f"v:{value.name}"
+        elif isinstance(value, SDictVal):
+            path = ",".join(map(str, value.path))
+            result = f"dv:{value.dict_name}:{value.key_canon}:{path}"
+        else:  # SApp (or a future Sym node with args)
+            inner = ",".join(canon(a) for a in value.args)
+            result = f"a:{value.op}({inner})"
+        # Frozen dataclasses forbid plain attribute writes; the memo is
+        # derived state, not a field, so bypassing is sound.
+        object.__setattr__(value, "_canon_memo", result)
+        return result
     if isinstance(value, tuple):
         return "t(" + ",".join(canon(v) for v in value) + ")"
     if isinstance(value, list):
@@ -246,20 +271,39 @@ def is_concrete(value: Any) -> bool:
 
 
 def sym_vars(value: Any) -> Set[Sym]:
-    """All symbolic leaves (SVar / SDictVal / member atoms) in ``value``."""
+    """All symbolic leaves (SVar / SDictVal / member atoms) in ``value``.
+
+    Per-node results are hash-consed (like :func:`canon`): subtrees are
+    shared heavily across path constraints, so each node's leaf set is
+    computed once and reused as a frozen set.
+    """
+    if isinstance(value, Sym):
+        return set(_leaves_of(value))
     out: Set[Sym] = set()
     _collect_leaves(value, out)
     return out
 
 
-def _collect_leaves(value: Any, out: Set[Sym]) -> None:
-    if isinstance(value, (SVar, SDictVal)):
-        out.add(value)
-    elif isinstance(value, SApp):
-        if value.op in ("member", "dictlen"):
-            out.add(value)
-        for a in value.args:
+def _leaves_of(node: Sym) -> frozenset:
+    memo = getattr(node, "_leaves_memo", None)
+    if memo is not None:
+        return memo
+    out: Set[Sym] = set()
+    if isinstance(node, (SVar, SDictVal)):
+        out.add(node)
+    elif isinstance(node, SApp):
+        if node.op in ("member", "dictlen"):
+            out.add(node)
+        for a in node.args:
             _collect_leaves(a, out)
+    result = frozenset(out)
+    object.__setattr__(node, "_leaves_memo", result)
+    return result
+
+
+def _collect_leaves(value: Any, out: Set[Sym]) -> None:
+    if isinstance(value, Sym):
+        out |= _leaves_of(value)
     elif isinstance(value, (tuple, list)):
         for v in value:
             _collect_leaves(v, out)

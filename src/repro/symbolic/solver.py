@@ -16,14 +16,33 @@ The result is *sound for UNSAT* only when propagation finds a direct
 conflict; otherwise sampling either proves SAT with a witness or
 returns ``unknown``.  Callers treat ``unknown`` as feasible, which can
 only add spurious paths, never lose real ones.
+
+Performance layer (docs/internals.md §7):
+
+* **Constraint-set memoization** — every non-trivial check is keyed by
+  the ordered, deduplicated canonical forms of its conjuncts (plus the
+  solver's seed/sample-budget fingerprint) and served from a bounded
+  process-wide LRU (:class:`ConstraintCache`).  A fresh solve is a
+  pure function of that key, so cached and re-solved results are
+  identical — models are byte-identical with the cache on and off.
+* **Incremental propagation** — a :class:`SolverContext` carries the
+  expanded conjuncts, canonical set, propagated domains and union-find
+  of a path's constraint prefix, so each branch check extends the
+  parent's context with one atom (:meth:`Solver.check_extended`)
+  instead of re-propagating the whole prefix.  The context falls back
+  to full re-propagation whenever leaf-equality classes merge, because
+  class-wide domain intersection is not expressible as a single-atom
+  update.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.obs import metrics as obs_metrics
 from repro.obs.metrics import Histogram, TIME_BUCKETS
@@ -43,6 +62,14 @@ from repro.symbolic.expr import (
 
 _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
 
+#: Default randomized-sampling budget per check.  The single source of
+#: truth: :class:`repro.symbolic.engine.EngineConfig.solver_samples`
+#: defaults to this same constant.
+DEFAULT_MAX_SAMPLES = 120
+
+#: Default capacity of the process-wide constraint cache.
+DEFAULT_CACHE_SIZE = 4096
+
 
 @dataclass
 class _Domain:
@@ -58,6 +85,16 @@ class _Domain:
     #: candidate values harvested from disjunctions (``x == c or ...``):
     #: uniform sampling would almost never hit them.
     suggestions: Set[int] = field(default_factory=set)
+
+    def copy(self) -> "_Domain":
+        return _Domain(
+            self.lo,
+            self.hi,
+            set(self.forbidden),
+            self.boolean,
+            list(self.masks),
+            set(self.suggestions),
+        )
 
     def apply_masks(self, value: int) -> int:
         for mask, required in self.masks:
@@ -107,10 +144,16 @@ class _Domain:
 
 @dataclass
 class SolverResult:
-    """Outcome of a satisfiability check."""
+    """Outcome of a satisfiability check.
+
+    ``cached`` is provenance: True when the result was served from the
+    constraint cache rather than solved afresh (the payload is
+    identical either way — solving is deterministic per cache key).
+    """
 
     status: str  # "sat" | "unsat" | "unknown"
     assignment: Optional[Assignment] = None
+    cached: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -119,35 +162,204 @@ class SolverResult:
 
 
 class _UnionFind:
+    __slots__ = ("_parent", "merges")
+
     def __init__(self) -> None:
         self._parent: Dict[str, str] = {}
+        #: Number of class merges performed; non-zero means domains may
+        #: need class-wide intersection (see SolverContext.dirty).
+        self.merges = 0
 
     def find(self, key: str) -> str:
         parent = self._parent.setdefault(key, key)
-        if parent != key:
-            root = self.find(parent)
-            self._parent[key] = root
-            return root
-        return key
+        if parent == key:
+            return key
+        # Iterative path walk + compression: deep equality chains would
+        # blow Python's recursion limit with the naive recursive form.
+        root = parent
+        while True:
+            nxt = self._parent.setdefault(root, root)
+            if nxt == root:
+                break
+            root = nxt
+        while key != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
 
     def union(self, a: str, b: str) -> None:
         ra, rb = self.find(a), self.find(b)
         if ra != rb:
             self._parent[ra] = rb
+            self.merges += 1
+
+    def copy(self) -> "_UnionFind":
+        out = _UnionFind()
+        out._parent = dict(self._parent)
+        out.merges = self.merges
+        return out
+
+
+class ConstraintCache:
+    """A bounded, thread-safe LRU of solver results.
+
+    Keys are ``(seed, max_samples, canonical conjunct tuple)``; values
+    are ``(status, assignment)`` pairs.  One process-wide instance
+    (:func:`global_cache`) is shared by default so repeated syntheses —
+    warm benchmark runs, batch mode, re-checks of finished path
+    conditions during model refactoring — hit instead of re-solving.
+    """
+
+    __slots__ = ("maxsize", "_data", "_lock", "hits", "misses")
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Tuple[str, Optional[Assignment]]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Any) -> Optional[Tuple[str, Optional[Assignment]]]:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Any, status: str, assignment: Optional[Assignment]) -> None:
+        with self._lock:
+            self._data[key] = (status, dict(assignment) if assignment is not None else None)
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+_GLOBAL_CACHE = ConstraintCache()
+
+
+def global_cache() -> ConstraintCache:
+    """The process-wide constraint cache shared by default."""
+    return _GLOBAL_CACHE
+
+
+def clear_global_cache() -> None:
+    """Empty the process-wide cache (cold-start for benchmarks/tests)."""
+    _GLOBAL_CACHE.clear()
+
+
+class SolverContext:
+    """Incrementally-propagated solver state for one constraint prefix.
+
+    Covers ``covered`` leading entries of a path's raw constraint list.
+    ``residual`` is the expanded, canonically-deduplicated conjunct
+    list; ``domains``/``members``/``uf`` the propagated knowledge.
+
+    Invariants (the incrementality contract, docs/internals.md §7):
+
+    * absorbing the same raw constraints in the same order always
+      produces the same ``residual`` — so a context-extended check and
+      a from-scratch :meth:`Solver.check` of the full list share one
+      cache key and one (deterministic) answer;
+    * once leaf-equality classes merge (``uf.merges > 0``), per-atom
+      domain updates stop being exact and the context marks itself
+      ``dirty``; the next check re-propagates everything from
+      ``residual``, restoring class-wide domain intersection.
+    """
+
+    __slots__ = (
+        "covered",
+        "residual",
+        "canon_set",
+        "canon_list",
+        "leaves",
+        "domains",
+        "members",
+        "uf",
+        "conflict",
+        "dirty",
+        "ors",
+        "notands",
+    )
+
+    def __init__(self) -> None:
+        self.covered = 0
+        self.residual: List[Any] = []
+        self.canon_set: Set[str] = set()
+        self.canon_list: List[str] = []
+        self.leaves: Set[Sym] = set()
+        self.domains: Dict[str, _Domain] = {}
+        self.members: Dict[str, bool] = {}
+        self.uf = _UnionFind()
+        self.conflict = False
+        self.dirty = False
+        #: Watched complement shapes: asserted ``or``/``not(and ..)``
+        #: conjuncts whose syntactic refutation may be completed by a
+        #: later atom (see _absorb_piece).
+        self.ors: List[SApp] = []
+        self.notands: List[SApp] = []
+
+    def copy(self) -> "SolverContext":
+        out = SolverContext.__new__(SolverContext)
+        out.covered = self.covered
+        out.residual = list(self.residual)
+        out.canon_set = set(self.canon_set)
+        out.canon_list = list(self.canon_list)
+        out.leaves = set(self.leaves)
+        out.domains = {k: d.copy() for k, d in self.domains.items()}
+        out.members = dict(self.members)
+        out.uf = self.uf.copy()
+        out.conflict = self.conflict
+        out.dirty = self.dirty
+        out.ors = list(self.ors)
+        out.notands = list(self.notands)
+        return out
 
 
 class Solver:
     """A deterministic propagate-and-sample constraint solver."""
 
-    def __init__(self, seed: int = 0, max_samples: int = 200) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        cache: Union[ConstraintCache, bool, None] = True,
+    ) -> None:
         self.seed = seed
         self.max_samples = max_samples
+        #: ``True`` → the shared process-wide cache; ``False``/``None``
+        #: → caching off; a ConstraintCache instance → use that one.
+        if cache is True:
+            self.cache: Optional[ConstraintCache] = _GLOBAL_CACHE
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
         #: Per-check latency histogram; its count doubles as the old
         #: ``checks`` counter (kept below as a compatibility property).
         self.check_hist = Histogram("solver.check_seconds", buckets=TIME_BUCKETS)
         self.sat_hits = 0
         self.unsat_hits = 0
         self.unknown_hits = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def checks(self) -> int:
@@ -165,7 +377,161 @@ class Solver:
         histogram plus a per-status counter.
         """
         t0 = time.perf_counter()
-        result = self._check(constraints)
+        ctx = SolverContext()
+        for c in constraints:
+            self._absorb(ctx, c)
+            if ctx.conflict:
+                break
+        return self._finish(ctx, t0)
+
+    def context(self) -> SolverContext:
+        """A fresh (empty-prefix) incremental context."""
+        return SolverContext()
+
+    def check_extended(
+        self,
+        prefix: Sequence[Any],
+        ctx: SolverContext,
+        extra: Any,
+    ) -> Tuple[SolverResult, SolverContext]:
+        """Check ``prefix + [extra]`` by extending an incremental context.
+
+        ``ctx`` is caught up in place over any raw constraints appended
+        to ``prefix`` since it was last used; the returned child context
+        covers ``prefix + [extra]`` and can be installed on the state
+        that commits ``extra`` to its path condition.
+        """
+        t0 = time.perf_counter()
+        if not ctx.conflict:
+            for c in prefix[ctx.covered:]:
+                self._absorb(ctx, c)
+                if ctx.conflict:
+                    break
+        ctx.covered = len(prefix)
+        child = ctx.copy()
+        if not child.conflict:
+            self._absorb(child, extra)
+        child.covered += 1
+        return self._finish(child, t0), child
+
+    def model(self, constraints: Sequence[Any]) -> Optional[Assignment]:
+        """A concrete witness for the constraints, or None."""
+        result = self.check(constraints)
+        return result.assignment if result.status == "sat" else None
+
+    # -- incremental absorption -------------------------------------------
+
+    def _absorb(self, ctx: SolverContext, c: Any) -> None:
+        """Fold one raw constraint into the context (expand + propagate)."""
+        if isinstance(c, bool):
+            if not c:
+                ctx.conflict = True
+            return
+        if is_concrete(c):
+            if not c:
+                ctx.conflict = True
+            return
+        pieces: List[Any] = []
+        _expand_conjunction(c, pieces)
+        for piece in pieces:
+            self._absorb_piece(ctx, piece)
+            if ctx.conflict:
+                return
+
+    def _absorb_piece(self, ctx: SolverContext, piece: Any) -> None:
+        if isinstance(piece, bool) or is_concrete(piece):
+            if not piece:
+                ctx.conflict = True
+            return
+        if not sym_vars(piece):
+            # Leaf-free tree (e.g. after substitution): decidable by
+            # direct evaluation.
+            if not bool(eval_sym(piece, {})):
+                ctx.conflict = True
+            return
+        key = canon(piece)
+        if key in ctx.canon_set:
+            return  # structurally identical conjunct already absorbed
+
+        # Syntactic complement detection, incremental form: adding this
+        # piece refutes the set iff (a) its negated twin is present,
+        # (b) it completes an ``or``/``not(and ..)`` complement — its
+        # own shape against the set, or a previously watched shape.
+        negated = mk_app("not", piece)
+        if not isinstance(negated, bool) and canon(negated) in ctx.canon_set:
+            ctx.conflict = True
+            return
+
+        ctx.canon_set.add(key)
+        ctx.canon_list.append(key)
+        ctx.residual.append(piece)
+
+        if isinstance(piece, SApp) and piece.op == "not":
+            inner = piece.args[0]
+            if isinstance(inner, SApp) and inner.op == "and":
+                ctx.notands.append(piece)
+        elif isinstance(piece, SApp) and piece.op == "or":
+            ctx.ors.append(piece)
+        if self._complement_watch(ctx):
+            ctx.conflict = True
+            return
+
+        new_leaves = sym_vars(piece) - ctx.leaves
+        for leaf in new_leaves:
+            ctx.leaves.add(leaf)
+            if isinstance(leaf, SVar):
+                ctx.domains[leaf_key(leaf)] = _Domain(
+                    leaf.lo, leaf.hi, boolean=leaf.boolean
+                )
+            elif isinstance(leaf, SDictVal):
+                ctx.domains[leaf_key(leaf)] = _Domain(0, (1 << 32) - 1)
+            # member atoms handled separately
+
+        if ctx.dirty:
+            # Equality classes already merged: single-atom updates are
+            # no longer exact.  Leave propagation to the next check's
+            # full rebuild (_repropagate).
+            return
+        merges_before = ctx.uf.merges
+        if not self._propagate_one(piece, ctx.domains, ctx.members, ctx.uf):
+            ctx.conflict = True
+            return
+        if ctx.uf.merges != merges_before or ctx.uf.merges:
+            # A class merged (or had merged before): class-wide domain
+            # intersection is pending — fall back to full propagation.
+            ctx.dirty = True
+
+    def _complement_watch(self, ctx: SolverContext) -> bool:
+        """True when a watched ``or``/``not(and ..)`` shape is refuted."""
+        for watched in ctx.notands:
+            inner = watched.args[0]
+            if all(
+                (canon(a) in ctx.canon_set)
+                for a in inner.args
+                if not isinstance(a, bool)
+            ):
+                return True
+        for watched in ctx.ors:
+            negs = [mk_app("not", a) for a in watched.args]
+            if all(
+                (isinstance(n, bool) and not n) or (canon(n) in ctx.canon_set)
+                for n in negs
+            ):
+                return True
+        return False
+
+    def _repropagate(self, ctx: SolverContext) -> None:
+        """Full re-propagation of ``ctx.residual`` (the merge fallback)."""
+        domains, members, uf, conflict = self._propagate(ctx.residual, ctx.leaves)
+        ctx.domains, ctx.members, ctx.uf = domains, members, uf
+        ctx.dirty = False
+        if conflict:
+            ctx.conflict = True
+
+    # -- finishing a check -------------------------------------------------
+
+    def _finish(self, ctx: SolverContext, t0: float) -> SolverResult:
+        result = self._decide(ctx)
         elapsed = time.perf_counter() - t0
         self.check_hist.observe(elapsed)
         registry = obs_metrics.active()
@@ -175,73 +541,69 @@ class Solver:
             registry.histogram("solver.check_seconds", TIME_BUCKETS).observe(elapsed)
         return result
 
-    def _check(self, constraints: Sequence[Any]) -> SolverResult:
-        residual: List[Any] = []
-        for c in constraints:
-            if isinstance(c, bool):
-                if not c:
-                    self.unsat_hits += 1
-                    return SolverResult("unsat")
-                continue
-            if is_concrete(c):
-                if not c:
-                    self.unsat_hits += 1
-                    return SolverResult("unsat")
-                continue
-            residual.append(c)
-        if not residual:
+    def _decide(self, ctx: SolverContext) -> SolverResult:
+        if ctx.conflict:
+            self.unsat_hits += 1
+            return SolverResult("unsat")
+        if not ctx.residual:
             self.sat_hits += 1
             return SolverResult("sat", {})
 
-        # Expose conjuncts to propagation and complement detection.
-        expanded: List[Any] = []
-        for c in residual:
-            _expand_conjunction(c, expanded)
-        residual = []
-        for c in expanded:
-            if isinstance(c, bool) or is_concrete(c):
-                if not c:
-                    self.unsat_hits += 1
-                    return SolverResult("unsat")
-                continue
-            if not sym_vars(c):
-                # Leaf-free tree (e.g. after substitution): decidable
-                # by direct evaluation.
-                if not bool(eval_sym(c, {})):
-                    self.unsat_hits += 1
-                    return SolverResult("unsat")
-                continue
-            residual.append(c)
-        if not residual:
-            self.sat_hits += 1
-            return SolverResult("sat", {})
+        key = None
+        if self.cache is not None:
+            key = (self.seed, self.max_samples, tuple(ctx.canon_list))
+            entry = self.cache.get(key)
+            if entry is not None:
+                self.cache_hits += 1
+                registry = obs_metrics.active()
+                if registry.enabled:
+                    registry.counter("solver.cache_hits").inc()
+                status, assignment = entry
+                self._count_status(status)
+                return SolverResult(
+                    status,
+                    dict(assignment) if assignment is not None else None,
+                    cached=True,
+                )
+            self.cache_misses += 1
+            registry = obs_metrics.active()
+            if registry.enabled:
+                registry.counter("solver.cache_misses").inc()
 
-        canon_set = {canon(c) for c in residual}
-        for c in residual:
-            if _complement_present(c, canon_set):
+        if ctx.dirty:
+            self._repropagate(ctx)
+            if ctx.conflict:
+                # Deterministic per key: a rebuilt-and-conflicting
+                # context is unsat however it was reached.
+                if key is not None:
+                    self.cache.put(key, "unsat", None)
+                self.unsat_hits += 1
+                return SolverResult("unsat")
+        for dom in ctx.domains.values():
+            if not dom.consistent():
+                if key is not None:
+                    self.cache.put(key, "unsat", None)
                 self.unsat_hits += 1
                 return SolverResult("unsat")
 
-        leaves: Set[Sym] = set()
-        for c in residual:
-            leaves |= sym_vars(c)
-
-        domains, members, uf, conflict = self._propagate(residual, leaves)
-        if conflict:
-            self.unsat_hits += 1
-            return SolverResult("unsat")
-
-        witness = self._search(residual, leaves, domains, members, uf)
+        witness = self._search(ctx.residual, ctx.leaves, ctx.domains, ctx.members, ctx.uf)
         if witness is not None:
+            if key is not None:
+                self.cache.put(key, "sat", witness)
             self.sat_hits += 1
             return SolverResult("sat", witness)
+        if key is not None:
+            self.cache.put(key, "unknown", None)
         self.unknown_hits += 1
         return SolverResult("unknown")
 
-    def model(self, constraints: Sequence[Any]) -> Optional[Assignment]:
-        """A concrete witness for the constraints, or None."""
-        result = self.check(constraints)
-        return result.assignment if result.status == "sat" else None
+    def _count_status(self, status: str) -> None:
+        if status == "sat":
+            self.sat_hits += 1
+        elif status == "unsat":
+            self.unsat_hits += 1
+        else:
+            self.unknown_hits += 1
 
     # -- propagation ------------------------------------------------------
 
@@ -387,15 +749,29 @@ class Solver:
         leaf_keys = sorted({leaf_key(l) for l in leaves if not _is_member(l)})
         member_keys = sorted({leaf_key(l) for l in leaves if _is_member(l)})
 
+        # Per-key domain resolution, roots and candidate pools computed
+        # once per search: domains are immutable while sampling, so
+        # rebuilding pools inside every draw (the old hot spot — ~50%
+        # of solver time) only repeated identical work.
+        default_dom = _Domain()
+        doms: Dict[str, _Domain] = {}
+        roots: Dict[str, str] = {}
+        pools: Dict[str, List[int]] = {}
+        for key in leaf_keys:
+            root = uf.find(key)
+            roots[key] = root
+            dom = domains.get(key) or domains.get(root) or default_dom
+            doms[key] = dom
+            pools[key] = dom.sample_pool()
+
         # Representative-per-class assignment honouring the union-find.
         def assign(draw) -> Assignment:
             by_root: Dict[str, int] = {}
             assignment: Assignment = {}
             for key in leaf_keys:
-                root = uf.find(key)
+                root = roots[key]
                 if root not in by_root:
-                    dom = domains.get(key) or domains.get(root) or _Domain()
-                    by_root[root] = draw(key, dom)
+                    by_root[root] = draw(key, doms[key])
                 assignment[key] = by_root[root]
             for key in member_keys:
                 assignment[key] = members.get(key, False)
@@ -406,7 +782,7 @@ class Solver:
 
         # Attempt 1: the deterministic "pool" assignment.
         def pool_draw(key: str, dom: _Domain) -> int:
-            pool = dom.sample_pool()
+            pool = pools[key]
             value = pool[0] if pool else dom.lo
             return dom.apply_masks(value)
 
@@ -414,24 +790,28 @@ class Solver:
         if ok(candidate):
             return candidate
 
-        # Randomized attempts, seeded deterministically.
+        # Randomized attempts, seeded deterministically.  The seed is a
+        # function of the canonical conjunct set only (leaf keys +
+        # residual size), so any two checks of the same set — plain,
+        # incremental or cached — draw identical samples.
         rng = random.Random((self.seed, len(constraints), tuple(leaf_keys)).__repr__())
-        for _ in range(self.max_samples):
-            def rand_draw(key: str, dom: _Domain) -> int:
-                if dom.boolean:
-                    return rng.randint(0, 1)
-                pool = dom.sample_pool()
-                if pool and rng.random() < 0.5:
-                    return dom.apply_masks(rng.choice(pool))
-                span = dom.hi - dom.lo
-                if span <= 0:
-                    return dom.apply_masks(dom.lo)
-                for _ in range(4):
-                    value = dom.apply_masks(dom.lo + rng.randint(0, span))
-                    if value not in dom.forbidden and dom.lo <= value <= dom.hi:
-                        return value
-                return dom.apply_masks(dom.lo)
 
+        def rand_draw(key: str, dom: _Domain) -> int:
+            if dom.boolean:
+                return rng.randint(0, 1)
+            pool = pools[key]
+            if pool and rng.random() < 0.5:
+                return dom.apply_masks(rng.choice(pool))
+            span = dom.hi - dom.lo
+            if span <= 0:
+                return dom.apply_masks(dom.lo)
+            for _ in range(4):
+                value = dom.apply_masks(dom.lo + rng.randint(0, span))
+                if value not in dom.forbidden and dom.lo <= value <= dom.hi:
+                    return value
+            return dom.apply_masks(dom.lo)
+
+        for _ in range(self.max_samples):
             candidate = assign(rand_draw)
             if ok(candidate):
                 return candidate
@@ -458,7 +838,8 @@ def _complement_present(c: Any, canon_set: Set[str]) -> bool:
 
     Handles three shapes: a directly negated twin; ``not (A and B)``
     while every conjunct is separately asserted; ``A or B`` while every
-    disjunct's negation is separately asserted.
+    disjunct's negation is separately asserted.  (Kept as the reference
+    form of the incremental detection in ``Solver._absorb_piece``.)
     """
     negated = mk_app("not", c)
     if not isinstance(negated, bool) and canon(negated) in canon_set:

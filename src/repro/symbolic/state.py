@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.symbolic.expr import Sym, SymDict, SymPacket
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.symbolic.solver import SolverContext
 
 
 def sym_copy(value: Any) -> Any:
@@ -42,6 +45,13 @@ class SymState:
     steps: int = 0
     status: str = "live"  # live | done | pruned | truncated | error
     note: str = ""
+    #: Incrementally-propagated solver knowledge covering a prefix of
+    #: ``constraints`` (see :class:`repro.symbolic.solver.SolverContext`).
+    #: Owned by this state: never shared between live paths.  The engine
+    #: installs the branch-arm context after each fork, so it is *not*
+    #: copied here (a fork's context differs from its parent's by
+    #: exactly the committed arm).
+    solver_ctx: Optional["SolverContext"] = field(default=None, repr=False, compare=False)
 
     def fork(self) -> "SymState":
         """An independent copy for the other branch arm."""
