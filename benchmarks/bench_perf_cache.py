@@ -1,0 +1,182 @@
+"""E8 — artifact-cache performance: cold vs. warm re-synthesis.
+
+Measures the PR-3 persistent artifact cache (:mod:`repro.cache`)
+end-to-end on the corpus, three ways, against a private temporary cache
+directory:
+
+- **no-cache** — artifact cache disabled (the ``--no-cache`` CLI
+  semantics): every phase of every NF is recomputed;
+- **cold**     — cache enabled over an empty directory: every artifact
+  misses and is written;
+- **warm**     — same directory, but with the in-memory tier and the
+  process-global solver cache dropped first, simulating a *fresh
+  process* over a warm disk: every NF should come back as a single
+  model-tier disk hit.
+
+Caching must never change results, so the three runs' serialized models
+are asserted byte-identical before any timing is reported.
+
+Runs two ways:
+
+- as a pytest benchmark: ``pytest benchmarks/bench_perf_cache.py``
+  (asserts the acceptance thresholds: warm re-synthesis ≥ 5× faster
+  than no-cache, all warm models served from the model tier);
+- as a script: ``python benchmarks/bench_perf_cache.py [--quick]``
+  (``--quick`` uses a 3-NF subset and only asserts identity plus
+  warm model-tier hits — the CI ``perf-smoke`` job).  Both script
+  modes write ``BENCH_perf_cache.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from common import print_table
+from repro import cache as artifact_cache
+from repro.nfactor.algorithm import NFactorConfig, synthesize_model_cached
+from repro.nfs import get_nf, nf_names
+from repro.symbolic.engine import EngineConfig
+from repro.symbolic.solver import clear_global_cache
+
+CORPUS_QUICK = ["nat", "firewall", "loadbalancer"]
+
+#: Default output path, anchored at the repo root (not the CWD).
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_perf_cache.json"
+
+
+def run_corpus(names: List[str], enabled: bool) -> Tuple[Dict[str, str], int, float]:
+    """Synthesize ``names`` via the model tier; (models, model_hits, s)."""
+    models: Dict[str, str] = {}
+    model_hits = 0
+    t0 = time.perf_counter()
+    for name in names:
+        spec = get_nf(name)
+        config = NFactorConfig(
+            engine=EngineConfig(max_paths=16384), artifact_cache=enabled
+        )
+        cached = synthesize_model_cached(
+            spec.source, name=name, entry=spec.entry, config=config
+        )
+        models[name] = cached.model_json
+        model_hits += int(cached.cached)
+    return models, model_hits, time.perf_counter() - t0
+
+
+def measure(names: List[str]) -> Dict[str, object]:
+    """The no-cache/cold/warm comparison over a private temp cache dir."""
+    tmp = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        clear_global_cache()
+        with artifact_cache.override(enabled=False):
+            nocache_models, _, t_nocache = run_corpus(names, enabled=False)
+
+        with artifact_cache.override(directory=tmp, enabled=True):
+            clear_global_cache()
+            cold_models, cold_hits, t_cold = run_corpus(names, enabled=True)
+
+            # Fresh-process simulation: drop everything held in memory;
+            # only the disk tier (and the solver blob) survives.
+            clear_global_cache()
+            artifact_cache.get_store().drop_memory()
+            warm_models, warm_hits, t_warm = run_corpus(names, enabled=True)
+    finally:
+        clear_global_cache()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    identical = nocache_models == cold_models == warm_models
+    return {
+        "nfs": names,
+        "identical_models": identical,
+        "nocache_s": round(t_nocache, 4),
+        "cold_s": round(t_cold, 4),
+        "warm_s": round(t_warm, 4),
+        "speedup_warm": round(t_nocache / t_warm, 2) if t_warm else 0.0,
+        "cold_model_hits": cold_hits,
+        "warm_model_hits": warm_hits,
+        "n_nfs": len(names),
+    }
+
+
+def report(row: Dict[str, object]) -> None:
+    print_table(
+        "Artifact cache (no-cache / cold / warm)",
+        ["NFs", "no-cache", "cold", "warm", "speedup warm",
+         "warm model hits", "identical"],
+        [[
+            row["n_nfs"], f"{row['nocache_s']}s", f"{row['cold_s']}s",
+            f"{row['warm_s']}s", f"{row['speedup_warm']}x",
+            f"{row['warm_model_hits']}/{row['n_nfs']}",
+            row["identical_models"],
+        ]],
+    )
+
+
+# -- pytest benchmark entry ---------------------------------------------------
+
+
+def test_perf_cache(benchmark):
+    row = benchmark.pedantic(measure, args=(list(nf_names()),), rounds=1, iterations=1)
+    for key, value in row.items():
+        benchmark.extra_info[key] = value
+    report(row)
+
+    assert row["identical_models"], "the artifact cache changed a synthesized model"
+    assert row["warm_model_hits"] == row["n_nfs"], "a warm NF missed the model tier"
+    assert row["speedup_warm"] >= 5.0, (
+        f"warm speedup {row['speedup_warm']}x < 5x"
+    )
+
+
+# -- script entry (CI perf-smoke) ---------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="3-NF subset; only assert identity + warm model hits (CI smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        "--json",
+        dest="out",
+        default=DEFAULT_OUT,
+        type=Path,
+        help=f"result JSON path (default: {DEFAULT_OUT.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    names = CORPUS_QUICK if args.quick else list(nf_names())
+    row = measure(names)
+    row["mode"] = "quick" if args.quick else "full"
+    report(row)
+
+    with open(args.out, "w") as fh:
+        json.dump(row, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if not row["identical_models"]:
+        failures.append("the artifact cache changed a synthesized model")
+    if row["warm_model_hits"] != row["n_nfs"]:
+        failures.append(
+            f"warm model-tier hits {row['warm_model_hits']}/{row['n_nfs']}"
+        )
+    if not args.quick and row["speedup_warm"] < 5.0:
+        failures.append(f"warm speedup {row['speedup_warm']}x < 5x")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

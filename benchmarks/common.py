@@ -26,10 +26,17 @@ _CACHE: Dict[str, SynthesisResult] = {}
 
 
 def synthesize(name: str, max_paths: int = 16384) -> SynthesisResult:
-    """Synthesize (and cache) the model of a corpus NF, observed."""
+    """Synthesize (and cache) the model of a corpus NF, observed.
+
+    The persistent artifact cache is off here: a warm user cache would
+    skip pipeline phases and hollow out the per-phase timings these
+    benches report (bench_perf_cache measures the cache explicitly).
+    """
     if name not in _CACHE:
         spec = get_nf(name)
-        config = NFactorConfig(engine=EngineConfig(max_paths=max_paths))
+        config = NFactorConfig(
+            engine=EngineConfig(max_paths=max_paths), artifact_cache=False
+        )
         with obs.observed():
             _CACHE[name] = NFactor(
                 spec.source, name=name, config=config
@@ -53,7 +60,8 @@ def warm_cache(names: Sequence[str], jobs: int = 0, max_paths: int = 16384) -> N
     if not missing:
         return
     outcomes = synthesize_many(
-        missing, jobs=jobs or None, max_paths=max_paths
+        missing, jobs=jobs or None, max_paths=max_paths,
+        use_artifact_cache=False,  # same hermeticity as synthesize() above
     )
     for outcome in outcomes:
         if outcome.result is None:

@@ -1,0 +1,113 @@
+"""Content-addressed cache keys (BLAKE2 over canonical encodings).
+
+Every artifact in the store is addressed by a digest of *what went into
+computing it*: the artifact kind, the input content (NF source text or
+an upstream artifact's key), the relevant configuration fingerprint and
+the cache schema version.  Two consequences:
+
+- an unchanged input re-derives the same key, so re-synthesis of an
+  unchanged NF is a pure lookup;
+- *any* change — a source edit, a config knob, a schema bump — derives
+  a different key, so stale entries are unreachable rather than
+  invalidated.  Old entries age out by garbage collection
+  (``repro cache clear``), never by being wrong.
+
+:data:`SCHEMA_VERSION` must be bumped whenever the *meaning* of a
+cached artifact changes (pipeline semantics, pickle layout of cached
+types, key material).  The package version is mixed in as well, so a
+release bump conservatively invalidates everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+#: Bump on any semantic change to cached artifacts (see module docstring).
+SCHEMA_VERSION = 1
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    """Append a canonical, type-tagged encoding of ``value`` to ``out``.
+
+    Collisions between values of different types are impossible (every
+    branch emits a distinct tag) and container encodings are
+    order-canonical (sets/dicts are sorted), so the digest of the
+    encoding is a stable fingerprint across processes and platforms.
+    """
+    if value is None:
+        out.append(0x00)
+    elif isinstance(value, bool):
+        out.append(0x01)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        out.append(0x02)
+        out.extend(str(value).encode("ascii"))
+        out.append(0x3B)
+    elif isinstance(value, float):
+        out.append(0x07)
+        out.extend(value.hex().encode("ascii"))
+        out.append(0x3B)
+    elif isinstance(value, str):
+        out.append(0x03)
+        encoded = value.encode("utf-8")
+        out.extend(str(len(encoded)).encode("ascii"))
+        out.append(0x3A)
+        out.extend(encoded)
+    elif isinstance(value, bytes):
+        out.append(0x08)
+        out.extend(str(len(value)).encode("ascii"))
+        out.append(0x3A)
+        out.extend(value)
+    elif isinstance(value, (tuple, list)):
+        out.append(0x04 if isinstance(value, tuple) else 0x09)
+        for item in value:
+            _encode(item, out)
+        out.append(0x3B)
+    elif isinstance(value, (set, frozenset)):
+        out.append(0x05)
+        for item in sorted(value, key=repr):
+            _encode(item, out)
+        out.append(0x3B)
+    elif isinstance(value, dict):
+        out.append(0x06)
+        for key in sorted(value, key=repr):
+            _encode(key, out)
+            _encode(value[key], out)
+        out.append(0x3B)
+    elif is_dataclass(value) and not isinstance(value, type):
+        out.append(0x0A)
+        _encode(type(value).__name__, out)
+        for f in fields(value):
+            _encode(f.name, out)
+            _encode(getattr(value, f.name), out)
+        out.append(0x3B)
+    else:
+        raise TypeError(f"cache key cannot encode {type(value).__name__}")
+
+
+def stable_fingerprint(value: Any) -> str:
+    """A short hex digest of any canonically-encodable value."""
+    h = hashlib.blake2b(digest_size=16)
+    buf = bytearray()
+    _encode(value, buf)
+    h.update(bytes(buf))
+    return h.hexdigest()
+
+
+def artifact_key(kind: str, material: Any) -> str:
+    """The content address of one artifact.
+
+    ``kind`` partitions the key space (a ``frontend`` artifact can never
+    collide with a ``model`` artifact of the same input); ``material``
+    is the canonically-encodable description of everything the artifact
+    depends on.  The schema and package versions are always mixed in.
+    """
+    from repro import __version__
+
+    h = hashlib.blake2b(digest_size=16)
+    buf = bytearray()
+    _encode((kind, SCHEMA_VERSION, __version__, material), buf)
+    h.update(bytes(buf))
+    return h.hexdigest()

@@ -1,0 +1,391 @@
+"""The two-tier artifact store: in-memory LRU over an on-disk CAS.
+
+Layout of the disk tier (``REPRO_CACHE_DIR``, default
+``~/.cache/repro``)::
+
+    objects/<key[:2]>/<kind>-<key>     content-addressed artifacts
+    <name>.blob                        named mutable blobs (solver cache)
+
+Every file is framed as ``MAGIC + blake2b-128(payload) + payload``
+with the payload zlib-compressed pickle bytes, so truncation and
+corruption are detected on read and degrade to a miss (logged via the
+``repro.cache`` logger), never to a wrong artifact.  Writes go through
+a same-directory temp file and ``os.replace``, so concurrent writers
+need no locks: a reader sees either the old complete file or the new
+complete file, and two writers racing on one key write identical
+content (the key *is* the content address), so last-writer-wins is
+correct.
+
+The memory tier fronts the disk with a bounded LRU of raw pickle
+bytes — bytes, not objects, so every ``get`` hands out a fresh
+deserialization and callers can freely mutate what they receive
+without poisoning the cache.
+
+Determinism invariant (docs/internals.md §8): the store only ever
+changes *when* work happens, never *what* is computed.  Any read
+failure of any kind is silently a miss and the pipeline recomputes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import logging
+import os
+import pickle
+import threading
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+
+log = logging.getLogger("repro.cache")
+
+#: File framing: magic + format version byte.
+_MAGIC = b"RPAC\x01"
+_DIGEST_SIZE = 16
+_HEADER_SIZE = len(_MAGIC) + _DIGEST_SIZE
+
+#: Memory-tier defaults.
+DEFAULT_MEMORY_ENTRIES = 256
+DEFAULT_MEMORY_BYTES = 64 << 20
+
+_tmp_counter = itertools.count()
+
+
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+    return _MAGIC + digest + payload
+
+
+def _unframe(raw: bytes, origin: str) -> Optional[bytes]:
+    """Verify framing + checksum; None (with a warning) on any damage."""
+    if len(raw) < _HEADER_SIZE or not raw.startswith(_MAGIC):
+        log.warning("cache: %s is truncated or not a cache file; ignoring", origin)
+        return None
+    digest, payload = raw[len(_MAGIC):_HEADER_SIZE], raw[_HEADER_SIZE:]
+    if hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest() != digest:
+        log.warning("cache: %s failed its checksum; ignoring", origin)
+        return None
+    return payload
+
+
+class ArtifactStore:
+    """One cache instance: a memory LRU over an optional disk directory.
+
+    A store with no directory (or ``enabled=False``) is inert: every
+    ``get`` misses and every ``put`` is a no-op, so call sites need no
+    enabled-checks of their own.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        enabled: bool = True,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    ) -> None:
+        self.directory: Optional[Path] = Path(directory) if directory else None
+        self.enabled = bool(enabled and self.directory is not None)
+        self.memory_entries = memory_entries
+        self.memory_bytes = memory_bytes
+        self._mem: "OrderedDict[str, bytes]" = OrderedDict()
+        self._mem_bytes = 0
+        self._lock = threading.Lock()
+        #: Session counters, mirrored into the ambient metrics registry
+        #: under ``cache.<tier>.<event>`` when one is installed.
+        self.counters: Dict[str, int] = {}
+
+    # -- counters -----------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+        registry = obs_metrics.active()
+        if registry.enabled:
+            registry.counter(f"cache.{name}").inc(n)
+
+    # -- paths --------------------------------------------------------------
+
+    def _object_path(self, kind: str, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / "objects" / key[:2] / f"{kind}-{key}"
+
+    def _blob_path(self, name: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{name}.blob"
+
+    # -- memory tier --------------------------------------------------------
+
+    def _mem_get(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            data = self._mem.get(key)
+            if data is not None:
+                self._mem.move_to_end(key)
+            return data
+
+    def _mem_put(self, key: str, data: bytes) -> None:
+        if len(data) > self.memory_bytes:
+            return
+        with self._lock:
+            old = self._mem.pop(key, None)
+            if old is not None:
+                self._mem_bytes -= len(old)
+            self._mem[key] = data
+            self._mem_bytes += len(data)
+            while self._mem and (
+                len(self._mem) > self.memory_entries
+                or self._mem_bytes > self.memory_bytes
+            ):
+                _, evicted = self._mem.popitem(last=False)
+                self._mem_bytes -= len(evicted)
+
+    def _mem_drop(self, key: str) -> None:
+        with self._lock:
+            old = self._mem.pop(key, None)
+            if old is not None:
+                self._mem_bytes -= len(old)
+
+    def drop_memory(self) -> None:
+        """Empty the memory tier (simulates a fresh process over a warm disk)."""
+        with self._lock:
+            self._mem.clear()
+            self._mem_bytes = 0
+
+    # -- disk tier ----------------------------------------------------------
+
+    def _disk_read(self, path: Path) -> Optional[bytes]:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        payload = _unframe(raw, str(path))
+        if payload is None:
+            return None
+        try:
+            data = zlib.decompress(payload)
+        except zlib.error:
+            log.warning("cache: %s failed to decompress; ignoring", path)
+            return None
+        self._count("disk.bytes_read", len(raw))
+        return data
+
+    def _disk_write(self, path: Path, data: bytes) -> None:
+        framed = _frame(zlib.compress(data, 1))
+        tmp = path.parent / f".tmp-{os.getpid()}-{next(_tmp_counter)}"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(framed)
+            os.replace(tmp, path)
+            self._count("disk.bytes_written", len(framed))
+        except OSError as exc:
+            log.warning("cache: could not write %s (%s); skipping", path, exc)
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    # -- public API ---------------------------------------------------------
+
+    def get_object(self, kind: str, key: str) -> Optional[Any]:
+        """The cached artifact for ``key``, or None (any failure = miss)."""
+        if not self.enabled:
+            return None
+        data = self._mem_get(key)
+        if data is not None:
+            self._count("mem.hits")
+        else:
+            self._count("mem.misses")
+            data = self._disk_read(self._object_path(kind, key))
+            if data is None:
+                self._count("disk.misses")
+                return None
+            self._count("disk.hits")
+            self._mem_put(key, data)
+        try:
+            obj = pickle.loads(data)
+        except Exception as exc:
+            log.warning("cache: %s artifact %s failed to load (%s); ignoring",
+                        kind, key, exc)
+            self._mem_drop(key)
+            return None
+        self._count(f"kind.{kind}.hits")
+        return obj
+
+    def put_object(self, kind: str, key: str, obj: Any) -> None:
+        """Store an artifact under ``key`` (both tiers; failures are logged)."""
+        if not self.enabled:
+            return
+        try:
+            data = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            log.warning("cache: %s artifact %s is unpicklable (%s); skipping",
+                        kind, key, exc)
+            return
+        self._mem_put(key, data)
+        self._disk_write(self._object_path(kind, key), data)
+
+    def load_blob(self, name: str) -> Optional[Any]:
+        """A named mutable blob (e.g. the solver cache), or None."""
+        if not self.enabled:
+            return None
+        data = self._disk_read(self._blob_path(name))
+        if data is None:
+            return None
+        try:
+            return pickle.loads(data)
+        except Exception as exc:
+            log.warning("cache: blob %s failed to load (%s); ignoring", name, exc)
+            return None
+
+    def save_blob(self, name: str, obj: Any) -> None:
+        if not self.enabled:
+            return
+        try:
+            data = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            log.warning("cache: blob %s is unpicklable (%s); skipping", name, exc)
+            return
+        self._disk_write(self._blob_path(name), data)
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear_disk(self) -> int:
+        """Remove every artifact and blob; returns the number removed."""
+        self.drop_memory()
+        if self.directory is None:
+            return 0
+        removed = 0
+        objects = self.directory / "objects"
+        if objects.is_dir():
+            for path in sorted(objects.rglob("*")):
+                if path.is_file():
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        for path in self.directory.glob("*.blob"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """Entry counts and byte totals per artifact kind (plus blobs)."""
+        kinds: Dict[str, Dict[str, int]] = {}
+        blobs: Dict[str, int] = {}
+        total = 0
+        if self.directory is not None:
+            objects = self.directory / "objects"
+            if objects.is_dir():
+                for path in objects.rglob("*"):
+                    if not path.is_file() or path.name.startswith(".tmp-"):
+                        continue
+                    kind = path.name.rsplit("-", 1)[0]
+                    entry = kinds.setdefault(kind, {"count": 0, "bytes": 0})
+                    size = path.stat().st_size
+                    entry["count"] += 1
+                    entry["bytes"] += size
+                    total += size
+            for path in self.directory.glob("*.blob"):
+                size = path.stat().st_size
+                blobs[path.stem] = size
+                total += size
+        return {
+            "directory": str(self.directory) if self.directory else None,
+            "enabled": self.enabled,
+            "kinds": {k: kinds[k] for k in sorted(kinds)},
+            "blobs": blobs,
+            "total_bytes": total,
+            "memory_entries": len(self._mem),
+            "memory_bytes": self._mem_bytes,
+            "session_counters": dict(sorted(self.counters.items())),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Global store (env-configured, override-able)
+# ---------------------------------------------------------------------------
+
+_UNSET = object()
+_override_dir: Any = _UNSET
+_override_enabled: Optional[bool] = None
+_store: Optional[ArtifactStore] = None
+_store_key: Optional[Tuple[Optional[str], bool]] = None
+_config_lock = threading.Lock()
+
+_FALSY = {"0", "off", "false", "no"}
+
+
+def default_directory() -> str:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro")
+
+
+def _resolved_config() -> Tuple[Optional[str], bool]:
+    if _override_enabled is not None:
+        enabled = _override_enabled
+    else:
+        enabled = os.environ.get("REPRO_CACHE", "1").strip().lower() not in _FALSY
+    if _override_dir is not _UNSET:
+        directory = str(_override_dir) if _override_dir else None
+    else:
+        directory = os.environ.get("REPRO_CACHE_DIR") or default_directory()
+    return directory, enabled
+
+
+def get_store() -> ArtifactStore:
+    """The ambient artifact store, rebuilt whenever its config changes.
+
+    Configuration is re-resolved on every call (env vars plus any
+    :func:`configure` overrides), so tests and CLI flags that flip
+    ``REPRO_CACHE``/``REPRO_CACHE_DIR`` take effect immediately.
+    """
+    global _store, _store_key
+    key = _resolved_config()
+    with _config_lock:
+        if _store is None or key != _store_key:
+            _store = ArtifactStore(key[0], enabled=key[1])
+            _store_key = key
+        return _store
+
+
+def store_token() -> Optional[str]:
+    """Identity of the active persistent store: its directory, or None.
+
+    Consumers that attach their own persistence to the store (the
+    solver's constraint cache) compare tokens to notice
+    reconfiguration; None means "no persistence right now".
+    """
+    directory, enabled = _resolved_config()
+    return directory if enabled else None
+
+
+def configure(
+    directory: Any = _UNSET, enabled: Optional[bool] = None
+) -> None:
+    """Override (or reset) the ambient store configuration.
+
+    ``configure()`` with no arguments drops all overrides, returning
+    control to the environment.  ``directory=None`` disables the disk
+    tier outright; ``enabled=False`` disables the store.
+    """
+    global _override_dir, _override_enabled, _store, _store_key
+    with _config_lock:
+        if directory is _UNSET and enabled is None:
+            _override_dir = _UNSET
+            _override_enabled = None
+        else:
+            if directory is not _UNSET:
+                _override_dir = directory
+            if enabled is not None:
+                _override_enabled = enabled
+        _store = None
+        _store_key = None

@@ -14,9 +14,16 @@ on NF source and ships the resulting model::
     python -m repro fsm loadbalancer --dot
     python -m repro workload loadbalancer out.pcap -n 200
     python -m repro profile nat
+    python -m repro cache stats
 
 Positional NF arguments accept either a corpus name (see ``list``) or a
 path to an NFPy source file.
+
+Synthesis results are memoized in a persistent artifact cache
+(:mod:`repro.cache`; ``REPRO_CACHE_DIR``, default ``~/.cache/repro``),
+so re-running ``synthesize``/``batch`` on unchanged sources is
+near-instant.  The global ``--no-cache`` flag (before the subcommand)
+disables it for one run; ``repro cache stats|clear|path`` inspects it.
 
 Observability (see :mod:`repro.obs`) is available on every subcommand
 through two global flags, given *before* the subcommand::
@@ -36,12 +43,13 @@ import sys
 from pathlib import Path
 from typing import Optional, Tuple
 
+from repro import cache as artifact_cache
 from repro import obs
 from repro.apps.testing import generate_tests, validate_suite
 from repro.equiv.differential import differential_test
 from repro.model.fsm import build_fsm
 from repro.model.serialize import model_to_json, render_model
-from repro.nfactor.algorithm import NFactor, SynthesisResult
+from repro.nfactor.algorithm import NFactor, SynthesisResult, synthesize_model_cached
 from repro.nfs import get_nf, nf_names
 from repro.nfs.registry import NFSpec
 
@@ -98,19 +106,22 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
     spec = load_spec(args.nf, args.entry)
-    result = synthesize(spec, args.entry)
+    ms = synthesize_model_cached(
+        spec.source, name=spec.name, entry=args.entry or spec.entry
+    )
     if args.json:
-        print(model_to_json(result.model))
+        print(ms.model_json)
     else:
-        print(render_model(result.model))
+        print(render_model(ms.model))
     if args.stats:
-        stats = result.stats
+        stats = ms.stats
         print(
             f"LoC {stats.source_loc} -> slice {stats.slice_loc}; "
             f"slicing {stats.slicing_time_s * 1000:.1f} ms; "
             f"{stats.n_paths} paths in {stats.se_time_s * 1000:.1f} ms SE "
             f"({stats.solver_checks} solver checks, "
             f"{stats.solver_cache_hits} cache hits)"
+            + ("; served from artifact cache" if ms.cached else "")
         )
     return 0
 
@@ -211,11 +222,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     t0 = time.perf_counter()
     outcomes = synthesize_many(
-        targets, jobs=args.jobs, max_paths=args.max_paths
+        targets, jobs=args.jobs, max_paths=args.max_paths, model_only=True
     )
     wall = time.perf_counter() - t0
 
-    header = f"{'nf':14s} {'paths':>6s} {'entries':>8s} {'time':>9s} {'cache hits':>11s}"
+    header = (
+        f"{'nf':14s} {'paths':>6s} {'entries':>8s} {'time':>9s} "
+        f"{'solver':>7s} {'model':>6s} {'disk':>5s} {'mem':>4s}"
+    )
     print(header)
     print("-" * len(header))
     failed = 0
@@ -225,10 +239,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
             reason = out.error.strip().splitlines()[-1] if out.error else "failed"
             print(f"{out.name:14s} {'-':>6s} {'-':>8s} {out.elapsed_s * 1000:7.1f}ms {reason}")
             continue
-        stats = out.result.stats
+        stats = out.stats
+        tiers = out.cache_tiers
         print(
             f"{out.name:14s} {stats.n_paths:6d} {stats.n_entries:8d} "
-            f"{out.elapsed_s * 1000:7.1f}ms {stats.solver_cache_hits:11d}"
+            f"{out.elapsed_s * 1000:7.1f}ms "
+            f"{tiers.get('solver', 0):7d} {tiers.get('model', 0):6d} "
+            f"{tiers.get('disk', 0):5d} {tiers.get('mem', 0):4d}"
         )
     jobs = args.jobs if args.jobs is not None else "auto"
     print(f"\n{len(outcomes) - failed}/{len(outcomes)} synthesized in {wall:.2f}s (jobs={jobs})")
@@ -241,16 +258,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 "name": out.name,
                 "elapsed_s": out.elapsed_s,
                 "error": out.error,
-                "model": (
-                    json.loads(model_to_json(out.result.model)) if out.ok else None
-                ),
+                "model": json.loads(out.model_json) if out.ok else None,
+                "model_cached": out.model_cached,
+                "cache_tiers": out.cache_tiers,
                 "stats": (
                     {
-                        "n_paths": out.result.stats.n_paths,
-                        "n_entries": out.result.stats.n_entries,
-                        "solver_checks": out.result.stats.solver_checks,
-                        "solver_cache_hits": out.result.stats.solver_cache_hits,
-                        "solver_cache_misses": out.result.stats.solver_cache_misses,
+                        "n_paths": out.stats.n_paths,
+                        "n_entries": out.stats.n_entries,
+                        "solver_checks": out.stats.solver_checks,
+                        "solver_cache_hits": out.stats.solver_cache_hits,
+                        "solver_cache_misses": out.stats.solver_cache_misses,
                     }
                     if out.ok
                     else None
@@ -261,6 +278,32 @@ def cmd_batch(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
     return 1 if failed else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    store = artifact_cache.get_store()
+    if args.action == "path":
+        print(store.directory if store.directory else "(no cache directory)")
+        return 0
+    if args.action == "clear":
+        removed = store.clear_disk()
+        print(f"removed {removed} cache entries from {store.directory}")
+        return 0
+    # stats
+    stats = store.disk_stats()
+    if args.json:
+        import json
+
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(f"directory: {stats['directory']}")
+    print(f"enabled:   {stats['enabled']}")
+    for kind, entry in stats["kinds"].items():
+        print(f"  {kind:10s} {entry['count']:6d} entries  {entry['bytes']:10d} bytes")
+    for name, size in stats["blobs"].items():
+        print(f"  {name + ' (blob)':25s} {size:10d} bytes")
+    print(f"total:     {stats['total_bytes']} bytes on disk")
+    return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -303,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print the per-phase/metric profile after the command",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent artifact cache for this run",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -359,13 +407,30 @@ def build_parser() -> argparse.ArgumentParser:
     nf_command(
         "profile", cmd_profile, "synthesize with tracing on, print the profile"
     )
+
+    p = sub.add_parser("cache", help="inspect or clear the persistent artifact cache")
+    p.add_argument(
+        "action",
+        choices=["stats", "clear", "path"],
+        help="stats: entry counts and sizes; clear: delete entries; path: print dir",
+    )
+    p.add_argument("--json", action="store_true", help="emit stats as JSON")
+    p.set_defaults(func=cmd_cache)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.no_cache:
+        # override() restores the previous store on exit, so in-process
+        # callers (tests) don't leak the disabled state across calls.
+        with artifact_cache.override(enabled=False):
+            return _dispatch(args)
+    return _dispatch(args)
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     want_obs = bool(args.trace) or args.profile or args.command == "profile"
     if not want_obs:
         return args.func(args)

@@ -20,9 +20,10 @@ Use :class:`NFactor` for full control, or the one-call
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import cache as artifact_cache
 from repro.interp.interpreter import Env, Interpreter
 from repro.interp.values import deep_copy
 from repro.lang.ir import (
@@ -39,6 +40,7 @@ from repro.lang.ir import (
 )
 from repro.lang.parser import parse_program
 from repro.model.matchaction import NFModel
+from repro.model.serialize import model_to_json
 from repro.model.simulator import ModelSimulator
 from repro.nfactor.refactor import build_model, executable_slice
 from repro.nfactor.tcp_unfold import has_socket_calls, unfold_tcp
@@ -52,6 +54,7 @@ from repro.slicing.static import StaticSlicer
 from repro.statealyzer.classify import VarCategories, classify_variables
 from repro.symbolic.engine import EngineConfig, SymbolicEngine
 from repro.symbolic.expr import SVar, SymDict, SymPacket
+from repro.symbolic.solver import global_cache as _global_constraint_cache
 from repro.symbolic.state import PathResult
 from repro.util.timer import Stopwatch
 
@@ -70,6 +73,11 @@ class NFactorConfig:
     concrete_configs: Set[str] = field(default_factory=set)
     #: Also explore the *unsliced* program (for the Table-2 comparison).
     keep_module_concrete: bool = True
+    #: Memoize pipeline phases through the persistent artifact store
+    #: (:mod:`repro.cache`).  Purely a when-work-happens knob: cached
+    #: and uncached runs produce byte-identical models.  Also gated by
+    #: the store's own enablement (``REPRO_CACHE=off`` / ``--no-cache``).
+    artifact_cache: bool = True
 
 
 @dataclass
@@ -158,8 +166,54 @@ class _Prep:
     sym_env: Dict[str, Any]
 
 
+def _canon_value(value: Any) -> Any:
+    """Sets → sorted tuples so config values encode order-independently."""
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value))
+    return value
+
+
+def _prep_config_fingerprint(config: NFactorConfig) -> Tuple:
+    """Fingerprint of the config fields the pipeline front half reads."""
+    return (
+        ("symbolic_configs", _canon_value(config.symbolic_configs)),
+        ("concrete_configs", _canon_value(config.concrete_configs)),
+        ("keep_module_concrete", config.keep_module_concrete),
+    )
+
+
+def _full_config_fingerprint(config: NFactorConfig) -> Tuple:
+    """Fingerprint of every output-affecting config field.
+
+    Iterates the dataclasses so a future field is included (and so
+    invalidates old entries) by default; only the cache toggles
+    themselves are excluded — they change *when* work happens, never
+    what is computed, so cached/uncached runs may share keys.
+    """
+    engine = tuple(
+        (f.name, _canon_value(getattr(config.engine, f.name)))
+        for f in fields(EngineConfig)
+        if f.name != "solver_cache"
+    )
+    outer = tuple(
+        (f.name, _canon_value(getattr(config, f.name)))
+        for f in fields(NFactorConfig)
+        if f.name not in ("engine", "artifact_cache")
+    )
+    return engine + outer
+
+
 class NFactor:
-    """The NFactor synthesis tool."""
+    """The NFactor synthesis tool.
+
+    When constructed from source text, the pipeline memoizes its phases
+    through the persistent artifact store (:mod:`repro.cache`): the
+    frontend (parse/unfold/normalize), the prepared analysis state
+    (flatten/PDG/packet slice/classification/environments) and the
+    state/executable slices each load from the cache when the source
+    and relevant configuration are unchanged.  Cache hits are
+    byte-for-byte equivalent to recomputation (docs/internals.md §8).
+    """
 
     def __init__(
         self,
@@ -169,12 +223,23 @@ class NFactor:
         config: Optional[NFactorConfig] = None,
     ) -> None:
         self._phase_timings: Dict[str, float] = {}
+        self.config = config or NFactorConfig()
+        self._frontend_key: Optional[str] = None
+        if isinstance(program, str) and self.config.artifact_cache:
+            self._frontend_key = artifact_cache.artifact_key(
+                "frontend", (program, name, entry)
+            )
+            cached = artifact_cache.get_store().get_object(
+                "frontend", self._frontend_key
+            )
+            if cached is not None:
+                self.program, self.normalize_report, self.unfolded = cached
+                return
         if isinstance(program, str):
             with obs_trace.phase("parse", self._phase_timings):
                 program = parse_program(program, name=name, entry=entry)
         elif entry is not None:
             program.entry = entry
-        self.config = config or NFactorConfig()
         self.unfolded = False
         if has_socket_calls(program):
             with obs_trace.phase("unfold", self._phase_timings):
@@ -182,6 +247,12 @@ class NFactor:
             self.unfolded = True
         with obs_trace.phase("normalize", self._phase_timings):
             self.program, self.normalize_report = normalize_structure(program)
+        if self._frontend_key is not None:
+            artifact_cache.get_store().put_object(
+                "frontend",
+                self._frontend_key,
+                (self.program, self.normalize_report, self.unfolded),
+            )
 
     # -- pieces (exposed for benchmarks/ablations) ---------------------------
 
@@ -296,6 +367,14 @@ class NFactor:
 
     # -- the full pipeline -----------------------------------------------------
 
+    def _prep_key(self) -> Optional[str]:
+        """The cache key of the prepared analysis state (None = uncacheable)."""
+        if self._frontend_key is None or not self.config.artifact_cache:
+            return None
+        return artifact_cache.artifact_key(
+            "prep", (self._frontend_key, _prep_config_fingerprint(self.config))
+        )
+
     def _prepare(self, timings: Dict[str, float]) -> "_Prep":
         """The shared pipeline front half (both entry points run this).
 
@@ -303,8 +382,16 @@ class NFactor:
         packet slice, classify variables and seed the concrete/symbolic
         environments.  ``synthesize`` continues with the state slice and
         the sliced exploration; ``explore_original`` explores the
-        unsliced entry directly.
+        unsliced entry directly.  The whole product is one cacheable
+        artifact: a hit skips every phase in this method.
         """
+        prep_key = self._prep_key()
+        if prep_key is not None:
+            cached = artifact_cache.get_store().get_object("prep", prep_key)
+            if cached is not None:
+                obs_metrics.gauge("pdg.nodes").set(len(cached.pdg.stmts))
+                obs_metrics.gauge("pdg.edges").set(cached.pdg.edge_count())
+                return cached
         with obs_trace.phase("flatten", timings):
             flat, module_part, entry_part = self.flatten()
         pkt_param = flat.entry_params[0] if flat.entry_params else "pkt"
@@ -333,7 +420,7 @@ class NFactor:
                 module_env, categories, entry_part, pkt_param
             )
 
-        return _Prep(
+        prep = _Prep(
             flat=flat,
             module_part=module_part,
             entry_part=entry_part,
@@ -346,6 +433,9 @@ class NFactor:
             module_env=module_env,
             sym_env=sym_env,
         )
+        if prep_key is not None:
+            artifact_cache.get_store().put_object("prep", prep_key, prep)
+        return prep
 
     def synthesize(self) -> SynthesisResult:
         """Run the whole pipeline and return the synthesis result."""
@@ -357,18 +447,36 @@ class NFactor:
             flat, entry_part = prep.flat, prep.entry_part
             categories, pkt_slice = prep.categories, prep.pkt_slice
 
-            with obs_trace.phase("slice", timings):
-                state_slice = prep.slicer.backward_many(
-                    self.state_criteria(flat, categories.ois_vars, entry_part)
-                )
-                state_slice.discard(prep.loop_sid)
-                union = pkt_slice | state_slice
-                # Jump augmentation needs the loop header "present" so jumps
-                # directly under it qualify; filtering drops it again.
-                sliced_block, kept = executable_slice(
-                    flat.block, union | {prep.loop_sid}, prep.pdg
-                )
-                kept.discard(prep.loop_sid)
+            prep_key = self._prep_key()
+            slices_key = (
+                artifact_cache.artifact_key("slices", prep_key)
+                if prep_key is not None
+                else None
+            )
+            cached_slices = (
+                artifact_cache.get_store().get_object("slices", slices_key)
+                if slices_key is not None
+                else None
+            )
+            if cached_slices is not None:
+                state_slice, kept, sliced_block = cached_slices
+            else:
+                with obs_trace.phase("slice", timings):
+                    state_slice = prep.slicer.backward_many(
+                        self.state_criteria(flat, categories.ois_vars, entry_part)
+                    )
+                    state_slice.discard(prep.loop_sid)
+                    union = pkt_slice | state_slice
+                    # Jump augmentation needs the loop header "present" so jumps
+                    # directly under it qualify; filtering drops it again.
+                    sliced_block, kept = executable_slice(
+                        flat.block, union | {prep.loop_sid}, prep.pdg
+                    )
+                    kept.discard(prep.loop_sid)
+                if slices_key is not None:
+                    artifact_cache.get_store().put_object(
+                        "slices", slices_key, (state_slice, kept, sliced_block)
+                    )
             stats.slicing_time_s = (
                 timings.get("pdg", 0.0)
                 + timings.get("slice", 0.0)
@@ -420,6 +528,10 @@ class NFactor:
         registry = obs_metrics.active()
         if registry.enabled:
             stats.metrics = registry.snapshot()
+
+        # Write-behind: persist freshly-solved constraint answers so the
+        # next process starts warm (no-op unless persistence is active).
+        _global_constraint_cache().flush()
 
         return SynthesisResult(
             model=model,
@@ -504,3 +616,79 @@ def synthesize_model(
 ) -> SynthesisResult:
     """One-call synthesis: source/program in, :class:`SynthesisResult` out."""
     return NFactor(source, name=name, entry=entry, config=config).synthesize()
+
+
+@dataclass
+class CachedModel:
+    """A synthesized model with cache provenance (the model-tier view).
+
+    ``cached`` is True when the model was served whole from the
+    artifact store's model tier — no parsing, slicing or symbolic
+    execution ran, and ``result`` is None.  ``model_json`` is the
+    canonical serialized form; on a hit it is byte-identical to what a
+    fresh synthesis would serialize (asserted by the perf-cache bench
+    and ``tests/test_cache.py``).  ``stats`` carries the originating
+    run's numbers either way (path/entry counts are properties of the
+    model, timings are the original run's).
+    """
+
+    name: str
+    model: NFModel
+    model_json: str
+    stats: SynthesisStats
+    cached: bool = False
+    result: Optional[SynthesisResult] = None
+
+
+def _model_key(
+    source: str, name: str, entry: Optional[str], config: NFactorConfig
+) -> str:
+    frontend = artifact_cache.artifact_key("frontend", (source, name, entry))
+    return artifact_cache.artifact_key(
+        "model", (frontend, _full_config_fingerprint(config))
+    )
+
+
+def synthesize_model_cached(
+    source: str,
+    name: str = "<nf>",
+    entry: Optional[str] = None,
+    config: Optional[NFactorConfig] = None,
+    keep_result: bool = False,
+) -> CachedModel:
+    """Model-tier synthesis: the whole serialized model is one artifact.
+
+    The fast path for consumers that only need the model and its stats
+    (the ``synthesize`` CLI, ``repro batch``, benchmarks): when the NF
+    source and configuration are unchanged, the synthesis is a single
+    cache lookup.  On a miss the full pipeline runs (itself memoized
+    per phase) and the result is stored for next time.  Callers that
+    need the full :class:`SynthesisResult` on misses pass
+    ``keep_result=True``; those that always need it should use
+    :class:`NFactor` directly.
+    """
+    config = config or NFactorConfig()
+    key: Optional[str] = None
+    if config.artifact_cache:
+        key = _model_key(source, name, entry, config)
+        hit = artifact_cache.get_store().get_object("model", key)
+        if hit is not None:
+            model, model_json, stats = hit
+            return CachedModel(
+                name=name, model=model, model_json=model_json,
+                stats=stats, cached=True,
+            )
+    result = NFactor(source, name=name, entry=entry, config=config).synthesize()
+    model_json = model_to_json(result.model)
+    if key is not None:
+        artifact_cache.get_store().put_object(
+            "model", key, (result.model, model_json, result.stats)
+        )
+    return CachedModel(
+        name=name,
+        model=result.model,
+        model_json=model_json,
+        stats=result.stats,
+        cached=False,
+        result=result if keep_result else None,
+    )

@@ -15,8 +15,18 @@ registry (:meth:`repro.obs.metrics.MetricsRegistry.merge`) so a batch
 run still produces one coherent profile.
 
 Workers solve with their own process-wide constraint cache
-(:mod:`repro.symbolic.solver`); caching never changes results, so
-parallel/sequential and warm/cold runs all agree.
+(:mod:`repro.symbolic.solver`) and share the parent's persistent
+artifact store directory (:mod:`repro.cache`): artifact writes are
+atomic renames of content-addressed files, so concurrent workers need
+no cross-process locks — two writers racing on one key write identical
+bytes and last-writer-wins is correct.  Caching never changes results,
+so parallel/sequential and warm/cold runs all agree.
+
+``model_only=True`` is the batch fast path: workers go through the
+model tier (:func:`repro.nfactor.algorithm.synthesize_model_cached`),
+return the serialized model + stats instead of pickling a full
+:class:`SynthesisResult` across the process boundary, and an unchanged
+NF costs one cache lookup.
 """
 
 from __future__ import annotations
@@ -28,10 +38,25 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.nfactor.algorithm import NFactor, NFactorConfig, SynthesisResult
+from repro import cache as artifact_cache
+from repro.nfactor.algorithm import (
+    NFactor,
+    NFactorConfig,
+    SynthesisResult,
+    SynthesisStats,
+    synthesize_model_cached,
+)
 from repro.symbolic.engine import EngineConfig
 
 __all__ = ["BatchTarget", "BatchOutcome", "synthesize_many", "resolve_targets"]
+
+#: Per-tier hit counters surfaced per outcome (``repro batch`` summary).
+CACHE_TIER_COUNTERS = {
+    "model": "cache.kind.model.hits",
+    "disk": "cache.disk.hits",
+    "mem": "cache.mem.hits",
+    "solver": "solver.cache_hits",
+}
 
 
 @dataclass(frozen=True)
@@ -45,17 +70,30 @@ class BatchTarget:
 
 @dataclass
 class BatchOutcome:
-    """What one batch job produced (order matches the input order)."""
+    """What one batch job produced (order matches the input order).
+
+    Full-result mode populates ``result`` (and derives ``stats`` from
+    it); model-only mode populates ``model_json``/``stats`` and leaves
+    ``result`` None — on a model-tier cache hit there is nothing else
+    to materialize.  ``cache_tiers`` counts this job's cache hits per
+    tier (model / disk / mem / solver).
+    """
 
     name: str
     elapsed_s: float = 0.0
     result: Optional[SynthesisResult] = None
+    model_json: Optional[str] = None
+    stats: Optional[SynthesisStats] = None
     metrics: Dict[str, Any] = field(default_factory=dict)
+    cache_tiers: Dict[str, int] = field(default_factory=dict)
+    model_cached: bool = False
     error: str = ""
 
     @property
     def ok(self) -> bool:
-        return self.result is not None
+        return not self.error and (
+            self.result is not None or self.model_json is not None
+        )
 
 
 def resolve_targets(names: Sequence[Union[str, BatchTarget]]) -> List[BatchTarget]:
@@ -73,25 +111,52 @@ def resolve_targets(names: Sequence[Union[str, BatchTarget]]) -> List[BatchTarge
 
 
 def _run_one(
-    target: BatchTarget, max_paths: int, solver_cache: bool
+    target: BatchTarget,
+    max_paths: int,
+    solver_cache: bool,
+    model_only: bool = False,
+    use_artifact_cache: bool = True,
 ) -> BatchOutcome:
     """Synthesize one target, observed; never raises (errors are data)."""
     from repro import obs
+    from repro.model.serialize import model_to_json
 
     t0 = time.perf_counter()
     try:
         config = NFactorConfig(
-            engine=EngineConfig(max_paths=max_paths, solver_cache=solver_cache)
+            engine=EngineConfig(max_paths=max_paths, solver_cache=solver_cache),
+            artifact_cache=use_artifact_cache,
         )
-        with obs.observed():
-            result = NFactor(
-                target.source, name=target.name, entry=target.entry, config=config
-            ).synthesize()
+        with obs.observed() as (_tracer, registry):
+            if model_only:
+                cached = synthesize_model_cached(
+                    target.source, name=target.name, entry=target.entry,
+                    config=config,
+                )
+                result = None
+                model_json, stats = cached.model_json, cached.stats
+                model_cached = cached.cached
+            else:
+                result = NFactor(
+                    target.source, name=target.name, entry=target.entry,
+                    config=config,
+                ).synthesize()
+                model_json, stats = model_to_json(result.model), result.stats
+                model_cached = False
+            snapshot = registry.snapshot()
+        counters = snapshot.get("counters", {})
         return BatchOutcome(
             name=target.name,
             elapsed_s=time.perf_counter() - t0,
             result=result,
-            metrics=result.stats.metrics,
+            model_json=model_json,
+            stats=stats,
+            metrics=snapshot,
+            cache_tiers={
+                tier: counters.get(counter, 0)
+                for tier, counter in CACHE_TIER_COUNTERS.items()
+            },
+            model_cached=model_cached,
         )
     except Exception:
         return BatchOutcome(
@@ -101,9 +166,16 @@ def _run_one(
         )
 
 
-def _worker(payload: Tuple[BatchTarget, int, bool]) -> BatchOutcome:
-    target, max_paths, solver_cache = payload
-    return _run_one(target, max_paths, solver_cache)
+def _worker(payload: Tuple[BatchTarget, int, bool, bool, bool]) -> BatchOutcome:
+    target, max_paths, solver_cache, model_only, use_cache = payload
+    if use_cache:
+        return _run_one(target, max_paths, solver_cache, model_only)
+    # --no-cache (or a disabled parent store) must bind the workers too:
+    # disable the ambient store for the duration of this job.
+    with artifact_cache.override(enabled=False):
+        return _run_one(
+            target, max_paths, solver_cache, model_only, use_artifact_cache=False
+        )
 
 
 def default_jobs(n_targets: int) -> int:
@@ -117,6 +189,8 @@ def synthesize_many(
     max_paths: int = 16384,
     solver_cache: bool = True,
     merge_metrics: bool = True,
+    model_only: bool = False,
+    use_artifact_cache: Optional[bool] = None,
 ) -> List[BatchOutcome]:
     """Synthesize many NFs, optionally across worker processes.
 
@@ -127,6 +201,11 @@ def synthesize_many(
     in that target's :attr:`BatchOutcome.error`; it never aborts the
     rest of the batch.
 
+    ``model_only=True`` returns serialized models + stats without full
+    :class:`SynthesisResult` payloads (see the module docstring).
+    ``use_artifact_cache=None`` inherits the parent's store enablement,
+    so a ``--no-cache`` parent disables the workers' stores as well.
+
     When the parent runs under an ambient metrics registry and
     ``merge_metrics`` is true, each child's metrics snapshot is folded
     into it.
@@ -134,8 +213,13 @@ def synthesize_many(
     resolved = resolve_targets(targets)
     if jobs is None:
         jobs = default_jobs(len(resolved))
+    if use_artifact_cache is None:
+        use_artifact_cache = artifact_cache.is_enabled()
 
-    payloads = [(t, max_paths, solver_cache) for t in resolved]
+    payloads = [
+        (t, max_paths, solver_cache, model_only, use_artifact_cache)
+        for t in resolved
+    ]
     if jobs <= 1 or len(resolved) <= 1:
         outcomes = [_worker(p) for p in payloads]
     else:

@@ -25,6 +25,10 @@ Performance layer (docs/internals.md §7):
   process-wide LRU (:class:`ConstraintCache`).  A fresh solve is a
   pure function of that key, so cached and re-solved results are
   identical — models are byte-identical with the cache on and off.
+  The process-wide instance additionally persists through the artifact
+  store (:mod:`repro.cache`): solved answers are loaded on first miss
+  and flushed write-behind, so they survive process restarts
+  (docs/internals.md §8).
 * **Incremental propagation** — a :class:`SolverContext` carries the
   expanded conjuncts, canonical set, propagated domains and union-find
   of a path's constraint prefix, so each branch check extends the
@@ -37,6 +41,7 @@ Performance layer (docs/internals.md §7):
 
 from __future__ import annotations
 
+import atexit
 import random
 import threading
 import time
@@ -44,6 +49,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import cache as artifact_cache
 from repro.obs import metrics as obs_metrics
 from repro.obs.metrics import Histogram, TIME_BUCKETS
 from repro.symbolic.expr import (
@@ -199,6 +205,16 @@ class _UnionFind:
         return out
 
 
+#: Write-behind flush threshold for persistent caches: after this many
+#: new entries the in-memory state is merged onto disk.  A final flush
+#: runs at interpreter exit (and after every synthesis, see
+#: :meth:`repro.nfactor.algorithm.NFactor.synthesize`).
+PERSIST_FLUSH_EVERY = 256
+
+#: Sentinel: "no persistence load has been attempted yet".
+_NEVER_LOADED = object()
+
+
 class ConstraintCache:
     """A bounded, thread-safe LRU of solver results.
 
@@ -207,11 +223,32 @@ class ConstraintCache:
     (:func:`global_cache`) is shared by default so repeated syntheses —
     warm benchmark runs, batch mode, re-checks of finished path
     conditions during model refactoring — hit instead of re-solving.
+
+    With ``persistent=True`` (the process-wide instance) the cache is
+    backed by the artifact store (:mod:`repro.cache`): the first miss
+    loads the on-disk snapshot (lazily, and again after the store is
+    reconfigured), and writes flush behind — every
+    :data:`PERSIST_FLUSH_EVERY` new entries, on :meth:`flush`, and at
+    interpreter exit.  Flushing merges with the current disk contents
+    before the atomic replace, so concurrent processes lose at most a
+    race's worth of freshly-solved entries, never the file's
+    consistency.  Persisted answers are pure functions of their keys,
+    so loading them can only skip work, never change results.
     """
 
-    __slots__ = ("maxsize", "_data", "_lock", "hits", "misses")
+    __slots__ = (
+        "maxsize",
+        "_data",
+        "_lock",
+        "hits",
+        "misses",
+        "persistent",
+        "_persist_token",
+        "_dirty",
+        "_atexit_registered",
+    )
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE, persistent: bool = False) -> None:
         if maxsize <= 0:
             raise ValueError("cache maxsize must be positive")
         self.maxsize = maxsize
@@ -219,13 +256,20 @@ class ConstraintCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.persistent = persistent
+        self._persist_token: Any = _NEVER_LOADED
+        self._dirty = 0
+        self._atexit_registered = False
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: Any) -> Optional[Tuple[str, Optional[Assignment]]]:
         with self._lock:
             entry = self._data.get(key)
+            if entry is None and self.persistent and self._load_locked():
+                entry = self._data.get(key)
             if entry is None:
                 self.misses += 1
                 return None
@@ -239,20 +283,94 @@ class ConstraintCache:
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+            if self.persistent:
+                self._dirty += 1
+                if not self._atexit_registered:
+                    atexit.register(self.flush)
+                    self._atexit_registered = True
+                if self._dirty >= PERSIST_FLUSH_EVERY:
+                    self._flush_locked()
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
             self.hits = 0
             self.misses = 0
+            self._dirty = 0
+            self._persist_token = _NEVER_LOADED
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats(self) -> Tuple[int, int, int]:
+        """One atomic snapshot of ``(hits, misses, entries)``."""
+        with self._lock:
+            return self.hits, self.misses, len(self._data)
+
+    # -- persistence (write-behind through repro.cache) ---------------------
+
+    @staticmethod
+    def _blob_name() -> str:
+        return f"solver-constraints-v{artifact_cache.SCHEMA_VERSION}"
+
+    def _load_locked(self) -> bool:
+        """Load the disk snapshot on first miss (or after reconfiguration).
+
+        Returns True when a load actually merged entries, so the caller
+        can retry its lookup.  Already-present entries win over disk
+        ones (they are identical by determinism anyway).
+        """
+        token = artifact_cache.store_token()
+        if token == self._persist_token:
+            return False
+        self._persist_token = token
+        if token is None:
+            return False
+        payload = artifact_cache.get_store().load_blob(self._blob_name())
+        if not isinstance(payload, dict) or not payload:
+            return False
+        for key, value in payload.items():
+            self._data.setdefault(key, value)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+        return True
+
+    def flush(self) -> None:
+        """Write-behind flush: merge in-memory entries onto disk now."""
+        if not self.persistent:
+            return
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self._dirty == 0:
+            return
+        token = artifact_cache.store_token()
+        if token is None:
+            return
+        store = artifact_cache.get_store()
+        existing = store.load_blob(self._blob_name())
+        merged: Dict[Any, Tuple[str, Optional[Assignment]]] = (
+            dict(existing) if isinstance(existing, dict) else {}
+        )
+        merged.update(self._data)
+        if len(merged) > self.maxsize:
+            overflow = len(merged) - self.maxsize
+            for key in list(merged):
+                if overflow == 0:
+                    break
+                if key not in self._data:
+                    del merged[key]
+                    overflow -= 1
+        store.save_blob(self._blob_name(), merged)
+        self._dirty = 0
+        self._persist_token = token
 
 
-_GLOBAL_CACHE = ConstraintCache()
+_GLOBAL_CACHE = ConstraintCache(persistent=True)
 
 
 def global_cache() -> ConstraintCache:

@@ -15,11 +15,37 @@ from repro.symbolic.engine import EngineConfig
 _CACHE: dict = {}
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(monkeypatch, tmp_path):
+    """Keep tests off the user's persistent artifact cache.
+
+    The artifact store (repro.cache) defaults to ``~/.cache/repro`` and
+    is deliberately cross-process, which would let one test run warm
+    the next and skew determinism/counter assertions.  Tests run with
+    the store disabled by default; tests that exercise it opt back in
+    with ``repro.cache.configure(...)`` / ``override(...)`` (explicit
+    overrides beat these env vars) against their own tmp directory.
+    Worker subprocesses inherit the env, so batch tests are covered too.
+    """
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))
+    yield
+
+
 def synthesize_cached(name: str) -> SynthesisResult:
-    """Synthesize an NF model once per test session."""
+    """Synthesize an NF model once per test session.
+
+    ``artifact_cache=False`` directly (not just via the env fixture):
+    session-scoped fixtures instantiate *before* function-scoped
+    autouse fixtures, so the env vars above aren't in force yet, and a
+    warm user cache would skip the very phases whose stats the tests
+    assert on.
+    """
     if name not in _CACHE:
         spec = get_nf(name)
-        config = NFactorConfig(engine=EngineConfig(max_paths=16384))
+        config = NFactorConfig(
+            engine=EngineConfig(max_paths=16384), artifact_cache=False
+        )
         _CACHE[name] = NFactor(spec.source, name=name, config=config).synthesize()
     return _CACHE[name]
 
