@@ -30,7 +30,6 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
-import json
 import shutil
 import sys
 import tempfile
@@ -38,7 +37,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Tuple
 
-from common import print_table
+from common import print_table, write_bench_json
 from repro import cache as artifact_cache
 from repro.nfactor.algorithm import NFactorConfig, synthesize_model_cached
 from repro.nfs import get_nf, nf_names
@@ -159,10 +158,7 @@ def main(argv=None) -> int:
     row["mode"] = "quick" if args.quick else "full"
     report(row)
 
-    with open(args.out, "w") as fh:
-        json.dump(row, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    write_bench_json(args.out, "perf_cache", row)
 
     failures = []
     if not row["identical_models"]:

@@ -27,13 +27,12 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Tuple
 
-from common import print_table
+from common import print_table, write_bench_json
 from repro.model.serialize import model_to_json
 from repro.nfactor.algorithm import NFactor, NFactorConfig
 from repro.nfs import get_nf, nf_names
@@ -166,10 +165,7 @@ def main(argv=None) -> int:
     row["mode"] = "quick" if args.quick else "full"
     report(row)
 
-    with open(args.out, "w") as fh:
-        json.dump(row, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    write_bench_json(args.out, "perf_solver", row)
 
     failures = []
     if not row["identical_models"]:

@@ -15,6 +15,9 @@ went, not just how much there was.
 
 from __future__ import annotations
 
+import json
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import Any, Dict, List, Sequence
 
 from repro import obs
@@ -98,6 +101,33 @@ def print_phase_profile(results: Dict[str, SynthesisResult]) -> None:
             for name, result in results.items()
         ],
     )
+
+
+#: Version of the shared BENCH_*.json envelope.  Bump when the common
+#: fields change shape; per-bench payload fields are free to evolve.
+BENCH_SCHEMA_VERSION = 1
+
+
+def write_bench_json(out: Path, bench: str, row: Dict[str, Any]) -> Dict[str, Any]:
+    """Write one benchmark's result row as ``BENCH_<name>.json``.
+
+    Every bench artifact shares the same envelope — ``bench`` (the
+    benchmark's name), ``schema_version``, and ``run_utc`` — so CI
+    consumers can aggregate the uploaded files without per-bench
+    special cases.  The bench-specific fields follow verbatim.
+    """
+    payload = {
+        "bench": bench,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "run_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        **row,
+    }
+    out = Path(out)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return payload
 
 
 def print_table(title: str, headers: Sequence[str], rows: List[Sequence[str]]) -> None:

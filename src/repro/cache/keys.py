@@ -25,7 +25,8 @@ from dataclasses import fields, is_dataclass
 from typing import Any
 
 #: Bump on any semantic change to cached artifacts (see module docstring).
-SCHEMA_VERSION = 1
+#: 2: SynthesisStats grew the engine cold-path counters (§9).
+SCHEMA_VERSION = 2
 
 
 def _encode(value: Any, out: bytearray) -> None:

@@ -49,7 +49,13 @@ from repro.apps.testing import generate_tests, validate_suite
 from repro.equiv.differential import differential_test
 from repro.model.fsm import build_fsm
 from repro.model.serialize import model_to_json, render_model
-from repro.nfactor.algorithm import NFactor, SynthesisResult, synthesize_model_cached
+from repro.nfactor.algorithm import (
+    NFactor,
+    NFactorConfig,
+    SynthesisResult,
+    synthesize_model_cached,
+)
+from repro.symbolic.engine import EngineConfig
 from repro.nfs import get_nf, nf_names
 from repro.nfs.registry import NFSpec
 
@@ -106,8 +112,18 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
     spec = load_spec(args.nf, args.entry)
+    config = None
+    if args.parallel_paths > 1:
+        # Perf-only knob: frontier exploration partitions path suffixes
+        # across worker processes and produces the same bytes as
+        # sequential DFS, so the artifact-cache key is unaffected.
+        config = NFactorConfig(
+            engine=EngineConfig(
+                strategy="frontier", parallel_paths=args.parallel_paths
+            )
+        )
     ms = synthesize_model_cached(
-        spec.source, name=spec.name, entry=args.entry or spec.entry
+        spec.source, name=spec.name, entry=args.entry or spec.entry, config=config
     )
     if args.json:
         print(ms.model_json)
@@ -369,6 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = nf_command("synthesize", cmd_synthesize, "synthesize and print the model")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.add_argument("--stats", action="store_true", help="print pipeline statistics")
+    p.add_argument(
+        "--parallel-paths",
+        type=int,
+        default=1,
+        metavar="N",
+        help="explore path suffixes across N worker processes "
+        "(frontier strategy; same model bytes as sequential DFS)",
+    )
 
     nf_command("slice", cmd_slice, "print the source with the slice highlighted")
     nf_command("categories", cmd_categories, "print the Table-1 variable categories")

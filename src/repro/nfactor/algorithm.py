@@ -104,6 +104,13 @@ class SynthesisStats:
     solver_checks: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    # Engine cold-path counters (docs/internals.md §9); frontier runs
+    # fold the worker processes' counts in.
+    states_explored: int = 0
+    pruned_subsumed: int = 0
+    witness_hits: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
     phase_timings: Dict[str, float] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
 
@@ -182,18 +189,43 @@ def _prep_config_fingerprint(config: NFactorConfig) -> Tuple:
     )
 
 
+#: EngineConfig fields that change *when/how fast* work happens, never
+#: what is computed (behaviour-preserving by construction, see
+#: docs/internals.md §9) — excluded from fingerprints so toggling them
+#: shares cache entries.
+_PERF_ONLY_ENGINE_FIELDS = frozenset(
+    {
+        "solver_cache",
+        "intern_exprs",
+        "witness_shortcut",
+        "subsumption",
+        "parallel_paths",
+    }
+)
+
+
 def _full_config_fingerprint(config: NFactorConfig) -> Tuple:
     """Fingerprint of every output-affecting config field.
 
     Iterates the dataclasses so a future field is included (and so
-    invalidates old entries) by default; only the cache toggles
-    themselves are excluded — they change *when* work happens, never
-    what is computed, so cached/uncached runs may share keys.
+    invalidates old entries) by default; only the cache toggles and the
+    perf-only engine toggles are excluded — they change *when* work
+    happens, never what is computed, so cached/uncached runs may share
+    keys.  The parallel "frontier" strategy is byte-identical to
+    sequential dfs (canonical path ordering), so it normalizes to "dfs"
+    in the key.
     """
+
+    def engine_value(name: str) -> Any:
+        value = getattr(config.engine, name)
+        if name == "strategy" and value == "frontier":
+            return "dfs"
+        return _canon_value(value)
+
     engine = tuple(
-        (f.name, _canon_value(getattr(config.engine, f.name)))
+        (f.name, engine_value(f.name))
         for f in fields(EngineConfig)
-        if f.name != "solver_cache"
+        if f.name not in _PERF_ONLY_ENGINE_FIELDS
     )
     outer = tuple(
         (f.name, _canon_value(getattr(config, f.name)))
@@ -493,9 +525,16 @@ class NFactor:
                         sliced_entry, prep.sym_env, watched=categories.ois_vars
                     )
             stats.se_time_s = se_sw.elapsed
-            stats.solver_checks = engine.solver.checks
-            stats.solver_cache_hits = engine.solver.cache_hits
-            stats.solver_cache_misses = engine.solver.cache_misses
+            # Via engine.stats (not engine.solver): frontier runs fold
+            # the worker processes' solver and engine counters in there.
+            stats.solver_checks = engine.stats.solver_checks
+            stats.solver_cache_hits = engine.stats.solver_cache_hits
+            stats.solver_cache_misses = engine.stats.solver_cache_misses
+            stats.states_explored = engine.stats.states_explored
+            stats.pruned_subsumed = engine.stats.pruned_subsumed
+            stats.witness_hits = engine.stats.witness_hits
+            stats.intern_hits = engine.stats.intern_hits
+            stats.intern_misses = engine.stats.intern_misses
 
             stmts = flat.stmts()
             with obs_trace.phase("refactor", timings):

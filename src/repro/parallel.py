@@ -48,7 +48,13 @@ from repro.nfactor.algorithm import (
 )
 from repro.symbolic.engine import EngineConfig
 
-__all__ = ["BatchTarget", "BatchOutcome", "synthesize_many", "resolve_targets"]
+__all__ = [
+    "BatchTarget",
+    "BatchOutcome",
+    "synthesize_many",
+    "resolve_targets",
+    "explore_frontier_parts",
+]
 
 #: Per-tier hit counters surfaced per outcome (``repro batch`` summary).
 CACHE_TIER_COUNTERS = {
@@ -181,6 +187,74 @@ def _worker(payload: Tuple[BatchTarget, int, bool, bool, bool]) -> BatchOutcome:
 def default_jobs(n_targets: int) -> int:
     """Worker-count default: one per target, capped by the CPU count."""
     return max(1, min(n_targets, os.cpu_count() or 1))
+
+
+# ---------------------------------------------------------------------------
+# Intra-NF frontier workers (EngineConfig.strategy == "frontier")
+# ---------------------------------------------------------------------------
+
+
+def _frontier_worker(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Explore one partition of a branch frontier in a fresh engine.
+
+    Ships back raw finished states plus the worker's stats and metrics
+    snapshot; the parent engine does the canonical merge.  Never raises
+    — an error is returned as a formatted traceback so the parent can
+    fail the whole exploration coherently.
+    """
+    from dataclasses import asdict
+
+    from repro import obs
+    from repro.symbolic.engine import SymbolicEngine
+
+    block, seeds, watched, config_kwargs = payload
+    try:
+        config_kwargs = dict(config_kwargs, parallel_paths=1)
+        engine = SymbolicEngine(EngineConfig(**config_kwargs))
+        with obs.observed() as (_tracer, registry):
+            finished, stats = engine.explore_seeds(block, seeds, watched)
+            snapshot = registry.snapshot()
+        return finished, asdict(stats), snapshot, ""
+    except Exception:
+        return [], {}, {}, traceback.format_exc(limit=8)
+
+
+def explore_frontier_parts(
+    block: Any,
+    parts: Sequence[Sequence[Any]],
+    watched: Any,
+    config: EngineConfig,
+) -> List[Tuple[List[Any], Dict[str, Any]]]:
+    """Fan frontier partitions out over a process pool.
+
+    Each partition is explored independently with the same engine
+    configuration (depth-first, in-process); results come back in
+    partition order.  Worker metrics snapshots are folded into the
+    parent's ambient registry so a parallel exploration profiles like a
+    sequential one.
+    """
+    from dataclasses import asdict
+
+    from repro.obs import metrics as obs_metrics
+
+    config_kwargs = asdict(config)
+    payloads = [(block, list(part), set(watched), config_kwargs) for part in parts]
+    jobs = min(len(payloads), max(1, config.parallel_paths))
+    if jobs <= 1:
+        raw = [_frontier_worker(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            raw = list(pool.map(_frontier_worker, payloads))
+
+    registry = obs_metrics.active()
+    out: List[Tuple[List[Any], Dict[str, Any]]] = []
+    for finished, stats, snapshot, error in raw:
+        if error:
+            raise RuntimeError(f"frontier worker failed:\n{error}")
+        if registry.enabled and snapshot:
+            registry.merge(snapshot)
+        out.append((finished, stats))
+    return out
 
 
 def synthesize_many(

@@ -60,6 +60,7 @@ from repro.net.packet import Packet
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.symbolic.expr import (
+    InternTable,
     SApp,
     SDictVal,
     SVar,
@@ -67,12 +68,14 @@ from repro.symbolic.expr import (
     SymDict,
     SymPacket,
     canon,
+    eval_sym,
+    interning,
     is_concrete,
     mk_app,
 )
 from repro.symbolic.solver import DEFAULT_MAX_SAMPLES, Solver, SolverContext
-from repro.symbolic.state import PathResult, SymState, sym_copy
-from repro.symbolic.strategies import Strategy
+from repro.symbolic.state import PathResult, SymState, state_signature, sym_copy
+from repro.symbolic.strategies import VALID_STRATEGIES, Strategy, make_strategy
 from repro.util.timer import Stopwatch
 
 _BOOL_OPS = frozenset({"==", "!=", "<", "<=", ">", ">=", "and", "or", "not", "member"})
@@ -108,9 +111,28 @@ class EngineConfig:
     solver_samples: int = DEFAULT_MAX_SAMPLES
     solver_cache: bool = True
     keep_pruned: bool = False
-    #: Exploration order: "dfs" (default), "bfs" or "random".
+    #: Exploration order: one of
+    #: :data:`repro.symbolic.strategies.VALID_STRATEGIES`.
     strategy: str = "dfs"
     strategy_seed: int = 0
+    #: Cold-path performance toggles (docs/internals.md §9).  All three
+    #: are behaviour-preserving: synthesized models are byte-identical
+    #: with them on or off, so none participates in cache fingerprints.
+    intern_exprs: bool = True
+    witness_shortcut: bool = True
+    subsumption: bool = True
+    #: Worker processes for the "frontier" strategy; 1 = in-process
+    #: (degenerates to dfs).  Ignored by the other strategies.
+    parallel_paths: int = 1
+
+    def __post_init__(self) -> None:
+        if self.strategy not in VALID_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r} "
+                f"(valid: {', '.join(VALID_STRATEGIES)})"
+            )
+        if self.parallel_paths < 1:
+            raise ValueError("parallel_paths must be >= 1")
 
 
 @dataclass
@@ -128,6 +150,73 @@ class ExploreStats:
     solver_cache_misses: int = 0
     elapsed_s: float = 0.0
     exhausted: bool = False
+    #: States actually executed to completion (finishing done, pruned
+    #: or error) — the work subsumption saves shows up here.
+    states_explored: int = 0
+    #: States grafted from a recorded twin instead of being re-executed.
+    pruned_subsumed: int = 0
+    #: Branch arms decided by witness propagation (no solver call).
+    witness_hits: int = 0
+    #: Hash-consing table statistics (0 when interning is off).
+    intern_size: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
+
+    @property
+    def states_total(self) -> int:
+        """Conservation check: every state is explored, subsumed or
+        truncated — pruning can never silently drop one."""
+        return self.states_explored + self.pruned_subsumed + self.paths_truncated
+
+
+@dataclass
+class _Leaf:
+    """One finished path of a recorded subtree, delta-sliced at the
+    frame root so it can be replayed under a different prefix."""
+
+    status: str
+    note: str
+    c_delta: Tuple[Any, ...]
+    e_delta: Tuple[int, ...]
+    b_delta: Tuple[Tuple[int, bool], ...]
+    sent_delta: Tuple[Tuple[Dict[str, Any], Optional[Any]], ...]
+    w_delta: Tuple[Tuple[int, str], ...]
+    env: Dict[str, Any]
+    steps_delta: int
+
+
+@dataclass
+class _Frame:
+    """A recording of the whole DFS subtree under one popped state.
+
+    Opened the first time a state signature is seen; closed (and
+    registered for grafting) once the DFS stack height drops back to
+    ``depth``, meaning every descendant has finished.  ``events``
+    capture each solver-relevant branch decision as (constraint delta
+    since the root, ((arm, feasible), …)); ``leaves`` the finished
+    paths.  Both are deltas against the root's list lengths
+    (``c0``/``e0``/…), so a later signature twin can splice its own
+    prefix in front.
+    """
+
+    sig: Tuple[Any, ...]
+    depth: int
+    c0: int
+    e0: int
+    b0: int
+    s0: int
+    w0: int
+    steps0: int
+    events: List[Tuple[Tuple[Any, ...], Tuple[Tuple[Any, bool], ...]]] = field(
+        default_factory=list
+    )
+    leaves: List[_Leaf] = field(default_factory=list)
+    #: Unreplayable: the subtree called recv_packet (fresh-variable
+    #: names embed the execution-trace length) or truncated on the
+    #: absolute per-path step budget.
+    poisoned: bool = False
+    done_count: int = 0
+    max_steps_delta: int = 0
 
 
 class SymbolicEngine:
@@ -141,6 +230,11 @@ class SymbolicEngine:
             cache=self.config.solver_cache,
         )
         self.stats = ExploreStats()
+        #: Completed recordings keyed by state signature.
+        self._frames: Dict[Tuple[Any, ...], _Frame] = {}
+        #: Recordings still accumulating (ancestors of the current pop).
+        self._open_frames: List[_Frame] = []
+        self._intern_table: Optional[InternTable] = None
 
     # -- public -------------------------------------------------------------
 
@@ -156,6 +250,11 @@ class SymbolicEngine:
         state variables, concrete configuration).  ``watched`` names the
         variables whose writes should be recorded per path (the
         output-impacting state variables).
+
+        Finished paths are numbered and ordered *canonically* (by their
+        branch-decision sequence, True before False), so every strategy
+        — and the parallel frontier merge — yields byte-identical
+        results on a complete exploration.
         """
         self.stats = ExploreStats()
         watched = watched or set()
@@ -165,67 +264,392 @@ class SymbolicEngine:
         entry_succs = cfg.succs(ENTRY, virtual=False)
         first = entry_succs[0] if entry_succs else EXIT
         initial = SymState(pc=first, env=dict(init_env or {}))
-        results: List[PathResult] = []
-        from repro.symbolic.strategies import make_strategy
+        worker_solver = {"checks": 0, "hits": 0, "misses": 0}
 
-        stack = make_strategy(self.config.strategy, self.config.strategy_seed)
-        stack.push(initial)
-        path_counter = 0
-
-        span = obs_trace.span("se.explore", stmts=len(stmts), strategy=self.config.strategy)
-        with span, Stopwatch() as sw:
-            while stack:
-                if self.stats.paths_done >= self.config.max_paths:
-                    self.stats.exhausted = True
-                    break
-                state = stack.pop()
-                finished = self._run_state(state, cfg, stmts, watched, stack)
-                if finished is None:
-                    continue
-                path_counter += 1
-                result = PathResult(
-                    path_id=path_counter,
-                    status=finished.status,
-                    constraints=list(finished.constraints),
-                    executed=list(finished.executed),
-                    branches=list(finished.branches),
-                    sent=list(finished.sent),
-                    state_writes=list(finished.state_writes),
-                    env=finished.env,
-                    note=finished.note,
-                )
-                if finished.status == "done":
-                    self.stats.paths_done += 1
-                    obs_metrics.counter("se.paths_done").inc()
-                    results.append(result)
-                elif finished.status == "truncated":
-                    self.stats.paths_truncated += 1
-                    obs_metrics.counter("se.paths_truncated").inc()
-                    if self.config.keep_pruned:
-                        results.append(result)
-                elif finished.status == "error":
-                    self.stats.paths_error += 1
-                    obs_metrics.counter("se.paths_error").inc()
-                    if self.config.keep_pruned:
-                        results.append(result)
+        table = InternTable() if self.config.intern_exprs else None
+        span = obs_trace.span(
+            "se.explore", stmts=len(stmts), strategy=self.config.strategy
+        )
+        with interning(table):
+            self._intern_table = table
+            with span, Stopwatch() as sw:
+                finished: List[SymState] = []
+                if (
+                    self.config.strategy == "frontier"
+                    and self.config.parallel_paths > 1
+                ):
+                    self._explore_frontier(
+                        block, initial, cfg, stmts, watched, finished, worker_solver
+                    )
                 else:
-                    self.stats.paths_pruned += 1
-                    obs_metrics.counter("se.paths_infeasible").inc()
-            span.set(
-                paths_done=self.stats.paths_done,
-                paths_pruned=self.stats.paths_pruned,
-                paths_truncated=self.stats.paths_truncated,
-                paths_error=self.stats.paths_error,
-                forks=self.stats.forks,
-                steps=self.stats.steps,
-                exhausted=self.stats.exhausted,
-            )
+                    stack = make_strategy(
+                        self.config.strategy, self.config.strategy_seed
+                    )
+                    stack.push(initial)
+                    self._drive(stack, cfg, stmts, watched, finished)
+                results = self._finalize(finished)
+                span.set(
+                    paths_done=self.stats.paths_done,
+                    paths_pruned=self.stats.paths_pruned,
+                    paths_truncated=self.stats.paths_truncated,
+                    paths_error=self.stats.paths_error,
+                    forks=self.stats.forks,
+                    steps=self.stats.steps,
+                    pruned_subsumed=self.stats.pruned_subsumed,
+                    witness_hits=self.stats.witness_hits,
+                    exhausted=self.stats.exhausted,
+                )
+            self._intern_table = None
         self.stats.elapsed_s = sw.elapsed
+        self.stats.solver_checks = self.solver.checks + worker_solver["checks"]
+        self.stats.solver_cache_hits = self.solver.cache_hits + worker_solver["hits"]
+        self.stats.solver_cache_misses = (
+            self.solver.cache_misses + worker_solver["misses"]
+        )
+        if table is not None:
+            tstats = table.stats()
+            self.stats.intern_size += tstats["size"]
+            self.stats.intern_hits += tstats["hits"]
+            self.stats.intern_misses += tstats["misses"]
+            obs_metrics.counter("se.intern_hits").inc(tstats["hits"])
+            obs_metrics.counter("se.intern_misses").inc(tstats["misses"])
+        obs_metrics.counter("se.steps").inc(self.stats.steps)
+        return results
+
+    def explore_seeds(
+        self,
+        block: Block,
+        seeds: Sequence[SymState],
+        watched: Optional[Set[str]] = None,
+    ) -> Tuple[List[SymState], ExploreStats]:
+        """Depth-first explore from pre-forked seed states (frontier
+        workers).  Returns raw finished states — the parent performs the
+        canonical merge/numbering across all partitions."""
+        self.stats = ExploreStats()
+        watched = watched or set()
+        cfg = build_cfg(block)
+        stmts = {s.sid: s for s in iter_block(block)}
+        table = InternTable() if self.config.intern_exprs else None
+        finished: List[SymState] = []
+        with interning(table):
+            self._intern_table = table
+            stack = make_strategy("dfs", self.config.strategy_seed)
+            for seed in seeds:
+                stack.push(seed)
+            self._drive(stack, cfg, stmts, watched, finished)
+            self._intern_table = None
         self.stats.solver_checks = self.solver.checks
         self.stats.solver_cache_hits = self.solver.cache_hits
         self.stats.solver_cache_misses = self.solver.cache_misses
-        obs_metrics.counter("se.steps").inc(self.stats.steps)
+        if table is not None:
+            tstats = table.stats()
+            self.stats.intern_size = tstats["size"]
+            self.stats.intern_hits = tstats["hits"]
+            self.stats.intern_misses = tstats["misses"]
+        return finished, self.stats
+
+    # -- drive loop ----------------------------------------------------------
+
+    def _drive(
+        self,
+        stack: Strategy,
+        cfg: CFG,
+        stmts: Dict[int, Stmt],
+        watched: Set[str],
+        finished: List[SymState],
+        stop_at: Optional[int] = None,
+        frames: Optional[bool] = None,
+    ) -> None:
+        """Pop-and-run until the stack drains (or ``stop_at`` pending
+        states accumulate — the frontier hand-off point)."""
+        # Subsumption recording assumes LIFO scheduling (a frame closes
+        # when the stack height returns to its open depth); bfs/random
+        # interleave subtrees, so recording is disabled there.  Callers
+        # driving a non-LIFO stack (the frontier's phase A) pass
+        # ``frames=False`` explicitly.
+        if frames is None:
+            frames = self.config.strategy in ("dfs", "frontier")
+        frames_on = self.config.subsumption and frames
+        self._frames = {}
+        self._open_frames = []
+        while stack:
+            if self.stats.paths_done >= self.config.max_paths:
+                self.stats.exhausted = True
+                break
+            if stop_at is not None and len(stack) >= stop_at:
+                break  # hand the pending frontier to the process pool
+            while self._open_frames and len(stack) <= self._open_frames[-1].depth:
+                frame = self._open_frames.pop()
+                if not frame.poisoned:
+                    self._frames.setdefault(frame.sig, frame)
+            state = stack.pop()
+            obs_metrics.counter("se.states_popped").inc()
+            if frames_on:
+                sig = state_signature(state)
+                if sig is not None:
+                    frame = self._frames.get(sig)
+                    if frame is not None and self._try_graft(state, frame, finished):
+                        continue
+                    if frame is None:
+                        self._open_frames.append(
+                            _Frame(
+                                sig=sig,
+                                depth=len(stack),
+                                c0=len(state.constraints),
+                                e0=len(state.executed),
+                                b0=len(state.branches),
+                                s0=len(state.sent),
+                                w0=len(state.state_writes),
+                                steps0=state.steps,
+                            )
+                        )
+            result = self._run_state(state, cfg, stmts, watched, stack)
+            if result is None:
+                continue
+            self._finish_state(result, finished, from_graft=False)
+        # Frames still open here (budget break, hand-off, or simply the
+        # last subtree) are never needed again: drop them.
+        self._open_frames = []
+
+    def _finish_state(
+        self, state: SymState, finished: List[SymState], from_graft: bool
+    ) -> None:
+        """Account for one finished path and record it into open frames."""
+        finished.append(state)
+        if state.status == "done":
+            self.stats.paths_done += 1
+            obs_metrics.counter("se.paths_done").inc()
+        elif state.status == "truncated":
+            self.stats.paths_truncated += 1
+            obs_metrics.counter("se.paths_truncated").inc()
+        elif state.status == "error":
+            self.stats.paths_error += 1
+            obs_metrics.counter("se.paths_error").inc()
+        else:
+            self.stats.paths_pruned += 1
+            obs_metrics.counter("se.paths_infeasible").inc()
+        if not from_graft and state.status != "truncated":
+            self.stats.states_explored += 1
+        if state.status == "truncated" and "step budget" in state.note:
+            # Truncation point depends on the *absolute* step count,
+            # which a signature twin does not share.
+            for frame in self._open_frames:
+                frame.poisoned = True
+            return
+        for frame in self._open_frames:
+            steps_delta = state.steps - frame.steps0
+            frame.leaves.append(
+                _Leaf(
+                    status=state.status,
+                    note=state.note,
+                    c_delta=tuple(state.constraints[frame.c0:]),
+                    e_delta=tuple(state.executed[frame.e0:]),
+                    b_delta=tuple(state.branches[frame.b0:]),
+                    sent_delta=tuple(state.sent[frame.s0:]),
+                    w_delta=tuple(state.state_writes[frame.w0:]),
+                    env=state.env,
+                    steps_delta=steps_delta,
+                )
+            )
+            frame.done_count += state.status == "done"
+            frame.max_steps_delta = max(frame.max_steps_delta, steps_delta)
+
+    def _record_event(self, state: SymState, arms: List[Tuple[Any, bool]]) -> None:
+        """Record one branch decision into every open recording frame."""
+        if not arms or not self._open_frames:
+            return
+        packed = tuple(arms)
+        for frame in self._open_frames:
+            frame.events.append((tuple(state.constraints[frame.c0:]), packed))
+
+    def _try_graft(
+        self, state: SymState, frame: _Frame, finished: List[SymState]
+    ) -> bool:
+        """Replay a recorded subtree under ``state``'s prefix.
+
+        Sound because every recorded feasibility decision is re-checked
+        under the new prefix first (the solver is deterministic, and a
+        witness-decided arm is truly satisfiable, so re-checking can
+        never disagree with what normal execution would have concluded);
+        any mismatch bails out to normal execution.  Byte-identical
+        because equal signatures mean canonically-equal environments,
+        hence identical subtree structure and leaf deltas.
+        """
+        if frame.poisoned:
+            return False
+        # Conservative budget guards: bail whenever the path budget
+        # could interrupt the subtree mid-way, or a replayed leaf would
+        # newly exceed the per-path step budget.
+        if self.stats.paths_done + frame.done_count >= self.config.max_paths:
+            return False
+        if state.steps + frame.max_steps_delta > self.config.max_steps_per_path:
+            return False
+        # Re-check every recorded branch decision under the new prefix.
+        # The prefix is propagated once into a base context; each event
+        # extends a copy with its subtree delta, each arm a copy of
+        # that — results match Solver.check() on the full conjunction.
+        base = self.solver.context()
+        self.solver.absorb_into(base, state.constraints)
+        for delta, arms in frame.events:
+            ctx = base
+            if delta:
+                ctx = base.copy()
+                self.solver.absorb_into(ctx, delta)
+            for arm, was_feasible in arms:
+                if self.solver.check_assuming(ctx, arm).feasible != was_feasible:
+                    return False
+        self.stats.pruned_subsumed += 1
+        obs_metrics.counter("se.pruned_subsumed").inc()
+        # The replayed decisions and leaves are part of every still-open
+        # ancestor's subtree too: re-record them rebased on the new
+        # prefix so outer frames stay complete.
+        if self._open_frames:
+            for delta, arms in frame.events:
+                for outer in self._open_frames:
+                    outer.events.append(
+                        (
+                            tuple(state.constraints[outer.c0:]) + delta,
+                            arms,
+                        )
+                    )
+        for leaf in frame.leaves:
+            replayed = SymState(
+                pc=EXIT,
+                env=leaf.env,
+                constraints=state.constraints + list(leaf.c_delta),
+                executed=state.executed + list(leaf.e_delta),
+                branches=state.branches + list(leaf.b_delta),
+                sent=state.sent + [(dict(f), p) for f, p in leaf.sent_delta],
+                state_writes=state.state_writes + list(leaf.w_delta),
+                loop_counts={},
+                steps=state.steps + leaf.steps_delta,
+                status=leaf.status,
+                note=leaf.note,
+                witness=None,
+            )
+            self._finish_state(replayed, finished, from_graft=True)
+        return True
+
+    def _finalize(self, finished: List[SymState]) -> List[PathResult]:
+        """Canonically order, number, and filter finished states.
+
+        The key is the branch-decision sequence (True sorts before
+        False): depth-first finish order already coincides with it, so
+        the sort is the identity for dfs, while bfs/random/frontier
+        converge to the same byte stream.  Numbering covers *every*
+        finished state (pruned/truncated included) to preserve the
+        historical path-id sequence.
+        """
+
+        def key(state: SymState) -> Tuple[Tuple[int, int], ...]:
+            return tuple((sid, 0 if oc else 1) for sid, oc in state.branches)
+
+        ordered = sorted(finished, key=key)
+        # Budget cut: a sequential run stops right after the path that
+        # reaches ``max_paths`` finishes, so a frontier merge (whose
+        # workers each ran with the full budget) must discard everything
+        # past the max-th done path in canonical order.
+        done_seen = 0
+        for index, state in enumerate(ordered):
+            if state.status == "done":
+                done_seen += 1
+                if done_seen >= self.config.max_paths:
+                    dropped = ordered[index + 1:]
+                    if dropped:
+                        ordered = ordered[: index + 1]
+                        self.stats.exhausted = True
+                        self.stats.paths_done = done_seen
+                        self.stats.paths_pruned = sum(
+                            1 for s in ordered if s.status == "pruned"
+                        )
+                        self.stats.paths_truncated = sum(
+                            1 for s in ordered if s.status == "truncated"
+                        )
+                        self.stats.paths_error = sum(
+                            1 for s in ordered if s.status == "error"
+                        )
+                    break
+
+        results: List[PathResult] = []
+        for path_id, state in enumerate(ordered, 1):
+            if state.status != "done" and not self.config.keep_pruned:
+                continue
+            if state.status == "pruned":
+                continue  # infeasible states never become results
+            results.append(
+                PathResult(
+                    path_id=path_id,
+                    status=state.status,
+                    constraints=list(state.constraints),
+                    executed=list(state.executed),
+                    branches=list(state.branches),
+                    sent=list(state.sent),
+                    state_writes=list(state.state_writes),
+                    env=state.env,
+                    note=state.note,
+                )
+            )
         return results
+
+    # -- frontier parallelism -------------------------------------------------
+
+    def _explore_frontier(
+        self,
+        block: Block,
+        initial: SymState,
+        cfg: CFG,
+        stmts: Dict[int, Stmt],
+        watched: Set[str],
+        finished: List[SymState],
+        worker_solver: Dict[str, int],
+    ) -> None:
+        """Phase A: expand the branch frontier in-process until enough
+        independent states exist; phase B: partition them across a
+        process pool and merge the workers' finished states.  The
+        canonical ordering in :meth:`_finalize` makes the merge
+        deterministic and byte-identical to sequential DFS.
+
+        Phase A runs *breadth*-first: a DFS stack dives into one subtree
+        and rarely holds more than a handful of pending siblings, so it
+        may drain the whole program without ever reaching the hand-off
+        width.  BFS widens the frontier level by level instead.
+        Subsumption recording is LIFO-only, so it is off during phase A
+        (the phase is a few dozen pops — the workers, which do the bulk
+        of the exploration, still record and graft)."""
+        from repro.parallel import explore_frontier_parts
+
+        jobs = self.config.parallel_paths
+        stack = make_strategy("bfs", self.config.strategy_seed)
+        stack.push(initial)
+        self._drive(
+            stack, cfg, stmts, watched, finished, stop_at=jobs * 4, frames=False
+        )
+        pending = stack.drain()
+        if not pending:
+            return
+        if self.stats.exhausted:
+            return
+        parts = [pending[i::jobs] for i in range(jobs)]
+        parts = [part for part in parts if part]
+        outcomes = explore_frontier_parts(block, parts, watched, self.config)
+        for states, stats in outcomes:
+            finished.extend(states)
+            self.stats.paths_done += stats["paths_done"]
+            self.stats.paths_pruned += stats["paths_pruned"]
+            self.stats.paths_truncated += stats["paths_truncated"]
+            self.stats.paths_error += stats["paths_error"]
+            self.stats.forks += stats["forks"]
+            self.stats.steps += stats["steps"]
+            self.stats.states_explored += stats["states_explored"]
+            self.stats.pruned_subsumed += stats["pruned_subsumed"]
+            self.stats.witness_hits += stats["witness_hits"]
+            self.stats.intern_size += stats["intern_size"]
+            self.stats.intern_hits += stats["intern_hits"]
+            self.stats.intern_misses += stats["intern_misses"]
+            self.stats.exhausted = self.stats.exhausted or stats["exhausted"]
+            worker_solver["checks"] += stats["solver_checks"]
+            worker_solver["hits"] += stats["solver_cache_hits"]
+            worker_solver["misses"] += stats["solver_cache_misses"]
 
     # -- per-state loop -------------------------------------------------------
 
@@ -340,13 +764,40 @@ class SymbolicEngine:
         if ctx is None:
             ctx = state.solver_ctx = self.solver.context()
 
+        # Witness shortcut: the state carries a concrete assignment
+        # known to satisfy its whole path condition.  Whichever arm the
+        # witness satisfies is feasible *for free* (prefix ∧ arm is sat
+        # by that very witness); only the other arm needs the solver.
+        # Feasibility conclusions are witness-independent — a truly-sat
+        # arm can never be refuted by the (sound-unsat) solver — so the
+        # shortcut cannot change which paths exist, only how many
+        # checks it takes to find them.
+        wit = state.witness if self.config.witness_shortcut else None
+        wtruth: Optional[bool] = None
+        if wit is not None:
+            try:
+                wtruth = bool(eval_sym(cond, wit))
+            except Exception:
+                wtruth = None
+
         if is_loop and state.loop_counts[stmt.sid] > self.config.loop_bound:
             # Force the exit arm if feasible; otherwise truncate.
             exit_cond = mk_app("not", cond)
+            if wtruth is False:
+                self.stats.witness_hits += 1
+                obs_metrics.counter("se.witness_hits").inc()
+                self._record_event(state, [(exit_cond, True)])
+                self._take(state, stmt, cond, False, cfg)
+                return self._branch_target(cfg, stmt.sid, False)
             result, exit_ctx = self.solver.check_extended(
                 state.constraints, ctx, exit_cond
             )
+            self._record_event(state, [(exit_cond, result.feasible)])
             if result.feasible:
+                if self.config.witness_shortcut:
+                    state.witness = (
+                        result.assignment if result.status == "sat" else None
+                    )
                 self._take(state, stmt, cond, False, cfg)
                 state.solver_ctx = exit_ctx
                 return self._branch_target(cfg, stmt.sid, False)
@@ -356,16 +807,31 @@ class SymbolicEngine:
 
         feasible: List[bool] = []
         arm_ctxs: Dict[bool, SolverContext] = {}
+        arm_wits: Dict[bool, Optional[Dict[str, Any]]] = {}
+        events: List[Tuple[Any, bool]] = []
         for outcome in (True, False):
             arm = cond if outcome else mk_app("not", cond)
             if isinstance(arm, bool):
                 if arm:
                     feasible.append(outcome)
+                    arm_wits[outcome] = wit
+                continue
+            if wtruth is not None and wtruth == outcome:
+                self.stats.witness_hits += 1
+                obs_metrics.counter("se.witness_hits").inc()
+                feasible.append(outcome)
+                arm_wits[outcome] = wit
+                events.append((arm, True))
                 continue
             result, arm_ctx = self.solver.check_extended(state.constraints, ctx, arm)
+            events.append((arm, result.feasible))
             if result.feasible:
                 feasible.append(outcome)
                 arm_ctxs[outcome] = arm_ctx
+                arm_wits[outcome] = (
+                    result.assignment if result.status == "sat" else None
+                )
+        self._record_event(state, events)
 
         if not feasible:
             state.status = "pruned"
@@ -378,6 +844,8 @@ class SymbolicEngine:
             other = state.fork()
             self._take(other, stmt, cond, False, cfg)
             other.solver_ctx = arm_ctxs.get(False, other.solver_ctx)
+            if self.config.witness_shortcut:
+                other.witness = arm_wits.get(False)
             target_false = self._branch_target(cfg, stmt.sid, False)
             if target_false is not None:
                 other.pc = target_false
@@ -389,6 +857,8 @@ class SymbolicEngine:
         self._take(state, stmt, cond, outcome, cfg)
         if outcome in arm_ctxs:
             state.solver_ctx = arm_ctxs[outcome]
+        if self.config.witness_shortcut:
+            state.witness = arm_wits.get(outcome)
         return self._branch_target(cfg, stmt.sid, outcome)
 
     def _take(
@@ -400,6 +870,25 @@ class SymbolicEngine:
             state.constraints.append(arm)
         state.branches.append((stmt.sid, outcome))
         self._apply_membership(state, cond, outcome)
+
+    def _witness_absorb(self, state: SymState, atom: Any) -> None:
+        """Keep the witness invariant across an implicitly-appended
+        constraint: extend the assignment if the whole path condition
+        still holds, drop the witness otherwise."""
+        wit = state.witness
+        if wit is None or not self.config.witness_shortcut:
+            return
+        try:
+            if bool(eval_sym(atom, wit)):
+                return
+            extended = dict(wit)
+            extended[canon(atom)] = True
+            if all(bool(eval_sym(c, extended)) for c in state.constraints):
+                state.witness = extended
+                return
+        except Exception:
+            pass
+        state.witness = None
 
     def _apply_membership(self, state: SymState, cond: Any, outcome: bool) -> None:
         """Record dict-membership assumptions decided by this branch."""
@@ -743,6 +1232,7 @@ class SymbolicEngine:
                     base.assumed[key_c] = True
                     atom = SApp("member", (base.name, _freeze(index)))
                     state.constraints.append(atom)
+                    self._witness_absorb(state, atom)
                 return SDictVal(base.name, key_c, key=_freeze(index))
             # Written entries with syntactically different keys may alias
             # the probe: the read is a conditional chain, newest first.
@@ -815,6 +1305,11 @@ class SymbolicEngine:
                 raise _PathError("send_packet() argument is not a packet")
             return None
         if name == "recv_packet":
+            # Fresh-variable names embed the trace length, which a
+            # signature twin need not share: recordings containing this
+            # call cannot be replayed.
+            for frame in self._open_frames:
+                frame.poisoned = True
             return SymPacket.fresh(f"pkt{len(state.executed)}")
         if name == "len":
             (arg,) = args

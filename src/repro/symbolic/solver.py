@@ -537,6 +537,33 @@ class Solver:
         result = self.check(constraints)
         return result.assignment if result.status == "sat" else None
 
+    def absorb_into(self, ctx: SolverContext, constraints: Sequence[Any]) -> None:
+        """Fold ``constraints`` into ``ctx`` in order (stops on conflict).
+
+        Lets a caller build a reusable propagated base for a shared
+        constraint prefix — the engine's subsumption validator absorbs
+        a state's path condition once and re-checks many recorded
+        branch arms against copies (:meth:`check_assuming`).
+        """
+        for c in constraints:
+            if ctx.conflict:
+                return
+            self._absorb(ctx, c)
+
+    def check_assuming(self, ctx: SolverContext, extra: Any) -> SolverResult:
+        """Decide ``ctx``'s absorbed conjunction extended by ``extra``.
+
+        ``ctx`` is left untouched (the check runs on a copy), so one
+        propagated prefix can serve any number of assumption probes.
+        The result is identical to :meth:`check` on the full list —
+        absorption order is prefix-then-extra either way.
+        """
+        t0 = time.perf_counter()
+        child = ctx.copy()
+        if not child.conflict:
+            self._absorb(child, extra)
+        return self._finish(child, t0)
+
     # -- incremental absorption -------------------------------------------
 
     def _absorb(self, ctx: SolverContext, c: Any) -> None:

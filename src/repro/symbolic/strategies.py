@@ -11,7 +11,18 @@ strategies are provided:
   still covers every "early" behaviour (decode errors, ACL rejects);
 * **random** — seeded random scheduling; useful to detect order
   dependence (a correct model must not depend on exploration order —
-  the property tests rely on this).
+  the property tests rely on this);
+* **frontier** — the parallel intra-NF strategy: the engine expands an
+  initial branch frontier depth-first in-process, partitions the
+  pending states across a process pool, and merges the workers' path
+  lists in canonical path-id order (docs/internals.md §9).  In-process
+  scheduling is LIFO, so with ``parallel_paths=1`` it degenerates to
+  ``dfs`` exactly.
+
+The engine canonicalizes finished-path order (and therefore path ids)
+before building results, so *complete* explorations produce
+byte-identical models under every strategy; the order above only
+decides which paths survive when ``max_paths`` truncates the run.
 """
 
 from __future__ import annotations
@@ -41,6 +52,11 @@ class Strategy:
 
     def __bool__(self) -> bool:
         return bool(self._states)
+
+    def drain(self) -> List[SymState]:
+        """Remove and return all pending states (frontier hand-off)."""
+        states, self._states = self._states, []
+        return states
 
 
 class DepthFirst(Strategy):
@@ -75,12 +91,23 @@ class RandomOrder(Strategy):
         return self._states.pop(index)
 
 
+#: The names :func:`make_strategy` accepts (and EngineConfig validates).
+VALID_STRATEGIES = ("dfs", "bfs", "random", "frontier")
+
+
 def make_strategy(name: str, seed: int = 0) -> Strategy:
-    """Build a strategy by name (``dfs`` / ``bfs`` / ``random``)."""
-    if name == "dfs":
+    """Build a strategy by name (one of :data:`VALID_STRATEGIES`).
+
+    ``frontier`` returns the LIFO discipline: it is the in-process
+    scheduling order of the frontier driver (the pool fan-out lives in
+    the engine, not in the scheduling object).
+    """
+    if name in ("dfs", "frontier"):
         return DepthFirst()
     if name == "bfs":
         return BreadthFirst()
     if name == "random":
         return RandomOrder(seed)
-    raise ValueError(f"unknown strategy {name!r} (dfs/bfs/random)")
+    raise ValueError(
+        f"unknown strategy {name!r} (valid: {', '.join(VALID_STRATEGIES)})"
+    )

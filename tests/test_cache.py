@@ -156,7 +156,7 @@ def test_truncated_entry_is_a_logged_miss(store_dir, caplog):
 
 def test_corrupt_solver_blob_is_a_logged_miss(store_dir, caplog):
     cold = _synthesize()
-    blob = store_dir / "solver-constraints-v1.blob"
+    blob = store_dir / f"solver-constraints-v{artifact_cache.SCHEMA_VERSION}.blob"
     assert blob.exists()
     blob.write_bytes(b"garbage")
     clear_global_cache()
