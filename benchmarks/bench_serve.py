@@ -1,0 +1,235 @@
+"""E9 — serving latency: cold vs. warm synthesize through ``repro.serve``.
+
+Measures the request path of the PR-5 serving subsystem end-to-end
+over real sockets, against a private temporary cache directory:
+
+- **cold** — first ``synthesize`` per NF: the full pipeline runs in a
+  worker process and the model tier is written;
+- **warm** — repeated ``synthesize`` of the same NFs: served from the
+  artifact cache's model tier (p95 must be ≥ 10× below the cold
+  median — the serving hot path);
+- **burst** — more concurrent requests than ``workers + queue_size``
+  against a deliberately tiny server: the overflow must come back as
+  explicit 429 rejections, quickly, with nothing hung;
+- **loop lag** — the server's own event-loop lag probe
+  (``serve.loop_lag_max_seconds``) must stay under 100 ms through all
+  of the above: the event loop only shuffles bytes and futures.
+
+Runs two ways:
+
+- as a pytest benchmark: ``pytest benchmarks/bench_serve.py``;
+- as a script: ``python benchmarks/bench_serve.py [--quick]``
+  (the CI ``perf-smoke`` job runs ``--quick``).  Both write
+  ``BENCH_serve.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from common import print_table, write_bench_json
+from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+CORPUS_QUICK = ["nat", "firewall", "loadbalancer"]
+CORPUS_FULL = ["nat", "firewall", "loadbalancer", "balance", "monitor", "proxycache"]
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _timed_synthesize(client: ServeClient, name: str) -> float:
+    t0 = time.perf_counter()
+    client.synthesize(name).raise_for_status()
+    return time.perf_counter() - t0
+
+
+def measure_latency(names: List[str], warm_rounds: int, workers: int) -> Dict[str, object]:
+    """Cold-vs-warm synthesize latency through a real server."""
+    handle = ServerHandle(ServeConfig(port=0, workers=workers))
+    handle.start()
+    try:
+        client = ServeClient("127.0.0.1", handle.port, timeout=300)
+        cold = [_timed_synthesize(client, name) for name in names]
+        # Touch every NF once more so *every* worker's memory tier (and
+        # the shared disk tier) is warm before sampling.
+        for name in names:
+            for _ in range(workers):
+                _timed_synthesize(client, name)
+        warm: List[float] = []
+        for _ in range(warm_rounds):
+            for name in names:
+                warm.append(_timed_synthesize(client, name))
+        lag_max = (
+            handle.registry.snapshot()["gauges"].get("serve.loop_lag_max_seconds", 0.0)
+        )
+    finally:
+        handle.stop()
+    cold_median = _percentile(cold, 0.5)
+    warm_p95 = _percentile(warm, 0.95)
+    return {
+        "nfs": names,
+        "workers": workers,
+        "warm_samples": len(warm),
+        "cold_median_ms": round(cold_median * 1000, 3),
+        "cold_max_ms": round(max(cold) * 1000, 3),
+        "warm_p50_ms": round(_percentile(warm, 0.5) * 1000, 3),
+        "warm_p95_ms": round(warm_p95 * 1000, 3),
+        "warm_p99_ms": round(_percentile(warm, 0.99) * 1000, 3),
+        "cold_over_warm_p95": round(cold_median / warm_p95, 1) if warm_p95 else 0.0,
+        "loop_lag_max_ms": round(float(lag_max) * 1000, 3),
+    }
+
+
+def measure_burst(n_requests: int = 12) -> Dict[str, object]:
+    """Overload a tiny server; the overflow must be explicit 429s."""
+    os.environ["REPRO_SERVE_TEST_OPS"] = "1"
+    handle = ServerHandle(ServeConfig(port=0, workers=1, queue_size=2))
+    handle.start()
+    try:
+        client = ServeClient("127.0.0.1", handle.port, timeout=60)
+        statuses: List[int] = []
+        lock = threading.Lock()
+
+        def fire() -> None:
+            response = client.request(
+                "POST", "/v1/sleep", {"seconds": 0.5, "timeout_s": 10}
+            )
+            with lock:
+                statuses.append(response.status)
+
+        threads = [threading.Thread(target=fire) for _ in range(n_requests)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        elapsed = time.perf_counter() - t0
+        lag_max = (
+            handle.registry.snapshot()["gauges"].get("serve.loop_lag_max_seconds", 0.0)
+        )
+    finally:
+        handle.stop()
+        os.environ.pop("REPRO_SERVE_TEST_OPS", None)
+    return {
+        "burst_requests": n_requests,
+        "burst_ok": statuses.count(200),
+        "burst_rejected": statuses.count(429),
+        "burst_hung": n_requests - len(statuses),
+        "burst_elapsed_s": round(elapsed, 3),
+        "burst_loop_lag_max_ms": round(float(lag_max) * 1000, 3),
+    }
+
+
+def measure(names: List[str], warm_rounds: int, workers: int) -> Dict[str, object]:
+    tmp = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    saved = {
+        key: os.environ.get(key) for key in ("REPRO_CACHE", "REPRO_CACHE_DIR")
+    }
+    os.environ["REPRO_CACHE"] = "1"
+    os.environ["REPRO_CACHE_DIR"] = tmp
+    try:
+        row = measure_latency(names, warm_rounds, workers)
+        row.update(measure_burst())
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(tmp, ignore_errors=True)
+    return row
+
+
+def check(row: Dict[str, object]) -> List[str]:
+    """The acceptance assertions; returns human-readable failures."""
+    failures = []
+    if row["cold_over_warm_p95"] < 10.0:
+        failures.append(
+            f"warm p95 {row['warm_p95_ms']}ms is not 10x below cold median "
+            f"{row['cold_median_ms']}ms (ratio {row['cold_over_warm_p95']}x)"
+        )
+    if row["burst_rejected"] == 0:
+        failures.append("overloaded server rejected nothing")
+    if row["burst_hung"]:
+        failures.append(f"{row['burst_hung']} burst requests hung")
+    for key in ("loop_lag_max_ms", "burst_loop_lag_max_ms"):
+        if row[key] >= 100.0:
+            failures.append(f"{key} {row[key]}ms >= 100ms (event loop blocked)")
+    return failures
+
+
+def report(row: Dict[str, object]) -> None:
+    print_table(
+        "Serving latency (cold / warm via model tier)",
+        ["NFs", "cold p50", "warm p50", "warm p95", "cold/warm p95",
+         "loop lag max"],
+        [[
+            len(row["nfs"]), f"{row['cold_median_ms']}ms",
+            f"{row['warm_p50_ms']}ms", f"{row['warm_p95_ms']}ms",
+            f"{row['cold_over_warm_p95']}x", f"{row['loop_lag_max_ms']}ms",
+        ]],
+    )
+    print_table(
+        "Backpressure burst (workers=1, queue=2)",
+        ["requests", "ok", "rejected (429)", "hung", "elapsed"],
+        [[
+            row["burst_requests"], row["burst_ok"], row["burst_rejected"],
+            row["burst_hung"], f"{row['burst_elapsed_s']}s",
+        ]],
+    )
+
+
+# -- pytest benchmark entry ---------------------------------------------------
+
+
+def test_perf_serve(benchmark):
+    row = benchmark.pedantic(
+        measure, args=(CORPUS_QUICK, 10, 2), rounds=1, iterations=1
+    )
+    for key, value in row.items():
+        benchmark.extra_info[key] = value
+    report(row)
+    failures = check(row)
+    assert not failures, "; ".join(failures)
+
+
+# -- script entry (CI perf-smoke) ---------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="3-NF subset, fewer warm rounds (the CI perf-smoke mode)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    names = CORPUS_QUICK if args.quick else CORPUS_FULL
+    row = measure(names, warm_rounds=10 if args.quick else 30,
+                  workers=2 if args.quick else 4)
+    row["mode"] = "quick" if args.quick else "full"
+    report(row)
+    failures = check(row)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    write_bench_json(args.out, "serve", row)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

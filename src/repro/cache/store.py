@@ -95,6 +95,11 @@ class ArtifactStore:
         self._mem: "OrderedDict[str, bytes]" = OrderedDict()
         self._mem_bytes = 0
         self._lock = threading.Lock()
+        #: Set on the first failed disk write (read-only or unwritable
+        #: ``REPRO_CACHE_DIR``): the store degrades to memory-tier-only
+        #: writes — one warning, not one per artifact.  Reads still go
+        #: to disk: a read-only directory can serve a warm cache.
+        self._disk_write_disabled = False
         #: Session counters, mirrored into the ambient metrics registry
         #: under ``cache.<tier>.<event>`` when one is installed.
         self.counters: Dict[str, int] = {}
@@ -173,6 +178,9 @@ class ArtifactStore:
         return data
 
     def _disk_write(self, path: Path, data: bytes) -> None:
+        if self._disk_write_disabled:
+            self._count("disk.errors")
+            return
         framed = _frame(zlib.compress(data, 1))
         tmp = path.parent / f".tmp-{os.getpid()}-{next(_tmp_counter)}"
         try:
@@ -181,7 +189,12 @@ class ArtifactStore:
             os.replace(tmp, path)
             self._count("disk.bytes_written", len(framed))
         except OSError as exc:
-            log.warning("cache: could not write %s (%s); skipping", path, exc)
+            self._count("disk.errors")
+            self._disk_write_disabled = True
+            log.warning(
+                "cache: could not write %s (%s); disk tier is read-only or "
+                "unwritable, continuing memory-only", path, exc,
+            )
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
@@ -299,6 +312,7 @@ class ArtifactStore:
         return {
             "directory": str(self.directory) if self.directory else None,
             "enabled": self.enabled,
+            "disk_write_disabled": self._disk_write_disabled,
             "kinds": {k: kinds[k] for k in sorted(kinds)},
             "blobs": blobs,
             "total_bytes": total,

@@ -15,6 +15,8 @@ on NF source and ships the resulting model::
     python -m repro workload loadbalancer out.pcap -n 200
     python -m repro profile nat
     python -m repro cache stats
+    python -m repro serve --port 8000 --workers 4
+    python -m repro query synthesize nat --port 8000
 
 Positional NF arguments accept either a corpus name (see ``list``) or a
 path to an NFPy source file.
@@ -322,6 +324,91 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        default_timeout_s=args.timeout,
+        drain_timeout_s=args.drain_timeout,
+    )
+    return run_server(config)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    if args.wait:
+        if not client.wait_until_up(args.wait):
+            print(f"error: no server at {args.host}:{args.port} "
+                  f"after {args.wait:.0f}s", file=sys.stderr)
+            return 1
+
+    def packet_args(pairs: list) -> list:
+        packets = []
+        for text in pairs:
+            fields = {}
+            for assign in text.split(","):
+                name, sep, value = assign.partition("=")
+                if not sep:
+                    raise SystemExit(f"error: bad --packet field {assign!r} "
+                                     "(want name=value)")
+                fields[name.strip()] = int(value, 0)
+            packets.append(fields)
+        return packets
+
+    try:
+        if args.action == "healthz":
+            response = client.healthz()
+        elif args.action == "metrics":
+            print(client.metrics_text(), end="")
+            return 0
+        elif args.action == "synthesize":
+            spec = load_spec(args.nfs[0]) if args.nfs else None
+            if spec is None:
+                raise SystemExit("error: query synthesize needs an NF")
+            response = client.synthesize(
+                source=spec.source, name=spec.name, entry=spec.entry
+            )
+        elif args.action == "simulate":
+            if not args.nfs:
+                raise SystemExit("error: query simulate needs an NF")
+            spec = load_spec(args.nfs[0])
+            packets = packet_args(args.packet or []) or [{}]
+            response = client.simulate(
+                source=spec.source, name=spec.name, entry=spec.entry,
+                packets=packets,
+            )
+        elif args.action == "verify":
+            if not args.nfs:
+                raise SystemExit("error: query verify needs a chain of NFs")
+            response = client.verify(list(args.nfs))
+        elif args.action == "compose":
+            if not (args.chain_a and args.chain_b):
+                raise SystemExit("error: query compose needs --chain-a and --chain-b")
+            response = client.compose(
+                args.chain_a.split(","), args.chain_b.split(",")
+            )
+        elif args.action == "testgen":
+            if not args.nfs:
+                raise SystemExit("error: query testgen needs an NF")
+            response = client.testgen(args.nfs[0])
+        else:  # pragma: no cover - argparse restricts choices
+            raise SystemExit(f"error: unknown query action {args.action!r}")
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(json.dumps(response.payload, indent=2))
+    return 0 if response.ok else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     spec = load_spec(args.nf, args.entry)
     result = synthesize(spec, args.entry)
@@ -432,6 +519,60 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", cmd_profile, "synthesize with tracing on, print the profile"
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="run the synthesis & model-query service (JSON over HTTP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000, help="0 = ephemeral")
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (default: one per CPU)",
+    )
+    p.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded request queue capacity (full queue -> HTTP 429)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="default per-request deadline in seconds",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=60.0,
+        help="max seconds SIGTERM drain waits for in-flight requests",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query", help="query a running repro serve instance"
+    )
+    p.add_argument(
+        "action",
+        choices=[
+            "synthesize", "simulate", "verify", "compose", "testgen",
+            "healthz", "metrics",
+        ],
+    )
+    p.add_argument(
+        "nfs", nargs="*",
+        help="NF name(s)/path(s): one for synthesize/simulate/testgen, "
+        "the chain for verify",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--timeout", type=float, default=120.0, help="client timeout")
+    p.add_argument(
+        "--wait", type=float, default=0.0, metavar="SECONDS",
+        help="poll /healthz up to SECONDS for the server to come up",
+    )
+    p.add_argument(
+        "--packet", action="append", metavar="F=V[,F=V...]",
+        help="simulate: one packet as field=value pairs (repeatable)",
+    )
+    p.add_argument("--chain-a", help="compose: comma-separated chain A")
+    p.add_argument("--chain-b", help="compose: comma-separated chain B")
+    p.set_defaults(func=cmd_query)
+
     p = sub.add_parser("cache", help="inspect or clear the persistent artifact cache")
     p.add_argument(
         "action",
@@ -446,12 +587,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.no_cache:
-        # override() restores the previous store on exit, so in-process
-        # callers (tests) don't leak the disabled state across calls.
-        with artifact_cache.override(enabled=False):
-            return _dispatch(args)
-    return _dispatch(args)
+    try:
+        if args.no_cache:
+            # override() restores the previous store on exit, so in-process
+            # callers (tests) don't leak the disabled state across calls.
+            with artifact_cache.override(enabled=False):
+                return _dispatch(args)
+        return _dispatch(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro query ... | head`).
+        return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:

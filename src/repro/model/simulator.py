@@ -107,32 +107,137 @@ class SimStats:
     forwarded: int = 0
     dropped_default: int = 0
     dropped_entry: int = 0
+    #: Full-guard evaluations — the work the exact-match index avoids.
+    guard_evals: int = 0
     matched_entries: Dict[int, int] = field(default_factory=dict)
 
 
+def _concrete_eq_fields(
+    entry: TableEntry, state: Dict[str, Any]
+) -> Dict[str, int]:
+    """Packet fields pinned to a concrete value by the entry's flow match.
+
+    A conjunct pins a field when it is ``pkt.f == rhs`` (either side)
+    with ``rhs`` an int literal or a config variable resolvable in the
+    *initial* state — sound because cfgVars are read-only on the packet
+    path by the StateAlyzer classification, so the resolved value never
+    changes over the simulator's lifetime.
+    """
+
+    def resolve(value: Any) -> Optional[int]:
+        if isinstance(value, bool) or not isinstance(value, (int, SVar)):
+            return None
+        if isinstance(value, SVar):
+            if not value.name.startswith(CONFIG_NS):
+                return None
+            concrete = state.get(value.name[len(CONFIG_NS):])
+            return concrete if type(concrete) is int else None
+        return value
+
+    def packet_field(value: Any) -> Optional[str]:
+        if isinstance(value, SVar) and value.name.startswith("pkt") and "." in value.name:
+            return value.name.split(".", 1)[1]
+        return None
+
+    pinned: Dict[str, int] = {}
+    for c in entry.match_flow:
+        if not (isinstance(c, SApp) and c.op == "==" and len(c.args) == 2):
+            continue
+        lhs, rhs = c.args
+        for var, const in ((lhs, rhs), (rhs, lhs)):
+            fieldname = packet_field(var)
+            value = resolve(const)
+            if fieldname is not None and value is not None:
+                pinned.setdefault(fieldname, value)
+    return pinned
+
+
 class ModelSimulator:
-    """Executes a synthesized model over concrete packets."""
+    """Executes a synthesized model over concrete packets.
+
+    Matching uses an **exact-match index** instead of a per-packet
+    linear scan over every entry: at construction time the simulator
+    picks the packet field that most entries pin to a concrete value
+    (``pkt.f == const`` conjuncts, config vars resolved against the
+    initial state) and buckets those entries by value.  A lookup then
+    evaluates only the bucket for the packet's value plus the
+    non-indexable *residual* entries, merged back into priority
+    (insertion) order — so the first matching entry is byte-identical
+    to the scan's, just found after fewer guard evaluations.  Entries
+    skipped by the index carry a pinning conjunct that is false for the
+    packet, so their guards could never have held.  ``use_index=False``
+    forces the plain scan (the equivalence reference for tests).
+    """
 
     def __init__(
         self,
         model: NFModel,
         init_state: Dict[str, Any],
         pkt_param: str = "pkt",
+        use_index: bool = True,
     ) -> None:
         self.model = model
         self.state = init_state
         self.pkt_param = pkt_param
         self.stats = SimStats()
         self._entries = model.all_entries()
+        self.index_field: Optional[str] = None
+        self._index: Dict[int, List[Tuple[int, TableEntry]]] = {}
+        self._residual: List[Tuple[int, TableEntry]] = []
+        if use_index:
+            self._build_index()
+
+    def _build_index(self) -> None:
+        pinned = [
+            _concrete_eq_fields(entry, self.state) for entry in self._entries
+        ]
+        coverage: Dict[str, int] = {}
+        for fields in pinned:
+            for name in fields:
+                coverage[name] = coverage.get(name, 0) + 1
+        if not coverage:
+            return
+        # Best-covered field wins; name tie-break keeps the choice
+        # deterministic across runs.
+        best = max(sorted(coverage), key=lambda name: coverage[name])
+        if coverage[best] < 2:
+            return  # an index over one entry saves nothing
+        self.index_field = best
+        for pos, (entry, fields) in enumerate(zip(self._entries, pinned)):
+            if best in fields:
+                self._index.setdefault(fields[best], []).append((pos, entry))
+            else:
+                self._residual.append((pos, entry))
+
+    def _candidates(self, pkt: Packet) -> List[TableEntry]:
+        if self.index_field is None:
+            return self._entries
+        bucket = self._index.get(getattr(pkt, self.index_field), [])
+        if not bucket:
+            return [entry for _pos, entry in self._residual]
+        # Merge two already-position-sorted lists back into priority order.
+        merged: List[Tuple[int, TableEntry]] = []
+        i = j = 0
+        while i < len(bucket) and j < len(self._residual):
+            if bucket[i][0] < self._residual[j][0]:
+                merged.append(bucket[i])
+                i += 1
+            else:
+                merged.append(self._residual[j])
+                j += 1
+        merged.extend(bucket[i:])
+        merged.extend(self._residual[j:])
+        return [entry for _pos, entry in merged]
 
     def match_entry(self, pkt: Packet) -> Optional[TableEntry]:
         """The first entry whose guard holds for ``pkt`` and current state."""
-        for entry in self._entries:
+        for entry in self._candidates(pkt):
             if self._guard_holds(entry, pkt):
                 return entry
         return None
 
     def _guard_holds(self, entry: TableEntry, pkt: Packet) -> bool:
+        self.stats.guard_evals += 1
         try:
             return all(
                 bool(eval_symbolic(c, self.state, pkt)) for c in entry.guard()

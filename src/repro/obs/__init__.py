@@ -28,7 +28,12 @@ from typing import Iterator, Optional, Tuple
 
 from repro.obs import metrics, trace
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import collect_profile, render_phase_timings, render_profile
+from repro.obs.report import (
+    collect_profile,
+    render_phase_timings,
+    render_profile,
+    render_prometheus,
+)
 from repro.obs.trace import JsonlWriter, Span, Tracer
 
 __all__ = [
@@ -44,6 +49,7 @@ __all__ = [
     "collect_profile",
     "render_profile",
     "render_phase_timings",
+    "render_prometheus",
     "observed",
 ]
 

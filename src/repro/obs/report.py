@@ -20,7 +20,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import PHASE_PREFIX, Tracer
 
-__all__ = ["collect_profile", "render_profile", "render_phase_timings"]
+__all__ = [
+    "collect_profile",
+    "render_profile",
+    "render_phase_timings",
+    "render_prometheus",
+]
 
 
 def _span_aggregates(tracer: Tracer) -> List[Dict[str, Any]]:
@@ -175,3 +180,53 @@ def render_profile(profile: Mapping[str, Any]) -> str:
         out.extend(_table(["histogram", "count", "mean", "max", "total"], rows))
 
     return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition (the serve /metrics endpoint)
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Dotted metric names → Prometheus-legal identifiers."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prom_number(value: Any) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """A registry snapshot as Prometheus text exposition (version 0.0.4).
+
+    Counters/gauges become single samples; histograms expand into
+    cumulative ``_bucket{le=...}`` series plus ``_count`` and ``_sum``,
+    matching the ``le`` semantics :class:`~repro.obs.metrics.Histogram`
+    already uses.  Used by ``repro serve``'s ``/metrics`` endpoint.
+    """
+    lines: List[str] = []
+    for name, value in (snapshot.get("counters") or {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_number(value)}")
+    for name, value in (snapshot.get("gauges") or {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_number(value)}")
+    for name, hist in (snapshot.get("histograms") or {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for le, count in hist.get("buckets") or []:
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_number(le)}"}} {count}'
+            )
+        lines.append(f"{metric}_count {hist.get('count', 0)}")
+        lines.append(f"{metric}_sum {_prom_number(hist.get('sum', 0.0))}")
+    return "\n".join(lines) + "\n"

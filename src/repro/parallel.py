@@ -54,6 +54,8 @@ __all__ = [
     "synthesize_many",
     "resolve_targets",
     "explore_frontier_parts",
+    "observed_call",
+    "default_jobs",
 ]
 
 #: Per-tier hit counters surfaced per outcome (``repro batch`` summary).
@@ -187,6 +189,22 @@ def _worker(payload: Tuple[BatchTarget, int, bool, bool, bool]) -> BatchOutcome:
 def default_jobs(n_targets: int) -> int:
     """Worker-count default: one per target, capped by the CPU count."""
     return max(1, min(n_targets, os.cpu_count() or 1))
+
+
+def observed_call(fn, *args, **kwargs) -> Tuple[Any, Dict[str, Any]]:
+    """Run ``fn`` under a fresh observer; returns (value, metrics snapshot).
+
+    The worker-process idiom shared by batch synthesis, frontier
+    exploration and the serve pool (:mod:`repro.serve.jobs`): a child
+    runs its work observed and ships the registry snapshot home, where
+    the parent folds it in via :meth:`MetricsRegistry.merge`.
+    """
+    from repro import obs
+
+    with obs.observed() as (_tracer, registry):
+        value = fn(*args, **kwargs)
+        snapshot = registry.snapshot()
+    return value, snapshot
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,209 @@
+"""Blocking client library for :mod:`repro.serve`.
+
+Used by the ``repro query`` CLI subcommand, the lifecycle tests and
+``benchmarks/bench_serve.py``.  Thread-safe by construction: every call
+opens its own :class:`http.client.HTTPConnection`, so N loadgen threads
+can share one :class:`ServeClient`.
+
+>>> client = ServeClient("127.0.0.1", 8000)          # doctest: +SKIP
+>>> client.synthesize("nat").result["name"]          # doctest: +SKIP
+'nat'
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.serve.protocol import parse_client_response
+
+
+class ServeError(Exception):
+    """A transport-level failure (connection refused, timeout, ...)."""
+
+
+@dataclass
+class ServeResponse:
+    """One decoded response envelope plus its HTTP status."""
+
+    status: int
+    ok: bool
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def result(self) -> Any:
+        return self.payload.get("result")
+
+    @property
+    def error_code(self) -> Optional[str]:
+        error = self.payload.get("error") or {}
+        return error.get("code")
+
+    @property
+    def error_message(self) -> Optional[str]:
+        error = self.payload.get("error") or {}
+        return error.get("message")
+
+    @property
+    def elapsed_ms(self) -> Optional[float]:
+        return self.payload.get("elapsed_ms")
+
+    def raise_for_status(self) -> "ServeResponse":
+        if not self.ok:
+            raise ServeError(
+                f"HTTP {self.status} [{self.error_code}]: {self.error_message}"
+            )
+        return self
+
+
+class ServeClient:
+    """A minimal JSON-over-HTTP client for the serve endpoints."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8000,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> ServeResponse:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(f"{method} {path} failed: {exc}") from exc
+        finally:
+            conn.close()
+        ok, decoded = parse_client_response(status, raw)
+        return ServeResponse(status=status, ok=ok and status == 200, payload=decoded)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> ServeResponse:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The metrics snapshot (counters/gauges/histograms dicts)."""
+        response = self.request("GET", "/metrics?format=json").raise_for_status()
+        return response.result or {}
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServeError(f"GET /metrics -> HTTP {response.status}")
+            return response.read().decode("utf-8")
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(f"GET /metrics failed: {exc}") from exc
+        finally:
+            conn.close()
+
+    def _op(self, op: str, body: Dict[str, Any]) -> ServeResponse:
+        return self.request("POST", f"/v1/{op}", body)
+
+    def synthesize(
+        self,
+        nf: Optional[str] = None,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+        entry: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> ServeResponse:
+        body: Dict[str, Any] = {}
+        if nf is not None:
+            body["nf"] = nf
+        if source is not None:
+            body["source"] = source
+        if name is not None:
+            body["name"] = name
+        if entry is not None:
+            body["entry"] = entry
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._op("synthesize", body)
+
+    def simulate(
+        self,
+        nf: Optional[str] = None,
+        packets: Optional[List[Dict[str, int]]] = None,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+        entry: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> ServeResponse:
+        body: Dict[str, Any] = {"packets": packets or []}
+        if nf is not None:
+            body["nf"] = nf
+        if source is not None:
+            body["source"] = source
+        if name is not None:
+            body["name"] = name
+        if entry is not None:
+            body["entry"] = entry
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._op("simulate", body)
+
+    def verify(
+        self, chain: List[str], timeout_s: Optional[float] = None
+    ) -> ServeResponse:
+        body: Dict[str, Any] = {"chain": chain}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._op("verify", body)
+
+    def compose(
+        self,
+        chain_a: List[str],
+        chain_b: List[str],
+        timeout_s: Optional[float] = None,
+    ) -> ServeResponse:
+        body: Dict[str, Any] = {"chain_a": chain_a, "chain_b": chain_b}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._op("compose", body)
+
+    def testgen(
+        self, nf: str, timeout_s: Optional[float] = None
+    ) -> ServeResponse:
+        body: Dict[str, Any] = {"nf": nf}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._op("testgen", body)
+
+    # -- convenience ---------------------------------------------------------
+
+    def wait_until_up(self, timeout: float = 30.0, interval: float = 0.1) -> bool:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if self.healthz().status == 200:
+                    return True
+            except ServeError:
+                pass
+            time.sleep(interval)
+        return False

@@ -1,0 +1,367 @@
+"""Worker-side request handlers for :mod:`repro.serve`.
+
+Everything here runs inside a ``ProcessPoolExecutor`` worker process
+(:func:`run_job` is the single pool entry point, so it must stay
+module-level and picklable).  Each job:
+
+1. arms a **deadline alarm** (``signal.setitimer``/``SIGALRM``) for its
+   remaining time budget — CPython delivers signals between bytecodes,
+   so a CPU-bound synthesis is genuinely interrupted *mid-run* and the
+   worker is free for the next request (real cancellation, not
+   abandonment);
+2. runs observed (:func:`repro.parallel.observed_call`) and ships its
+   metrics snapshot home for the server to fold into its registry;
+3. never raises: failures come back as structured ``{"status": ...}``
+   dicts (the same errors-are-data discipline as
+   :func:`repro.parallel.synthesize_many`).
+
+The synthesize hot path goes through the artifact cache's model tier
+(:func:`repro.nfactor.algorithm.synthesize_model_cached`); simulate
+adds its own ``sim`` artifact kind — ``(model, module_env, pkt_param)``
+— so a warm simulate skips the pipeline entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import cache as artifact_cache
+
+#: Env var gating the test-only ops (``sleep``) used by the lifecycle
+#: tests to occupy workers deterministically.  Off in production.
+TEST_OPS_ENV = "REPRO_SERVE_TEST_OPS"
+
+
+class JobTimeout(Exception):
+    """Raised inside the worker when the request deadline fires."""
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - signal plumbing
+    raise JobTimeout()
+
+
+class _deadline_alarm:
+    """Arm SIGALRM for ``budget_s`` seconds (no-op when unusable).
+
+    Usable only on the main thread of a POSIX process — exactly what a
+    ``ProcessPoolExecutor`` worker is.  Previous handler and timer are
+    restored on exit so nested/looped jobs compose.
+    """
+
+    def __init__(self, budget_s: Optional[float]) -> None:
+        self.budget_s = budget_s
+        self.armed = False
+        self._previous: Any = None
+
+    def __enter__(self) -> "_deadline_alarm":
+        usable = (
+            self.budget_s is not None
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if usable:
+            if self.budget_s <= 0:
+                raise JobTimeout()
+            self._previous = signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.setitimer(signal.ITIMER_REAL, self.budget_s)
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return None
+
+
+# -- target resolution -------------------------------------------------------
+
+
+def _resolve_target(body: Dict[str, Any]) -> Tuple[str, str, Optional[str]]:
+    """(name, source, entry) from ``{"nf": ...}`` or ``{"source": ...}``."""
+    source = body.get("source")
+    name = body.get("nf") or body.get("name")
+    entry = body.get("entry")
+    if source is not None:
+        if not isinstance(source, str):
+            raise ValueError("'source' must be a string of NFPy code")
+        return str(name or "<request>"), source, entry
+    if not name:
+        raise ValueError("request needs 'nf' (corpus name) or 'source'")
+    from repro.nfs import get_nf, nf_names
+
+    try:
+        spec = get_nf(str(name))
+    except KeyError:
+        raise ValueError(
+            f"unknown NF {name!r} (corpus: {', '.join(nf_names())})"
+        )
+    return spec.name, spec.source, entry or spec.entry
+
+
+def _stats_dict(stats: Any) -> Dict[str, Any]:
+    return {
+        "n_paths": stats.n_paths,
+        "n_entries": stats.n_entries,
+        "source_loc": stats.source_loc,
+        "slice_loc": stats.slice_loc,
+        "solver_checks": stats.solver_checks,
+        "solver_cache_hits": stats.solver_cache_hits,
+        "states_explored": stats.states_explored,
+    }
+
+
+# -- op handlers -------------------------------------------------------------
+
+
+def _op_synthesize(body: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.nfactor.algorithm import synthesize_model_cached
+
+    name, source, entry = _resolve_target(body)
+    ms = synthesize_model_cached(source, name=name, entry=entry)
+    return {
+        "name": name,
+        "model": json.loads(ms.model_json),
+        "cached": ms.cached,
+        "stats": _stats_dict(ms.stats),
+    }
+
+
+def _sim_bundle(body: Dict[str, Any]) -> Tuple[Any, Dict[str, Any], str]:
+    """(model, module_env, pkt_param), served from the ``sim`` tier.
+
+    Key = the model-tier key, so source/config/schema-version changes
+    invalidate both tiers together.
+    """
+    from repro.nfactor.algorithm import (
+        NFactor,
+        NFactorConfig,
+        _model_key,
+    )
+
+    name, source, entry = _resolve_target(body)
+    config = NFactorConfig()
+    store = artifact_cache.get_store()
+    key = None
+    if config.artifact_cache:
+        key = artifact_cache.artifact_key(
+            "sim", (_model_key(source, name, entry, config),)
+        )
+        hit = store.get_object("sim", key)
+        if hit is not None:
+            return hit
+    result = NFactor(source, name=name, entry=entry, config=config).synthesize()
+    bundle = (result.model, result.module_env, result.pkt_param)
+    if key is not None:
+        store.put_object("sim", key, bundle)
+    return bundle
+
+
+def _op_simulate(body: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.interp.values import deep_copy
+    from repro.model.simulator import ModelSimulator
+    from repro.net.packet import Packet
+
+    raw_packets = body.get("packets")
+    if not isinstance(raw_packets, list) or not raw_packets:
+        raise ValueError("'packets' must be a non-empty list of field objects")
+    if len(raw_packets) > 10_000:
+        raise ValueError("at most 10000 packets per simulate request")
+    packets: List[Packet] = []
+    for i, fields in enumerate(raw_packets):
+        if not isinstance(fields, dict):
+            raise ValueError(f"packet #{i} is not a field object")
+        try:
+            packets.append(Packet.from_dict(fields))
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise ValueError(f"packet #{i}: {exc}")
+
+    model, module_env, pkt_param = _sim_bundle(body)
+    sim = ModelSimulator(model, deep_copy(module_env), pkt_param=pkt_param)
+    outputs = []
+    for pkt in packets:
+        sent = sim.process(pkt)
+        outputs.append(
+            {
+                "forwarded": bool(sent),
+                "sent": [
+                    {"packet": out.to_dict(), "port": port} for out, port in sent
+                ],
+            }
+        )
+    stats = sim.stats
+    return {
+        "name": model.name,
+        "outputs": outputs,
+        "stats": {
+            "packets": stats.packets,
+            "forwarded": stats.forwarded,
+            "dropped_default": stats.dropped_default,
+            "dropped_entry": stats.dropped_entry,
+        },
+    }
+
+
+def _chain_models(names: Any, what: str) -> List[Tuple[str, Any]]:
+    from repro.nfactor.algorithm import synthesize_model_cached
+
+    if not isinstance(names, list) or not names:
+        raise ValueError(f"{what!r} must be a non-empty list of NF names")
+    chain = []
+    for name in names:
+        nf_name, source, entry = _resolve_target({"nf": name})
+        ms = synthesize_model_cached(source, name=nf_name, entry=entry)
+        chain.append((nf_name, ms.model))
+    return chain
+
+
+def _op_verify(body: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.apps.verify import NetworkVerifier
+
+    chain = _chain_models(body.get("chain"), "chain")
+    verifier = NetworkVerifier(chain)
+    spaces = verifier.reachable()
+    max_traces = int(body.get("max_traces", 10))
+    return {
+        "chain": [name for name, _ in chain],
+        "can_reach": bool(spaces),
+        "n_spaces": len(spaces),
+        "traces": [
+            [[name, entry_id] for name, entry_id in space.trace]
+            for space in spaces[:max_traces]
+        ],
+    }
+
+
+def _op_compose(body: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.apps.compose import compose_chains
+
+    chain_a = _chain_models(body.get("chain_a"), "chain_a")
+    chain_b = _chain_models(body.get("chain_b"), "chain_b")
+    ranked = compose_chains(chain_a, chain_b)
+    return {
+        "recommended": list(ranked[0].order),
+        "orders": [
+            {
+                "order": list(an.order),
+                "n_conflicts": an.n_conflicts,
+                "conflicts": [
+                    {"upstream": a, "downstream": b, "fields": sorted(fields)}
+                    for a, b, fields in an.conflicts
+                ],
+            }
+            for an in ranked
+        ],
+    }
+
+
+def _op_testgen(body: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.apps.testing import generate_tests, validate_suite
+    from repro.nfactor.algorithm import NFactor
+
+    name, source, entry = _resolve_target(body)
+    result = NFactor(source, name=name, entry=entry).synthesize()
+    suite = generate_tests(result)
+    report = validate_suite(suite, result)
+    return {
+        "name": name,
+        "summary": suite.summary(),
+        "n_cases": len(suite.cases),
+        "n_packets": suite.n_packets,
+        "uncovered_entries": suite.uncovered_entries,
+        "cases": [
+            {
+                "name": case.name,
+                "target_entry": case.target_entry,
+                "packets": [pkt.to_dict() for pkt in case.packets],
+                "expectations": case.expectations,
+            }
+            for case in suite.cases
+        ],
+        "validation": {
+            "summary": report.summary(),
+            "all_passed": report.all_passed,
+            "n_cases": report.n_cases,
+            "n_passed": report.n_passed,
+        },
+    }
+
+
+def _op_sleep(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Test-only: hold a worker for ``seconds`` (deadline-interruptible)."""
+    if os.environ.get(TEST_OPS_ENV, "") != "1":
+        raise ValueError("unknown op 'sleep'")
+    seconds = float(body.get("seconds", 0.1))
+    deadline = time.monotonic() + min(seconds, 60.0)
+    while time.monotonic() < deadline:
+        time.sleep(0.005)
+    return {"slept_s": seconds}
+
+
+OPS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    "synthesize": _op_synthesize,
+    "simulate": _op_simulate,
+    "verify": _op_verify,
+    "compose": _op_compose,
+    "testgen": _op_testgen,
+    "sleep": _op_sleep,
+}
+
+
+def run_job(payload: Tuple[str, Dict[str, Any], Optional[float]]) -> Dict[str, Any]:
+    """Pool entry point: run one op under a deadline, observed.
+
+    Returns ``{"status", "result"|"error", "metrics", "elapsed_s"}``;
+    status mirrors the HTTP code the server will send (200/400/500/504).
+    ``where: "worker"`` on a 504 records that the alarm interrupted the
+    job *inside* the worker (vs. the server's backstop timeout).
+    """
+    from repro.parallel import observed_call
+
+    op, body, budget_s = payload
+    handler = OPS.get(op)
+    t0 = time.perf_counter()
+    if handler is None:
+        return {
+            "status": 404,
+            "error": f"unknown op {op!r}",
+            "metrics": {},
+            "elapsed_s": 0.0,
+        }
+    try:
+        with _deadline_alarm(budget_s):
+            result, snapshot = observed_call(handler, body)
+        return {
+            "status": 200,
+            "result": result,
+            "metrics": snapshot,
+            "elapsed_s": time.perf_counter() - t0,
+        }
+    except JobTimeout:
+        return {
+            "status": 504,
+            "error": f"deadline exceeded after {budget_s:.3f}s",
+            "where": "worker",
+            "metrics": {},
+            "elapsed_s": time.perf_counter() - t0,
+        }
+    except ValueError as exc:
+        return {
+            "status": 400,
+            "error": str(exc),
+            "metrics": {},
+            "elapsed_s": time.perf_counter() - t0,
+        }
+    except Exception:
+        return {
+            "status": 500,
+            "error": traceback.format_exc(limit=8),
+            "metrics": {},
+            "elapsed_s": time.perf_counter() - t0,
+        }

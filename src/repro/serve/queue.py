@@ -1,0 +1,173 @@
+"""Admission control: a bounded request queue with explicit backpressure.
+
+``asyncio.Queue`` blocks producers when full; a serving system must do
+the opposite — **reject immediately** so the client can back off (HTTP
+429) instead of letting latency and memory grow without bound.  This
+queue is that policy, plus the bookkeeping the server needs:
+
+- :meth:`submit` is synchronous and never waits: it either enqueues or
+  raises :class:`QueueFull` / :class:`QueueClosed`;
+- :meth:`get` is awaited by the dispatcher tasks (one per pool worker);
+- :meth:`task_done` / :meth:`join` give drain its "finish in-flight
+  work" barrier;
+- depth and in-flight counts are mirrored into the ambient metrics
+  registry (``serve.queue_depth`` / ``serve.inflight`` gauges).
+
+Single-event-loop discipline: every method is called from the server's
+loop, so plain collections + one ``asyncio.Condition`` suffice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional
+
+from repro.obs import metrics as obs_metrics
+
+
+class QueueFull(Exception):
+    """The bounded queue is at capacity; the request must be rejected."""
+
+
+class QueueClosed(Exception):
+    """The queue stopped accepting work (server is draining)."""
+
+
+@dataclass
+class Job:
+    """One admitted request travelling queue → dispatcher → worker."""
+
+    job_id: int
+    op: str
+    payload: Dict[str, Any]
+    arrival: float
+    deadline: Optional[float]  # absolute, on the same clock as arrival
+    future: "asyncio.Future[Dict[str, Any]]" = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def remaining(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the deadline (None = no deadline)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.monotonic() if now is None else now)
+
+
+class BoundedRequestQueue:
+    """FIFO admission queue with reject-when-full semantics."""
+
+    def __init__(self, maxsize: int, registry: Optional[Any] = None) -> None:
+        if maxsize < 1:
+            raise ValueError("queue maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._registry = registry
+        self._items: Deque[Job] = deque()
+        self._closed = False
+        self._inflight = 0
+        self._unfinished = 0
+        self._cond: Optional[asyncio.Condition] = None
+
+    def _condition(self) -> asyncio.Condition:
+        # Created lazily so the queue can be built before the loop runs.
+        if self._cond is None:
+            self._cond = asyncio.Condition()
+        return self._cond
+
+    # -- gauges --------------------------------------------------------------
+
+    def _publish(self) -> None:
+        registry = self._registry if self._registry is not None else obs_metrics.active()
+        if registry.enabled:
+            registry.gauge("serve.queue_depth").set(len(self._items))
+            registry.gauge("serve.inflight").set(self._inflight)
+
+    # -- producer side -------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Admit one job or raise; never blocks (that is the point)."""
+        if self._closed:
+            raise QueueClosed("queue is closed (draining)")
+        if len(self._items) >= self.maxsize:
+            raise QueueFull(
+                f"request queue at capacity ({self.maxsize} pending)"
+            )
+        if job.future is None:
+            job.future = asyncio.get_running_loop().create_future()
+        self._items.append(job)
+        self._unfinished += 1
+        self._publish()
+        cond = self._condition()
+        # Wake one dispatcher.  notify() requires holding the lock; all
+        # callers share the loop so a task is fine.
+        asyncio.ensure_future(self._notify(cond))
+
+    async def _notify(self, cond: asyncio.Condition) -> None:
+        async with cond:
+            cond.notify_all()
+
+    # -- consumer side -------------------------------------------------------
+
+    async def get(self) -> Optional[Job]:
+        """Next job, or None once closed and empty (dispatcher exits)."""
+        cond = self._condition()
+        async with cond:
+            while not self._items and not self._closed:
+                await cond.wait()
+            if not self._items:
+                return None
+            job = self._items.popleft()
+        self._inflight += 1
+        self._publish()
+        return job
+
+    def task_done(self) -> None:
+        self._inflight -= 1
+        self._unfinished -= 1
+        self._publish()
+        cond = self._condition()
+        asyncio.ensure_future(self._notify(cond))
+
+    # -- drain ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admissions; queued jobs still run (drain semantics)."""
+        self._closed = True
+        cond = self._condition()
+        asyncio.ensure_future(self._notify(cond))
+
+    async def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every admitted job finished; False on timeout."""
+        cond = self._condition()
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        async with cond:
+            while self._unfinished > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                try:
+                    await asyncio.wait_for(cond.wait(), remaining)
+                except asyncio.TimeoutError:
+                    return False
+        return True
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def unfinished(self) -> int:
+        return self._unfinished
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

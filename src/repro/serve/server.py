@@ -1,0 +1,539 @@
+"""The asyncio synthesis & model-query server (``repro serve``).
+
+Request path::
+
+    client ──HTTP──▶ connection handler (event loop)
+                        │  admission: BoundedRequestQueue.submit
+                        │    full    → 429 immediately (backpressure)
+                        │    draining→ 503
+                        ▼
+                     dispatcher task (one per pool worker)
+                        │  expired in queue → 504 without running
+                        ▼
+                     ProcessPoolExecutor worker
+                        │  repro.serve.jobs.run_job under SIGALRM
+                        ▼
+                     response + metrics snapshot → folded into the
+                     server registry → envelope back over the wire
+
+The event loop only ever parses bytes and shuffles futures — all
+CPU-bound synthesis happens in worker processes, and a background
+**loop-lag probe** records how true that is
+(``serve.loop_lag_seconds``; the bench asserts max lag < 100 ms).
+
+Graceful drain (SIGTERM/SIGINT or :meth:`Server.request_drain`): stop
+accepting connections, reject new requests on kept-alive connections
+with 503, finish every admitted job, flush the persistent constraint
+cache, shut the pool down, exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.serve import protocol
+from repro.serve.jobs import OPS, run_job
+from repro.serve.queue import BoundedRequestQueue, Job, QueueClosed, QueueFull
+
+
+def _version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def _worker_warmup() -> None:
+    """Pool initializer: pre-import the pipeline in each worker.
+
+    The first job in a fresh worker otherwise pays ~100 ms of lazy
+    imports — visible as a p95 outlier on an otherwise ~2 ms warm
+    ``synthesize``.  Runs once per worker process at pool start.
+    """
+    import repro.apps.testing  # noqa: F401
+    import repro.apps.verify  # noqa: F401
+    import repro.equiv.differential  # noqa: F401
+    import repro.nfactor.algorithm  # noqa: F401
+    import repro.parallel  # noqa: F401
+
+
+@dataclass
+class ServeConfig:
+    """Server tunables (the ``repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    #: Worker processes; 0 = one per CPU.
+    workers: int = 0
+    #: Bounded queue capacity — pending requests beyond the in-flight
+    #: ones; the explicit backpressure limit.
+    queue_size: int = 64
+    #: Default per-request deadline when the client sends none.
+    default_timeout_s: float = 60.0
+    #: Upper bound on client-requested deadlines.
+    max_timeout_s: float = 600.0
+    #: How long drain waits for in-flight work before giving up.
+    drain_timeout_s: float = 60.0
+    #: Parent-side backstop beyond the worker's own alarm.
+    grace_s: float = 2.0
+    #: Event-loop lag probe period (0 disables the probe).
+    lag_probe_interval_s: float = 0.05
+
+    def effective_workers(self) -> int:
+        return self.workers if self.workers > 0 else (os.cpu_count() or 1)
+
+
+class Server:
+    """One serving instance: listener + queue + dispatchers + pool."""
+
+    def __init__(
+        self, config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry or MetricsRegistry()
+        self.queue = BoundedRequestQueue(
+            self.config.queue_size, registry=self.registry
+        )
+        self.draining = False
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._dispatchers: list = []
+        self._lag_task: Optional[asyncio.Task] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._started_at = time.monotonic()
+        self._job_ids = iter(range(1, 1 << 62))
+        self._abandoned = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, spin up the pool, dispatchers and the lag probe."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        workers = self.config.effective_workers()
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_warmup
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        self._dispatchers = [
+            self._loop.create_task(self._dispatch_loop()) for _ in range(workers)
+        ]
+        if self.config.lag_probe_interval_s > 0:
+            self._lag_task = self._loop.create_task(self._lag_probe())
+        self.registry.gauge("serve.workers").set(workers)
+
+    def install_signal_handlers(self) -> bool:
+        """SIGTERM/SIGINT → graceful drain.  Best effort (main thread only)."""
+        assert self._loop is not None
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                self._loop.add_signal_handler(signum, self.request_drain)
+            return True
+        except (NotImplementedError, RuntimeError, ValueError):
+            return False
+
+    async def serve_forever(self) -> None:
+        """Until a drain completes."""
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    def request_drain(self) -> None:
+        """Begin graceful drain (idempotent; safe from signal handlers)."""
+        if self._loop is None or self._drain_task is not None:
+            return
+        self._drain_task = self._loop.create_task(self.drain())
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight, flush caches, stop."""
+        if self.draining:
+            if self._stopped is not None:
+                await self._stopped.wait()
+            return
+        self.draining = True
+        self.registry.counter("serve.drains").inc()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.queue.close()
+        drained = await self.queue.join(self.config.drain_timeout_s)
+        if not drained:
+            self.registry.counter("serve.drain_timeouts").inc()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        if self._lag_task is not None:
+            self._lag_task.cancel()
+        if self._pool is not None:
+            # Abandoned jobs may still occupy a worker whose alarm could
+            # not fire; don't hang shutdown on them.
+            self._pool.shutdown(wait=self._abandoned == 0, cancel_futures=True)
+        from repro.symbolic.solver import global_cache
+
+        global_cache().flush()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- event-loop health ---------------------------------------------------
+
+    async def _lag_probe(self) -> None:
+        """Measure event-loop scheduling lag (blocked-loop detector)."""
+        interval = self.config.lag_probe_interval_s
+        hist = self.registry.histogram("serve.loop_lag_seconds")
+        gauge = self.registry.gauge("serve.loop_lag_max_seconds")
+        max_lag = 0.0
+        assert self._loop is not None
+        while True:
+            t0 = self._loop.time()
+            await asyncio.sleep(interval)
+            lag = max(0.0, self._loop.time() - t0 - interval)
+            hist.observe(lag)
+            if lag > max_lag:
+                max_lag = lag
+                gauge.set(max_lag)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await protocol.read_request(reader)
+                except protocol.ProtocolError as exc:
+                    writer.write(
+                        protocol.json_response(
+                            exc.status,
+                            protocol.error_envelope(exc.status, exc.message),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, envelope, headers = await self._route(request)
+                keep_alive = request.keep_alive and not self.draining
+                if isinstance(envelope, _RawText):
+                    payload = protocol.render_response(
+                        status,
+                        envelope.text.encode("utf-8"),
+                        content_type=envelope.content_type,
+                        keep_alive=keep_alive,
+                        extra_headers=headers,
+                    )
+                else:
+                    payload = protocol.json_response(
+                        status, envelope, keep_alive=keep_alive,
+                        extra_headers=headers,
+                    )
+                writer.write(payload)
+                await writer.drain()
+                self.registry.counter(f"serve.status.{status}").inc()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # No wait_closed(): at loop shutdown the handler task may
+            # already be cancelled, and close() alone is sufficient.
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, request: protocol.HttpRequest
+    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        self.registry.counter("serve.requests_total").inc()
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            if request.method != "GET":
+                return 405, protocol.error_envelope(405, "use GET"), None
+            return 200, protocol.ok_envelope(self._health()), None
+        if path == "/metrics":
+            if request.method != "GET":
+                return 405, protocol.error_envelope(405, "use GET"), None
+            snapshot = self.registry.snapshot()
+            if request.query.get("format") == "json":
+                return 200, protocol.ok_envelope(snapshot), None
+            return 200, _RawText(render_prometheus(snapshot)), None
+        if path.startswith("/v1/"):
+            op = path[len("/v1/"):]
+            if op not in OPS:
+                return 404, protocol.error_envelope(
+                    404, f"unknown endpoint {path!r}"
+                ), None
+            if request.method != "POST":
+                return 405, protocol.error_envelope(405, "use POST"), None
+            try:
+                body = request.json()
+            except protocol.ProtocolError as exc:
+                return exc.status, protocol.error_envelope(
+                    exc.status, exc.message
+                ), None
+            return await self._submit(op, body)
+        return 404, protocol.error_envelope(404, f"unknown path {path!r}"), None
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": _version(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": self.config.effective_workers(),
+            "queue_depth": self.queue.depth,
+            "queue_capacity": self.queue.maxsize,
+            "inflight": self.queue.inflight,
+        }
+
+    # -- job submission ------------------------------------------------------
+
+    def _timeout_for(self, body: Dict[str, Any]) -> float:
+        raw = body.get("timeout_s", self.config.default_timeout_s)
+        try:
+            timeout = float(raw)
+        except (TypeError, ValueError):
+            raise protocol.ProtocolError(400, f"bad timeout_s: {raw!r}")
+        if timeout <= 0:
+            raise protocol.ProtocolError(400, "timeout_s must be positive")
+        return min(timeout, self.config.max_timeout_s)
+
+    async def _submit(
+        self, op: str, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        if self.draining:
+            self.registry.counter("serve.draining_rejected").inc()
+            return 503, protocol.error_envelope(
+                503, "server is draining"
+            ), {"Retry-After": "1"}
+        try:
+            timeout_s = self._timeout_for(body)
+        except protocol.ProtocolError as exc:
+            return exc.status, protocol.error_envelope(exc.status, exc.message), None
+        now = time.monotonic()
+        job = Job(
+            job_id=next(self._job_ids),
+            op=op,
+            payload=body,
+            arrival=now,
+            deadline=now + timeout_s,
+        )
+        try:
+            self.queue.submit(job)
+        except QueueFull as exc:
+            self.registry.counter("serve.rejected_queue_full").inc()
+            return 429, protocol.error_envelope(429, str(exc)), {"Retry-After": "1"}
+        except QueueClosed:
+            self.registry.counter("serve.draining_rejected").inc()
+            return 503, protocol.error_envelope(
+                503, "server is draining"
+            ), {"Retry-After": "1"}
+        self.registry.counter(f"serve.op.{op}").inc()
+        # The dispatcher always resolves the future (worker alarm, then
+        # parent backstop); the extra slack here only guards against a
+        # dispatcher bug turning into a hung connection.
+        outcome = await asyncio.wait_for(
+            job.future, timeout_s + 2 * self.config.grace_s + 5.0
+        )
+        elapsed_ms = (time.monotonic() - job.arrival) * 1000.0
+        self.registry.histogram("serve.request_seconds").observe(
+            elapsed_ms / 1000.0
+        )
+        status = outcome.get("status", 500)
+        if status == 200:
+            envelope = protocol.ok_envelope(
+                outcome.get("result"), elapsed_ms=round(elapsed_ms, 3)
+            )
+        else:
+            if status == 504:
+                self.registry.counter("serve.deadline_exceeded").inc()
+            envelope = protocol.error_envelope(
+                status,
+                str(outcome.get("error", "job failed")),
+                where=outcome.get("where"),
+            )
+            envelope["elapsed_ms"] = round(elapsed_ms, 3)
+        return status, envelope, None
+
+    # -- dispatchers ---------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._loop is not None
+        while True:
+            job = await self.queue.get()
+            if job is None:
+                return
+            try:
+                outcome = await self._run_job(job)
+                metrics = outcome.pop("metrics", None)
+                if metrics:
+                    self.registry.merge(metrics)
+                if not job.future.done():
+                    job.future.set_result(outcome)
+            except Exception as exc:  # dispatcher must never die
+                if not job.future.done():
+                    job.future.set_result(
+                        {"status": 500, "error": f"dispatch failed: {exc!r}"}
+                    )
+            finally:
+                self.queue.task_done()
+
+    async def _run_job(self, job: Job) -> Dict[str, Any]:
+        remaining = job.remaining()
+        if remaining is not None and remaining <= 0:
+            # Died waiting in the queue; never reached a worker.
+            return {
+                "status": 504,
+                "error": "deadline exceeded while queued",
+                "where": "queue",
+            }
+        assert self._pool is not None and self._loop is not None
+        fut = self._loop.run_in_executor(
+            self._pool, run_job, (job.op, job.payload, remaining)
+        )
+        backstop = None if remaining is None else remaining + self.config.grace_s
+        try:
+            return await asyncio.wait_for(fut, backstop)
+        except asyncio.TimeoutError:
+            # The worker alarm failed to fire (non-POSIX / blocked in C
+            # code); abandon the future and surrender the worker slot.
+            self._abandoned += 1
+            self.registry.counter("serve.abandoned_jobs").inc()
+            return {
+                "status": 504,
+                "error": "deadline exceeded (worker did not cancel in time)",
+                "where": "parent",
+            }
+
+
+class _RawText:
+    """A non-JSON response body (the Prometheus exposition)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(
+        self, text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_server(config: Optional[ServeConfig] = None, *, ready=None) -> int:
+    """Blocking entry point (the ``repro serve`` CLI): run until drained."""
+
+    async def main() -> None:
+        server = Server(config)
+        await server.start()
+        server.install_signal_handlers()
+        print(
+            f"repro serve: listening on {server.config.host}:{server.port} "
+            f"({server.config.effective_workers()} workers, "
+            f"queue {server.config.queue_size})",
+            flush=True,
+        )
+        if ready is not None:
+            ready(server)
+        await server.serve_forever()
+        print("repro serve: drained, bye", flush=True)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, benchmarks).
+
+    ::
+
+        handle = ServerHandle(ServeConfig(port=0, workers=2))
+        handle.start()
+        ...ServeClient("127.0.0.1", handle.port)...
+        handle.stop()
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig(port=0)
+        self.server: Optional[Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        assert self.server is not None
+        return self.server.registry
+
+    def start(self, timeout: float = 30.0) -> "ServerHandle":
+        def runner() -> None:
+            async def main() -> None:
+                self.server = Server(self.config)
+                await self.server.start()
+                self._loop = asyncio.get_running_loop()
+                self._ready.set()
+                await self.server.serve_forever()
+
+            try:
+                asyncio.run(main())
+            except BaseException as exc:  # surface startup failures
+                self._error = exc
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error!r}")
+        return self
+
+    def drain(self) -> None:
+        """Trigger graceful drain from any thread (what SIGTERM does)."""
+        assert self.server is not None and self._loop is not None
+        self._loop.call_soon_threadsafe(self.server.request_drain)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain and join the server thread."""
+        if self._thread is None:
+            return
+        if self.server is not None and self._loop is not None:
+            try:
+                self.drain()
+            except RuntimeError:
+                pass
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not stop in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

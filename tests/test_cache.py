@@ -304,3 +304,47 @@ def test_cli_no_cache_flag(store_dir, capsys):
     assert "served from artifact cache" not in out
     stats = artifact_cache.get_store().disk_stats()
     assert stats["kinds"] == {}  # nothing was written
+
+
+# -- unwritable disk tier degrades to memory-only -----------------------------
+
+
+def test_unwritable_dir_degrades_to_memory_only(tmp_path, caplog):
+    from repro.cache.store import ArtifactStore
+
+    # Pointing the store at a *file* makes every mkdir/rename fail with
+    # OSError regardless of uid (chmod-based read-only is bypassed by
+    # root, which CI containers run as).
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("occupied")
+    store = ArtifactStore(str(blocker))
+    with caplog.at_level(logging.WARNING, logger="repro.cache"):
+        for i in range(4):
+            store.put_object("model", f"{i:040x}", {"i": i})
+    warnings = [r for r in caplog.records if "unwritable" in r.message]
+    assert len(warnings) == 1  # one warning, not one per artifact
+    assert store.counters["disk.errors"] == 4
+    # The memory tier still serves.
+    for i in range(4):
+        assert store.get_object("model", f"{i:040x}") == {"i": i}
+    assert store.disk_stats()["disk_write_disabled"] is True
+
+
+def test_disk_errors_reach_metrics_registry(tmp_path):
+    from repro import obs
+    from repro.cache.store import ArtifactStore
+
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("occupied")
+    store = ArtifactStore(str(blocker))
+    with obs.observed() as (_tracer, registry):
+        store.put_object("model", "0" * 40, {"x": 1})
+        store.put_object("model", "1" * 40, {"x": 2})
+    assert registry.snapshot()["counters"]["cache.disk.errors"] == 2
+
+
+def test_writable_dir_never_sets_degrade_flag(store_dir):
+    store = artifact_cache.get_store()
+    store.put_object("model", "2" * 40, {"ok": True})
+    assert "disk.errors" not in store.counters
+    assert store.disk_stats()["disk_write_disabled"] is False
