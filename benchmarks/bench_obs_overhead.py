@@ -1,0 +1,213 @@
+"""E10 — request-tracing overhead on the warm serving hot path.
+
+PR 1's invariant, re-checked at the serve tier: observability must be
+effectively free when it matters.  Two sequential servers run over the
+**same** pre-warmed artifact cache directory:
+
+- **tracing off** (``ServeConfig(tracing=False)``, client sends no
+  ``traceparent``): request ids + metrics only — the baseline;
+- **tracing on** (the default): every request carries a trace context
+  into the worker, pipeline spans ship home, get stitched and recorded
+  in the flight recorder.
+
+Both sample the warm ``synthesize`` path (pure model-tier cache hits),
+so the comparison isolates the per-request observability cost from
+synthesis itself.  Fails unless:
+
+- warm p95 with tracing on is within 5% (plus a small absolute slack
+  for CI timer noise) of tracing off;
+- the synthesized models are **byte-identical** across modes — tracing
+  must never change results;
+- the traced server actually recorded stitched span trees (guards
+  against "zero overhead" because tracing silently did nothing).
+
+Runs two ways:
+
+- as a pytest benchmark: ``pytest benchmarks/bench_obs_overhead.py``;
+- as a script: ``python benchmarks/bench_obs_overhead.py [--quick]``
+  (the CI ``perf-smoke`` job runs ``--quick``).  Both write
+  ``BENCH_obs_overhead.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from common import print_table, write_bench_json
+from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+CORPUS_QUICK = ["nat", "firewall", "monitor"]
+CORPUS_FULL = ["nat", "firewall", "loadbalancer", "balance", "monitor", "proxycache"]
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+#: Relative overhead budget for warm p95 (tracing on vs. off).
+MAX_OVERHEAD_FRACTION = 0.05
+#: Absolute slack (ms) so sub-millisecond warm latencies don't turn
+#: CI timer noise into flakes (5% of 2ms is 100µs — below clock jitter).
+ABS_SLACK_MS = 2.0
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _measure_mode(
+    names: List[str], warm_rounds: int, workers: int, tracing: bool
+) -> Dict[str, object]:
+    """Warm synthesize latency through one server, tracing on or off."""
+    handle = ServerHandle(ServeConfig(port=0, workers=workers, tracing=tracing))
+    handle.start()
+    try:
+        client = ServeClient("127.0.0.1", handle.port, timeout=300, tracing=tracing)
+        # Prime every worker's memory tier (and, on the first mode, the
+        # shared disk tier) before sampling.
+        models: Dict[str, str] = {}
+        for name in names:
+            for _ in range(workers + 1):
+                response = client.synthesize(name).raise_for_status()
+            models[name] = json.dumps(response.result["model"], sort_keys=True)
+        samples: List[float] = []
+        for _ in range(warm_rounds):
+            for name in names:
+                t0 = time.perf_counter()
+                client.synthesize(name).raise_for_status()
+                samples.append(time.perf_counter() - t0)
+        snapshot = handle.registry.snapshot()
+        traced = int(snapshot["counters"].get("serve.traced_requests", 0))
+    finally:
+        handle.stop()
+    return {
+        "tracing": tracing,
+        "samples": len(samples),
+        "p50_ms": round(_percentile(samples, 0.5) * 1000, 3),
+        "p95_ms": round(_percentile(samples, 0.95) * 1000, 3),
+        "traced_requests": traced,
+        "models": models,
+    }
+
+
+def measure(names: List[str], warm_rounds: int, workers: int) -> Dict[str, object]:
+    tmp = tempfile.mkdtemp(prefix="repro-bench-obs-")
+    saved = {
+        key: os.environ.get(key) for key in ("REPRO_CACHE", "REPRO_CACHE_DIR")
+    }
+    os.environ["REPRO_CACHE"] = "1"
+    os.environ["REPRO_CACHE_DIR"] = tmp
+    try:
+        # Baseline first: it also populates the shared disk cache, so
+        # both modes sample the identical warm (model-tier hit) path.
+        off = _measure_mode(names, warm_rounds, workers, tracing=False)
+        on = _measure_mode(names, warm_rounds, workers, tracing=True)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(tmp, ignore_errors=True)
+    models_identical = off.pop("models") == on.pop("models")
+    p95_off = float(off["p95_ms"])
+    p95_on = float(on["p95_ms"])
+    return {
+        "nfs": names,
+        "workers": workers,
+        "warm_samples": off["samples"],
+        "off_p50_ms": off["p50_ms"],
+        "off_p95_ms": off["p95_ms"],
+        "on_p50_ms": on["p50_ms"],
+        "on_p95_ms": on["p95_ms"],
+        "overhead_p95_ms": round(p95_on - p95_off, 3),
+        "overhead_p95_pct": round(
+            100.0 * (p95_on - p95_off) / p95_off if p95_off else 0.0, 1
+        ),
+        "traced_requests": on["traced_requests"],
+        "baseline_traced_requests": off["traced_requests"],
+        "models_identical": models_identical,
+    }
+
+
+def check(row: Dict[str, object]) -> List[str]:
+    """The acceptance assertions; returns human-readable failures."""
+    failures = []
+    budget = float(row["off_p95_ms"]) * (1.0 + MAX_OVERHEAD_FRACTION) + ABS_SLACK_MS
+    if float(row["on_p95_ms"]) > budget:
+        failures.append(
+            f"tracing-on warm p95 {row['on_p95_ms']}ms exceeds budget "
+            f"{budget:.3f}ms (off p95 {row['off_p95_ms']}ms + 5% + "
+            f"{ABS_SLACK_MS}ms slack)"
+        )
+    if not row["models_identical"]:
+        failures.append("synthesized models differ between tracing on and off")
+    if int(row["traced_requests"]) == 0:
+        failures.append("traced server recorded no stitched span trees")
+    if int(row["baseline_traced_requests"]) != 0:
+        failures.append("tracing-off server recorded span trees (not off)")
+    return failures
+
+
+def report(row: Dict[str, object]) -> None:
+    print_table(
+        "Warm serve latency: tracing off vs. on",
+        ["NFs", "off p50", "off p95", "on p50", "on p95", "overhead p95",
+         "models identical"],
+        [[
+            len(row["nfs"]), f"{row['off_p50_ms']}ms", f"{row['off_p95_ms']}ms",
+            f"{row['on_p50_ms']}ms", f"{row['on_p95_ms']}ms",
+            f"{row['overhead_p95_ms']}ms ({row['overhead_p95_pct']}%)",
+            row["models_identical"],
+        ]],
+    )
+
+
+# -- pytest benchmark entry ---------------------------------------------------
+
+
+def test_perf_obs_overhead(benchmark):
+    row = benchmark.pedantic(
+        measure, args=(CORPUS_QUICK, 15, 2), rounds=1, iterations=1
+    )
+    for key, value in row.items():
+        benchmark.extra_info[key] = value
+    report(row)
+    failures = check(row)
+    assert not failures, "; ".join(failures)
+
+
+# -- script entry (CI perf-smoke) ---------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="3-NF subset, fewer warm rounds (the CI perf-smoke mode)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    names = CORPUS_QUICK if args.quick else CORPUS_FULL
+    row = measure(names, warm_rounds=15 if args.quick else 40,
+                  workers=2 if args.quick else 4)
+    row["mode"] = "quick" if args.quick else "full"
+    report(row)
+    failures = check(row)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    write_bench_json(args.out, "obs_overhead", row)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,9 +39,16 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 
 log = logging.getLogger("repro.cache")
+
+
+def _warn(event: str, msg: str, **fields: Any) -> None:
+    """One structured warning (JSON once :func:`repro.obs.log.configure`
+    has run; plain-text stdlib logging otherwise)."""
+    obs_log.log_event(log, logging.WARNING, event, msg, **fields)
 
 #: File framing: magic + format version byte.
 _MAGIC = b"RPAC\x01"
@@ -63,11 +70,19 @@ def _frame(payload: bytes) -> bytes:
 def _unframe(raw: bytes, origin: str) -> Optional[bytes]:
     """Verify framing + checksum; None (with a warning) on any damage."""
     if len(raw) < _HEADER_SIZE or not raw.startswith(_MAGIC):
-        log.warning("cache: %s is truncated or not a cache file; ignoring", origin)
+        _warn(
+            "cache.corrupt",
+            f"cache: {origin} is truncated or not a cache file; ignoring",
+            path=origin, reason="bad_frame",
+        )
         return None
     digest, payload = raw[len(_MAGIC):_HEADER_SIZE], raw[_HEADER_SIZE:]
     if hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest() != digest:
-        log.warning("cache: %s failed its checksum; ignoring", origin)
+        _warn(
+            "cache.corrupt",
+            f"cache: {origin} failed its checksum; ignoring",
+            path=origin, reason="checksum",
+        )
         return None
     return payload
 
@@ -172,7 +187,11 @@ class ArtifactStore:
         try:
             data = zlib.decompress(payload)
         except zlib.error:
-            log.warning("cache: %s failed to decompress; ignoring", path)
+            _warn(
+                "cache.corrupt",
+                f"cache: {path} failed to decompress; ignoring",
+                path=str(path), reason="zlib",
+            )
             return None
         self._count("disk.bytes_read", len(raw))
         return data
@@ -191,9 +210,11 @@ class ArtifactStore:
         except OSError as exc:
             self._count("disk.errors")
             self._disk_write_disabled = True
-            log.warning(
-                "cache: could not write %s (%s); disk tier is read-only or "
-                "unwritable, continuing memory-only", path, exc,
+            _warn(
+                "cache.disk_degraded",
+                f"cache: could not write {path} ({exc}); disk tier is "
+                "read-only or unwritable, continuing memory-only",
+                path=str(path), error=str(exc),
             )
             try:
                 tmp.unlink(missing_ok=True)
@@ -220,8 +241,11 @@ class ArtifactStore:
         try:
             obj = pickle.loads(data)
         except Exception as exc:
-            log.warning("cache: %s artifact %s failed to load (%s); ignoring",
-                        kind, key, exc)
+            _warn(
+                "cache.load_failed",
+                f"cache: {kind} artifact {key} failed to load ({exc}); ignoring",
+                kind=kind, key=key, error=str(exc),
+            )
             self._mem_drop(key)
             return None
         self._count(f"kind.{kind}.hits")
@@ -234,8 +258,11 @@ class ArtifactStore:
         try:
             data = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
-            log.warning("cache: %s artifact %s is unpicklable (%s); skipping",
-                        kind, key, exc)
+            _warn(
+                "cache.unpicklable",
+                f"cache: {kind} artifact {key} is unpicklable ({exc}); skipping",
+                kind=kind, key=key, error=str(exc),
+            )
             return
         self._mem_put(key, data)
         self._disk_write(self._object_path(kind, key), data)
@@ -250,7 +277,11 @@ class ArtifactStore:
         try:
             return pickle.loads(data)
         except Exception as exc:
-            log.warning("cache: blob %s failed to load (%s); ignoring", name, exc)
+            _warn(
+                "cache.load_failed",
+                f"cache: blob {name} failed to load ({exc}); ignoring",
+                blob=name, error=str(exc),
+            )
             return None
 
     def save_blob(self, name: str, obj: Any) -> None:
@@ -259,7 +290,11 @@ class ArtifactStore:
         try:
             data = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
-            log.warning("cache: blob %s is unpicklable (%s); skipping", name, exc)
+            _warn(
+                "cache.unpicklable",
+                f"cache: blob {name} is unpicklable ({exc}); skipping",
+                blob=name, error=str(exc),
+            )
             return
         self._disk_write(self._blob_path(name), data)
 

@@ -17,6 +17,8 @@ on NF source and ships the resulting model::
     python -m repro cache stats
     python -m repro serve --port 8000 --workers 4
     python -m repro query synthesize nat --port 8000
+    python -m repro trace tail --port 8000
+    python -m repro trace show req-1a2b3c4d5e6f --port 8000
 
 Positional NF arguments accept either a corpus name (see ``list``) or a
 path to an NFPy source file.
@@ -409,6 +411,88 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0 if response.ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect a running server's flight recorder (``/debugz``)."""
+    import json
+
+    from repro.obs.recorder import render_span_tree, to_chrome_trace
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.action in ("tail", "slow", "errors"):
+            kind = "requests" if args.action == "tail" else args.action
+            result = client.debugz(kind, n=args.n).raise_for_status().result or {}
+            rows = result.get("requests") or []
+            if args.json:
+                print(json.dumps(rows, indent=2))
+                return 0
+            if not rows:
+                print("(no requests recorded)")
+                return 0
+            header = (
+                f"{'request id':18s} {'op':12s} {'status':>6s} "
+                f"{'elapsed':>10s}  trace id"
+            )
+            print(header)
+            print("-" * len(header))
+            for row in rows:
+                print(
+                    f"{row.get('request_id', ''):18s} {row.get('op', ''):12s} "
+                    f"{row.get('status', 0):6d} "
+                    f"{row.get('elapsed_ms', 0.0):8.1f}ms  "
+                    f"{row.get('trace_id', '')}"
+                )
+                if row.get("error"):
+                    print(f"    error: {row['error']}")
+            return 0
+
+        request_id = args.request_id
+        if not request_id and args.last:
+            rows = (
+                client.debugz("requests", n=1).raise_for_status().result or {}
+            ).get("requests") or []
+            if not rows:
+                print("error: no requests recorded yet", file=sys.stderr)
+                return 1
+            request_id = rows[0]["request_id"]
+        if not request_id:
+            raise SystemExit(
+                f"error: trace {args.action} needs a request id (or --last)"
+            )
+        detail = client.trace_detail(request_id)
+        if args.action == "show":
+            print(
+                f"request {detail.get('request_id')}  "
+                f"trace {detail.get('trace_id') or '(tracing off)'}  "
+                f"op={detail.get('op')} status={detail.get('status')} "
+                f"elapsed={detail.get('elapsed_ms', 0.0):.1f}ms"
+            )
+            phases = detail.get("phases_ms") or {}
+            if phases:
+                print(
+                    "phases: "
+                    + "  ".join(f"{k}={v:.1f}ms" for k, v in phases.items())
+                )
+            if detail.get("error"):
+                print(f"error: {detail['error']}")
+            print(render_span_tree(detail))
+            return 0
+        # export
+        out = args.chrome or f"{request_id}.chrome.json"
+        Path(out).write_text(
+            json.dumps(to_chrome_trace(detail), indent=2) + "\n"
+        )
+        print(
+            f"wrote chrome trace for {request_id} to {out} "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
+        return 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     spec = load_spec(args.nf, args.entry)
     result = synthesize(spec, args.entry)
@@ -572,6 +656,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chain-a", help="compose: comma-separated chain A")
     p.add_argument("--chain-b", help="compose: comma-separated chain B")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect a running server's request traces (/debugz)",
+    )
+    p.add_argument(
+        "action",
+        choices=["tail", "show", "slow", "errors", "export"],
+        help="tail: recent requests; show: one request's span tree; "
+        "slow/errors: pinned outliers; export: chrome://tracing JSON",
+    )
+    p.add_argument(
+        "request_id", nargs="?",
+        help="request id for show/export (from tail or a response envelope)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--timeout", type=float, default=30.0, help="client timeout")
+    p.add_argument("-n", type=int, default=16, help="list length for tail/slow/errors")
+    p.add_argument(
+        "--last", action="store_true",
+        help="show/export the most recent request instead of naming one",
+    )
+    p.add_argument(
+        "--chrome", metavar="FILE",
+        help="export: output path (default <request-id>.chrome.json)",
+    )
+    p.add_argument("--json", action="store_true", help="emit raw JSON for lists")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("cache", help="inspect or clear the persistent artifact cache")
     p.add_argument(

@@ -1,12 +1,20 @@
-"""Observability for the synthesis pipeline: tracing, metrics, profiles.
+"""Observability for the synthesis pipeline: tracing, metrics, profiles,
+request context, structured logs and a flight recorder.
 
-Three layers, composable and individually usable:
+Six layers, composable and individually usable:
 
 - :mod:`repro.obs.trace` — hierarchical spans over a monotonic clock,
   with an in-memory collector and a JSONL event exporter;
 - :mod:`repro.obs.metrics` — process-local counters, gauges and
-  fixed-bucket histograms;
-- :mod:`repro.obs.report` — folding both into per-phase profile tables.
+  fixed-bucket histograms (labeled via :func:`~repro.obs.metrics.labeled`);
+- :mod:`repro.obs.report` — folding both into per-phase profile tables
+  and the Prometheus text exposition;
+- :mod:`repro.obs.context` — W3C-``traceparent`` request contexts that
+  cross process boundaries (the serve tier's request identity);
+- :mod:`repro.obs.log` — structured JSON logging with trace/request
+  ids injected from the ambient context;
+- :mod:`repro.obs.recorder` — an always-on bounded flight recorder of
+  served requests with stitched span trees (``/debugz``, ``repro trace``).
 
 Everything is **off by default**: pipeline call sites route through
 ambient module-level helpers (``trace.span(...)``,
@@ -26,8 +34,10 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Tuple
 
-from repro.obs import metrics, trace
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import context, log, metrics, recorder, trace
+from repro.obs.context import TraceContext
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, labeled
+from repro.obs.recorder import FlightRecorder, RequestRecord, to_chrome_trace
 from repro.obs.report import (
     collect_profile,
     render_phase_timings,
@@ -39,6 +49,9 @@ from repro.obs.trace import JsonlWriter, Span, Tracer
 __all__ = [
     "trace",
     "metrics",
+    "context",
+    "log",
+    "recorder",
     "Tracer",
     "Span",
     "JsonlWriter",
@@ -46,6 +59,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "labeled",
+    "TraceContext",
+    "FlightRecorder",
+    "RequestRecord",
+    "to_chrome_trace",
     "collect_profile",
     "render_profile",
     "render_phase_timings",

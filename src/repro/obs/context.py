@@ -1,0 +1,167 @@
+"""Request-scoped trace context (W3C ``traceparent``-style).
+
+A :class:`TraceContext` names one distributed request: a 128-bit
+``trace_id`` shared by every process the request touches, the
+``span_id`` of the caller's current span, and the human-facing
+``request_id`` the serve tier mints at admission.  It crosses process
+boundaries as the standard ``traceparent`` header::
+
+    traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+
+``repro.serve`` threads one context through the whole request path:
+the client (:class:`repro.serve.client.ServeClient`) generates it, the
+server parses it off the wire, attaches it to the queue entry, ships
+it into the worker process, and the worker installs it as the
+**ambient context** so pipeline spans, metrics and structured log
+lines (:mod:`repro.obs.log`) all carry the request's identity.
+
+The ambient context lives in a :class:`contextvars.ContextVar`, so it
+is correct per-asyncio-task on the server and per-thread/-process in
+the workers.  When no context is bound — every non-serve entry point —
+:func:`current` returns None and everything downstream stays on its
+zero-cost path.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "TRACEPARENT_HEADER",
+    "REQUEST_ID_HEADER",
+    "new_context",
+    "new_request_id",
+    "parse_traceparent",
+    "current",
+    "install",
+    "uninstall",
+    "bound",
+]
+
+#: The W3C Trace Context request header (lowercased, as the serve
+#: protocol normalizes header names).
+TRACEPARENT_HEADER = "traceparent"
+#: Response header carrying the server-minted request id.
+REQUEST_ID_HEADER = "x-repro-request-id"
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+def _hex(n_bytes: int) -> str:
+    return os.urandom(n_bytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's distributed identity (immutable; derive with replace)."""
+
+    trace_id: str  #: 32 lowercase hex chars, shared across processes
+    span_id: str  #: 16 lowercase hex chars, the caller's current span
+    sampled: bool = True
+    request_id: Optional[str] = None  #: serve-tier request id, if minted
+
+    def traceparent(self) -> str:
+        """The ``traceparent`` header value for this context."""
+        return f"00-{self.trace_id}-{self.span_id}-{'01' if self.sampled else '00'}"
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id (entering a new unit of work)."""
+        return replace(self, span_id=_hex(8))
+
+    def with_request_id(self, request_id: str) -> "TraceContext":
+        return replace(self, request_id=request_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A picklable/JSON-able form (crosses the worker-pool boundary)."""
+        return {
+            "traceparent": self.traceparent(),
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> Optional["TraceContext"]:
+        if not payload:
+            return None
+        ctx = parse_traceparent(payload.get("traceparent"))
+        if ctx is None:
+            return None
+        request_id = payload.get("request_id")
+        return ctx.with_request_id(request_id) if request_id else ctx
+
+
+def new_context(request_id: Optional[str] = None) -> TraceContext:
+    """A fresh root context (new trace id, new span id)."""
+    return TraceContext(
+        trace_id=_hex(16), span_id=_hex(8), request_id=request_id
+    )
+
+
+def new_request_id() -> str:
+    """A short serve-tier request id (``req-`` + 12 hex chars)."""
+    return "req-" + _hex(6)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """A :class:`TraceContext` from a ``traceparent`` value, or None.
+
+    Tolerant by design: anything malformed (wrong field widths, an
+    unknown version, all-zero ids) yields None and the caller starts a
+    fresh trace — a bad client header must never fail a request.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    version, trace_id, span_id, flags = match.groups()
+    if version == "ff":  # forbidden by the spec
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    try:
+        sampled = bool(int(flags, 16) & 0x01)
+    except ValueError:  # pragma: no cover - regex already guarantees hex
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+
+# ---------------------------------------------------------------------------
+# Ambient context
+# ---------------------------------------------------------------------------
+
+_current: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> Optional[TraceContext]:
+    """The ambient trace context, or None outside a traced request."""
+    return _current.get()
+
+
+def install(ctx: Optional[TraceContext]):
+    """Bind ``ctx`` as the ambient context; returns a reset token."""
+    return _current.set(ctx)
+
+
+def uninstall(token) -> None:
+    """Restore the ambient context to what it was before :func:`install`."""
+    _current.reset(token)
+
+
+@contextmanager
+def bound(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Ambient-context scope: ``with bound(ctx): ...``."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)

@@ -1,0 +1,136 @@
+"""Structured JSON logging with automatic trace-context injection.
+
+One JSON object per line, machine-first::
+
+    {"ts": "2026-08-08T12:00:00.123Z", "level": "info",
+     "logger": "repro.serve", "event": "request",
+     "msg": "POST /v1/synthesize -> 200",
+     "trace_id": "4bf92f35...", "request_id": "req-1a2b3c...",
+     "op": "synthesize", "status": 200, "elapsed_ms": 2.1}
+
+Built on stdlib :mod:`logging` so every existing ``logging.getLogger``
+call site (e.g. the ``repro.cache`` corruption warnings) joins the
+structured stream for free once :func:`configure` attaches the
+formatter to the ``repro`` logger tree.  The trace/span/request ids
+come from the ambient :mod:`repro.obs.context` at emit time, so worker
+processes and server tasks tag their lines with the request they are
+serving without any call-site changes.
+
+Zero-configuration cost: until :func:`configure` runs, nothing is
+attached and loggers behave exactly as before (stdlib defaults), so
+library users who never serve pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from repro.obs import context as obs_context
+
+__all__ = [
+    "JsonLogFormatter",
+    "configure",
+    "is_configured",
+    "get_logger",
+    "log_event",
+]
+
+#: ``extra=`` key under which :func:`log_event` stashes structured
+#: fields (a single namespaced key avoids colliding with the reserved
+#: LogRecord attribute names).
+FIELDS_ATTR = "repro_fields"
+#: ``extra=`` key naming the machine-readable event type.
+EVENT_ATTR = "repro_event"
+
+
+def _iso_utc(created: float) -> str:
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(created))
+    return f"{base}.{int((created % 1.0) * 1000):03d}Z"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as one JSON object per line, trace ids injected."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        event: Dict[str, Any] = {
+            "ts": _iso_utc(record.created),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        name = getattr(record, EVENT_ATTR, None)
+        if name:
+            event["event"] = name
+        ctx = obs_context.current()
+        if ctx is not None:
+            event["trace_id"] = ctx.trace_id
+            event["span_id"] = ctx.span_id
+            if ctx.request_id:
+                event["request_id"] = ctx.request_id
+        fields = getattr(record, FIELDS_ATTR, None)
+        if fields:
+            for key, value in fields.items():
+                event.setdefault(key, value)
+        if record.exc_info and record.exc_info[0] is not None:
+            event["exc"] = self.formatException(record.exc_info)
+        return json.dumps(event, sort_keys=True, default=str)
+
+
+_lock = threading.Lock()
+_handler: Optional[logging.Handler] = None
+
+
+def configure(
+    stream: Optional[TextIO] = None,
+    level: int = logging.INFO,
+    logger_name: str = "repro",
+) -> logging.Handler:
+    """Attach the JSON formatter to the ``repro`` logger tree.
+
+    Idempotent: reconfiguring replaces the previous structured handler
+    (tests re-point the stream) instead of stacking duplicates.  The
+    tree stops propagating to the root logger so lines are emitted
+    exactly once, as JSON.
+    """
+    global _handler
+    root = logging.getLogger(logger_name)
+    with _lock:
+        if _handler is not None:
+            root.removeHandler(_handler)
+        _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        _handler.setFormatter(JsonLogFormatter())
+        root.addHandler(_handler)
+        root.setLevel(level)
+        root.propagate = False
+    return _handler
+
+
+def is_configured() -> bool:
+    return _handler is not None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The named logger (structured once :func:`configure` has run)."""
+    return logging.getLogger(name)
+
+
+def log_event(
+    logger: logging.Logger,
+    level: int,
+    event: str,
+    msg: str,
+    **fields: Any,
+) -> None:
+    """Emit one structured event: a machine name, a human message, fields.
+
+    Falls back gracefully under plain (non-JSON) logging: the message
+    still reads sensibly, and the fields ride along on the record for
+    any formatter that wants them.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, msg, extra={EVENT_ATTR: event, FIELDS_ATTR: fields})

@@ -33,6 +33,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "labeled",
     "install",
     "uninstall",
     "active",
@@ -52,6 +53,27 @@ SIZE_BUCKETS: Tuple[float, ...] = (
 )
 
 Number = Union[int, float]
+
+
+def labeled(name: str, **labels: Any) -> str:
+    """A dimensioned instrument name: ``name{key="value",...}``.
+
+    The registry treats the result as an ordinary flat name (each label
+    combination is its own instrument), while the Prometheus renderer
+    (:func:`repro.obs.report.render_prometheus`) parses the suffix back
+    into proper ``{key="value"}`` label sets grouped under one metric
+    family.  Labels are sorted, so the same combination always maps to
+    the same instrument::
+
+        registry.histogram(labeled("serve.endpoint_seconds",
+                                   endpoint="synthesize", status=200))
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
 
 
 class Counter:

@@ -1,0 +1,274 @@
+"""An always-on, bounded flight recorder for served requests.
+
+The serve tier records a :class:`RequestRecord` for **every** request —
+successes, rejections, deadline kills — into three fixed-size stores:
+
+- a ring of the most recent ``capacity`` requests (summaries + span
+  trees while they stay in the ring);
+- the ``keep_slow`` slowest requests seen so far (full span trees
+  pinned beyond the ring, so yesterday's pathological request is still
+  inspectable today);
+- the last ``keep_errors`` erroring requests (status >= 400, except
+  429 backpressure rejections, which are load signals, not faults).
+
+Memory is bounded by construction: at most
+``capacity + keep_slow + keep_errors`` records, each holding at most
+``MAX_SPANS_PER_REQUEST`` span dicts, so the worst case is a few MiB
+regardless of uptime (docs/internals.md §11).  All methods are
+thread-safe and cheap enough to stay on even under load — recording is
+one lock, one deque append and (rarely) one sorted insert.
+
+``GET /debugz/requests|slow|errors`` and the ``repro trace`` CLI read
+these stores; :func:`to_chrome_trace` converts one record's stitched
+span tree into ``chrome://tracing`` / Perfetto JSON.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = [
+    "RequestRecord",
+    "FlightRecorder",
+    "to_chrome_trace",
+    "render_span_tree",
+    "phases_from_spans",
+    "MAX_SPANS_PER_REQUEST",
+]
+
+#: Hard cap on span dicts kept per request (the worker also truncates
+#: its batch to this before shipping it home).
+MAX_SPANS_PER_REQUEST = 512
+
+
+@dataclass
+class RequestRecord:
+    """One served request, as the flight recorder remembers it.
+
+    ``spans`` is the stitched tree as a flat list of span dicts —
+    ``{"span", "parent", "name", "start", "dur", "attrs"}`` with
+    ``start`` seconds relative to the request's admission — or None
+    when tracing was off for the request.
+    """
+
+    request_id: str
+    trace_id: str = ""
+    op: str = ""
+    status: int = 0
+    where: Optional[str] = None  #: 504 provenance (queue/worker/parent)
+    wall_time: float = field(default_factory=time.time)
+    elapsed_ms: float = 0.0
+    phases: Dict[str, float] = field(default_factory=dict)  #: name -> ms
+    error: str = ""
+    spans: Optional[List[Dict[str, Any]]] = None
+    n_spans_dropped: int = 0
+
+    def summary(self) -> Dict[str, Any]:
+        """The list-view dict (no span tree)."""
+        out: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "op": self.op,
+            "status": self.status,
+            "wall_time": round(self.wall_time, 3),
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "phases_ms": {k: round(v, 3) for k, v in self.phases.items()},
+            "n_spans": len(self.spans) if self.spans is not None else None,
+        }
+        if self.where:
+            out["where"] = self.where
+        if self.error:
+            out["error"] = self.error
+        return out
+
+    def detail(self) -> Dict[str, Any]:
+        """The single-request view: summary plus the full span tree."""
+        out = self.summary()
+        out["spans"] = self.spans
+        if self.n_spans_dropped:
+            out["n_spans_dropped"] = self.n_spans_dropped
+        return out
+
+
+class FlightRecorder:
+    """Bounded always-on request history (see module docstring)."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        keep_slow: int = 16,
+        keep_errors: int = 16,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.keep_slow = keep_slow
+        self.keep_errors = keep_errors
+        self._recent: Deque[RequestRecord] = deque(maxlen=capacity)
+        self._slow: List[RequestRecord] = []  # ascending by elapsed_ms
+        self._errors: Deque[RequestRecord] = deque(maxlen=keep_errors)
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    # -- writing -------------------------------------------------------------
+
+    def record(self, rec: RequestRecord) -> None:
+        """Remember one finished request (thread-safe, O(log keep_slow))."""
+        if rec.spans is not None and len(rec.spans) > MAX_SPANS_PER_REQUEST:
+            rec.n_spans_dropped += len(rec.spans) - MAX_SPANS_PER_REQUEST
+            rec.spans = rec.spans[:MAX_SPANS_PER_REQUEST]
+        with self._lock:
+            self._recorded += 1
+            self._recent.append(rec)
+            if self.keep_slow > 0:
+                keys = [r.elapsed_ms for r in self._slow]
+                if len(self._slow) < self.keep_slow:
+                    self._slow.insert(bisect.bisect(keys, rec.elapsed_ms), rec)
+                elif rec.elapsed_ms > self._slow[0].elapsed_ms:
+                    self._slow.pop(0)
+                    keys.pop(0)
+                    self._slow.insert(bisect.bisect(keys, rec.elapsed_ms), rec)
+            if self.keep_errors > 0 and rec.status >= 400 and rec.status != 429:
+                self._errors.append(rec)
+
+    # -- reading -------------------------------------------------------------
+
+    def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Most-recent-first summaries of the last ``n`` requests."""
+        with self._lock:
+            records = list(self._recent)
+        records.reverse()
+        return [r.summary() for r in records[: n or len(records)]]
+
+    def slow(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Slowest-first details (span trees included)."""
+        with self._lock:
+            records = list(reversed(self._slow))
+        return [r.detail() for r in records[: n or len(records)]]
+
+    def errors(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Most-recent-first erroring requests (span trees included)."""
+        with self._lock:
+            records = list(self._errors)
+        records.reverse()
+        return [r.detail() for r in records[: n or len(records)]]
+
+    def get(self, request_id: str) -> Optional[RequestRecord]:
+        """The record for one request id, wherever it is still held."""
+        with self._lock:
+            for store in (self._recent, self._errors, self._slow):
+                for rec in store:
+                    if rec.request_id == request_id:
+                        return rec
+        return None
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "recorded_total": self._recorded,
+                "recent": len(self._recent),
+                "slow": len(self._slow),
+                "errors": len(self._errors),
+                "capacity": self.capacity,
+                "keep_slow": self.keep_slow,
+                "keep_errors": self.keep_errors,
+                "max_spans_per_request": MAX_SPANS_PER_REQUEST,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Exports / rendering (shared by the server and the `repro trace` CLI)
+# ---------------------------------------------------------------------------
+
+
+def phases_from_spans(spans: Optional[List[Dict[str, Any]]]) -> Dict[str, float]:
+    """Per-phase wall time (ms) from a span batch's ``phase.*`` spans.
+
+    This is the "how far did the request get" breakdown: on a deadline
+    kill the batch holds only the phases that finished (plus the one
+    that was interrupted, closed by the unwinding), so a 504 envelope
+    can say *where* the budget went.
+    """
+    out: Dict[str, float] = {}
+    for span in spans or []:
+        name = span.get("name", "")
+        if name.startswith("phase."):
+            phase = name[len("phase."):]
+            out[phase] = out.get(phase, 0.0) + float(span.get("dur", 0.0)) * 1000.0
+    return out
+
+
+def to_chrome_trace(record: Dict[str, Any]) -> Dict[str, Any]:
+    """One request's detail dict as ``chrome://tracing`` JSON.
+
+    Complete (``ph: "X"``) events on one pid/tid, microsecond
+    timestamps relative to the request's admission — load the file in
+    ``chrome://tracing`` or https://ui.perfetto.dev to see the stitched
+    client → queue → worker → pipeline timeline.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in record.get("spans") or []:
+        attrs = dict(span.get("attrs") or {})
+        attrs["span"] = span.get("span")
+        if span.get("parent") is not None:
+            attrs["parent"] = span.get("parent")
+        events.append(
+            {
+                "name": span.get("name", "?"),
+                "ph": "X",
+                "ts": round(float(span.get("start", 0.0)) * 1e6, 3),
+                "dur": round(float(span.get("dur", 0.0)) * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "cat": "repro",
+                "args": attrs,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "request_id": record.get("request_id"),
+            "trace_id": record.get("trace_id"),
+            "op": record.get("op"),
+            "status": record.get("status"),
+        },
+    }
+
+
+def render_span_tree(record: Dict[str, Any]) -> str:
+    """ASCII rendering of a record's span tree (``repro trace show``)."""
+    spans = record.get("spans") or []
+    by_parent: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent"), []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s.get("start", 0.0), s.get("span", 0)))
+
+    lines: List[str] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        for span in by_parent.get(parent, []):
+            start_ms = float(span.get("start", 0.0)) * 1000.0
+            dur_ms = float(span.get("dur", 0.0)) * 1000.0
+            attrs = span.get("attrs") or {}
+            attr_text = (
+                "  " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+                if attrs
+                else ""
+            )
+            lines.append(
+                f"{'  ' * depth}{span.get('name', '?')}  "
+                f"[{start_ms:.2f}ms +{dur_ms:.2f}ms]{attr_text}"
+            )
+            walk(span.get("span"), depth + 1)
+
+    walk(None, 0)
+    if not lines:
+        lines.append("(no spans recorded for this request)")
+    return "\n".join(lines)

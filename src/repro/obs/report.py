@@ -15,7 +15,7 @@ zero self time.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import PHASE_PREFIX, Tracer
@@ -186,8 +186,30 @@ def render_profile(profile: Mapping[str, Any]) -> str:
 # Prometheus exposition (the serve /metrics endpoint)
 # ---------------------------------------------------------------------------
 
+#: ``# HELP`` text per dotted metric family.  Families not listed here
+#: get a generated fallback; add entries as metrics become load-bearing.
+METRIC_HELP: Dict[str, str] = {
+    "serve.requests_total": "HTTP requests received by the serve tier.",
+    "serve.request_seconds": "End-to-end request latency (admission to response).",
+    "serve.endpoint_seconds": "Per-endpoint request latency, labeled by endpoint and status.",
+    "serve.queue_wait_seconds": "Time jobs spent waiting in the admission queue.",
+    "serve.queue_depth": "Requests currently waiting in the admission queue.",
+    "serve.inflight": "Requests currently executing in workers.",
+    "serve.workers": "Worker processes in the pool.",
+    "serve.rejected_queue_full": "Requests rejected with 429 (queue at capacity).",
+    "serve.deadline_exceeded": "Requests killed by their deadline (504).",
+    "serve.loop_lag_seconds": "Event-loop scheduling lag samples.",
+    "serve.loop_lag_max_seconds": "Maximum observed event-loop scheduling lag.",
+    "serve.traced_requests": "Requests recorded with a full stitched span tree.",
+    "solver.check_seconds": "Wall time of individual solver feasibility checks.",
+    "solver.cache_hits": "Constraint-cache hits.",
+    "solver.cache_misses": "Constraint-cache misses.",
+    "cache.disk.errors": "Artifact-store disk failures (store degraded to memory-only).",
+}
+
+
 def _prom_name(name: str) -> str:
-    """Dotted metric names → Prometheus-legal identifiers."""
+    """Dotted metric family names → Prometheus-legal identifiers."""
     out = []
     for ch in name:
         out.append(ch if ch.isalnum() or ch == "_" else "_")
@@ -195,6 +217,20 @@ def _prom_name(name: str) -> str:
     if sanitized and sanitized[0].isdigit():
         sanitized = "_" + sanitized
     return f"repro_{sanitized}"
+
+
+def _split_labels(name: str) -> Tuple[str, str]:
+    """``family{k="v",...}`` → ``(family, 'k="v",...')``; no-label → ``""``.
+
+    The inverse of :func:`repro.obs.metrics.labeled`: registries store
+    labeled instruments under flat composite names, and this peels the
+    label set back off for proper Prometheus exposition.
+    """
+    if name.endswith("}"):
+        brace = name.find("{")
+        if brace > 0:
+            return name[:brace], name[brace + 1:-1]
+    return name, ""
 
 
 def _prom_number(value: Any) -> str:
@@ -209,24 +245,45 @@ def render_prometheus(snapshot: Mapping[str, Any]) -> str:
     Counters/gauges become single samples; histograms expand into
     cumulative ``_bucket{le=...}`` series plus ``_count`` and ``_sum``,
     matching the ``le`` semantics :class:`~repro.obs.metrics.Histogram`
-    already uses.  Used by ``repro serve``'s ``/metrics`` endpoint.
+    already uses.  Instruments named via
+    :func:`repro.obs.metrics.labeled` (``family{k="v"}``) are exposed
+    as one metric family with proper label sets; every family gets
+    ``# HELP`` and ``# TYPE`` metadata exactly once.  Used by
+    ``repro serve``'s ``/metrics`` endpoint.
     """
     lines: List[str] = []
+    described: set = set()
+
+    def meta(family: str, metric: str, kind: str) -> None:
+        if metric in described:
+            return
+        described.add(metric)
+        help_text = METRIC_HELP.get(family, f"repro {kind} {family}")
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+
+    def sample(metric: str, labels: str, suffix: str, value: Any) -> None:
+        label_part = f"{{{labels}}}" if labels else ""
+        lines.append(f"{metric}{suffix}{label_part} {_prom_number(value)}")
+
     for name, value in (snapshot.get("counters") or {}).items():
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_prom_number(value)}")
+        family, labels = _split_labels(name)
+        metric = _prom_name(family)
+        meta(family, metric, "counter")
+        sample(metric, labels, "", value)
     for name, value in (snapshot.get("gauges") or {}).items():
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_prom_number(value)}")
+        family, labels = _split_labels(name)
+        metric = _prom_name(family)
+        meta(family, metric, "gauge")
+        sample(metric, labels, "", value)
     for name, hist in (snapshot.get("histograms") or {}).items():
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} histogram")
+        family, labels = _split_labels(name)
+        metric = _prom_name(family)
+        meta(family, metric, "histogram")
         for le, count in hist.get("buckets") or []:
-            lines.append(
-                f'{metric}_bucket{{le="{_prom_number(le)}"}} {count}'
-            )
-        lines.append(f"{metric}_count {hist.get('count', 0)}")
-        lines.append(f"{metric}_sum {_prom_number(hist.get('sum', 0.0))}")
+            le_label = f'le="{_prom_number(le)}"'
+            merged = f"{labels},{le_label}" if labels else le_label
+            lines.append(f"{metric}_bucket{{{merged}}} {count}")
+        sample(metric, labels, "_count", hist.get("count", 0))
+        sample(metric, labels, "_sum", hist.get("sum", 0.0))
     return "\n".join(lines) + "\n"

@@ -26,6 +26,7 @@ costs one attribute check per call site.
 
 from __future__ import annotations
 
+import atexit
 import json
 import threading
 import time
@@ -94,6 +95,17 @@ class Span:
         end = self.end if self.end is not None else self.tracer._now()
         return end - self.start
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON/pickle-able form (ships across the worker boundary)."""
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 9),
+            "dur": round(self.duration, 9),
+            "attrs": dict(self.attrs),
+        }
+
     def set(self, **attrs: Any) -> "Span":
         """Attach attributes (merged into the span-end event)."""
         self.attrs.update(attrs)
@@ -124,9 +136,13 @@ class Tracer:
         self,
         enabled: bool = True,
         sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.enabled = enabled
         self.sink = sink
+        #: Distributed trace this tracer's spans belong to (set when the
+        #: tracer serves one request; see :mod:`repro.obs.context`).
+        self.trace_id = trace_id
         self.spans: List[Span] = []  #: finished spans, in completion order
         self._t0 = time.perf_counter()
         self._lock = threading.Lock()
@@ -208,6 +224,19 @@ class Tracer:
 
     # -- exporters ----------------------------------------------------------
 
+    def export_spans(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Finished spans as plain dicts, in start order.
+
+        ``limit`` caps the batch (earliest spans win — they are the
+        pipeline's structure; the tail is repetition).  This is what a
+        serve worker ships back to the server for request stitching.
+        """
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: (s.start, s.span_id))
+        if limit is not None and len(spans) > limit:
+            spans = spans[:limit]
+        return [s.to_dict() for s in spans]
+
     def dump_jsonl(self, fh: IO[str]) -> int:
         """Replay the collected spans as JSONL events; returns line count."""
         with self._lock:
@@ -241,7 +270,15 @@ class Tracer:
 
 
 class JsonlWriter:
-    """A live JSONL event sink writing one event per line to a file."""
+    """A live JSONL event sink writing one event per line to a file.
+
+    Failure policy mirrors :class:`repro.cache.store.ArtifactStore`'s
+    unwritable-directory degrade: the first failed write (closed file,
+    full disk, revoked permissions) logs **one** structured warning and
+    disables the sink — tracing must never take down the traced run.
+    Buffered events are flushed at interpreter exit, so a crash-adjacent
+    trace file still holds everything up to the crash.
+    """
 
     def __init__(self, path_or_fh: Any) -> None:
         if hasattr(path_or_fh, "write"):
@@ -251,17 +288,54 @@ class JsonlWriter:
             self._fh = open(path_or_fh, "w", encoding="utf-8")
             self._owned = True
         self._lock = threading.Lock()
+        self._broken = False
+        self._closed = False
+        atexit.register(self._atexit_flush)
 
     def __call__(self, event: Dict[str, Any]) -> None:
+        if self._broken or self._closed:
+            return
         line = json.dumps(event, sort_keys=True, default=str)
         with self._lock:
-            self._fh.write(line + "\n")
+            try:
+                self._fh.write(line + "\n")
+            except (OSError, ValueError) as exc:
+                # ValueError = write to a closed file object.
+                self._broken = True
+                from repro.obs import log as obs_log
+
+                obs_log.log_event(
+                    obs_log.get_logger("repro.obs"),
+                    30,  # logging.WARNING, without importing logging here
+                    "trace.sink_broken",
+                    f"trace sink failed ({exc}); span events are dropped "
+                    "from here on",
+                    error=str(exc),
+                )
+
+    def _atexit_flush(self) -> None:
+        """Best-effort flush at interpreter exit (never raises)."""
+        try:
+            with self._lock:
+                if not self._broken and not self._closed:
+                    self._fh.flush()
+        except (OSError, ValueError):
+            pass
 
     def close(self) -> None:
+        atexit.unregister(self._atexit_flush)
         with self._lock:
-            self._fh.flush()
-            if self._owned:
-                self._fh.close()
+            if self._closed:
+                return
+            self._closed = True
+            if self._broken:
+                return
+            try:
+                self._fh.flush()
+                if self._owned:
+                    self._fh.close()
+            except (OSError, ValueError):
+                pass
 
 
 # ---------------------------------------------------------------------------

@@ -191,20 +191,53 @@ def default_jobs(n_targets: int) -> int:
     return max(1, min(n_targets, os.cpu_count() or 1))
 
 
-def observed_call(fn, *args, **kwargs) -> Tuple[Any, Dict[str, Any]]:
-    """Run ``fn`` under a fresh observer; returns (value, metrics snapshot).
+def observed_call(
+    fn,
+    *args,
+    trace_context: Optional[Any] = None,
+    collector: Optional[Dict[str, Any]] = None,
+    span_limit: Optional[int] = None,
+    **kwargs,
+) -> Tuple[Any, Dict[str, Any], List[Dict[str, Any]]]:
+    """Run ``fn`` under a fresh observer; returns (value, metrics, spans).
 
     The worker-process idiom shared by batch synthesis, frontier
     exploration and the serve pool (:mod:`repro.serve.jobs`): a child
-    runs its work observed and ships the registry snapshot home, where
-    the parent folds it in via :meth:`MetricsRegistry.merge`.
+    runs its work observed and ships the registry snapshot plus its
+    span batch home, where the parent folds the metrics in via
+    :meth:`MetricsRegistry.merge` and stitches the spans into the
+    request's tree.
+
+    ``trace_context`` (a :class:`repro.obs.context.TraceContext`) is
+    installed as the **ambient context** for the call, so structured
+    log lines and the worker tracer carry the request's trace id.
+    ``span_limit`` caps the exported batch; ``span_limit=0`` skips span
+    export entirely (tracing disabled — metrics only).
+
+    ``collector`` (when given) receives ``{"metrics": ..., "spans":
+    ...}`` even when ``fn`` raises — populated in a ``finally`` so a
+    deadline kill (:class:`repro.serve.jobs.JobTimeout`) still recovers
+    the partial trace: spans close during exception unwinding, so the
+    export sees everything that finished before the alarm fired.
     """
     from repro import obs
+    from repro.obs import context as obs_context
 
-    with obs.observed() as (_tracer, registry):
-        value = fn(*args, **kwargs)
-        snapshot = registry.snapshot()
-    return value, snapshot
+    tracer = obs.Tracer(trace_id=getattr(trace_context, "trace_id", None))
+    snapshot: Dict[str, Any] = {}
+    spans: List[Dict[str, Any]] = []
+    with obs_context.bound(trace_context):
+        with obs.observed(tracer=tracer) as (_tracer, registry):
+            try:
+                value = fn(*args, **kwargs)
+            finally:
+                snapshot.update(registry.snapshot())
+                if span_limit != 0:
+                    spans.extend(tracer.export_spans(limit=span_limit))
+                if collector is not None:
+                    collector["metrics"] = snapshot
+                    collector["spans"] = spans
+    return value, snapshot, spans
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,12 @@ Production shape (docs/internals.md §10):
   CPU-bound synthesis never blocks the event loop; each job ships its
   metrics snapshot home and the server folds it into its registry;
 - **graceful drain** on SIGTERM — stop accepting, finish in-flight
-  requests, flush the persistent constraint cache, exit 0.
+  requests, flush the persistent constraint cache, exit 0;
+- **end-to-end request tracing** (docs/internals.md §11) — every
+  request carries a W3C ``traceparent`` context from the client through
+  the queue into the worker, whose span batch is stitched into one tree
+  and kept in an always-on flight recorder (``GET /debugz/requests``,
+  ``repro trace``), with structured JSON logs tagged by request id.
 
 Modules: :mod:`~repro.serve.protocol` (HTTP/JSON framing),
 :mod:`~repro.serve.queue` (admission control),

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.obs import context as obs_context
 from repro.serve.protocol import parse_client_response
 
 
@@ -32,6 +33,11 @@ class ServeResponse:
     status: int
     ok: bool
     payload: Dict[str, Any] = field(default_factory=dict)
+    #: Server-minted request id (``X-Repro-Request-Id`` / envelope).
+    request_id: Optional[str] = None
+    #: The distributed trace id this request ran under (the one the
+    #: client sent, echoed back in the envelope when tracing is on).
+    trace_id: Optional[str] = None
 
     @property
     def result(self) -> Any:
@@ -60,27 +66,44 @@ class ServeResponse:
 
 
 class ServeClient:
-    """A minimal JSON-over-HTTP client for the serve endpoints."""
+    """A minimal JSON-over-HTTP client for the serve endpoints.
+
+    Every request carries a W3C ``traceparent`` header (unless
+    ``tracing=False``): a child of the ambient
+    :class:`repro.obs.context.TraceContext` when one is bound — so a
+    traced caller's requests join its trace — else a fresh root
+    context.  The server echoes the trace/request ids back in the
+    envelope (:attr:`ServeResponse.trace_id` /
+    :attr:`ServeResponse.request_id`), which is all ``repro trace show``
+    needs to pull the stitched span tree from ``/debugz``.
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8000,
-        timeout: float = 120.0,
+        timeout: float = 120.0, tracing: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.tracing = tracing
 
     # -- transport -----------------------------------------------------------
 
     def request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None,
+        ctx: Optional[obs_context.TraceContext] = None,
     ) -> ServeResponse:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
+        if ctx is None and self.tracing:
+            ambient = obs_context.current()
+            ctx = ambient.child() if ambient is not None else obs_context.new_context()
         try:
             payload = None
             headers = {}
+            if ctx is not None:
+                headers[obs_context.TRACEPARENT_HEADER] = ctx.traceparent()
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -88,12 +111,20 @@ class ServeClient:
             response = conn.getresponse()
             raw = response.read()
             status = response.status
+            request_id = response.getheader("X-Repro-Request-Id")
         except (OSError, http.client.HTTPException) as exc:
             raise ServeError(f"{method} {path} failed: {exc}") from exc
         finally:
             conn.close()
         ok, decoded = parse_client_response(status, raw)
-        return ServeResponse(status=status, ok=ok and status == 200, payload=decoded)
+        return ServeResponse(
+            status=status,
+            ok=ok and status == 200,
+            payload=decoded,
+            request_id=decoded.get("request_id") or request_id,
+            trace_id=decoded.get("trace_id")
+            or (ctx.trace_id if ctx is not None else None),
+        )
 
     # -- endpoints -----------------------------------------------------------
 
@@ -120,6 +151,29 @@ class ServeClient:
             raise ServeError(f"GET /metrics failed: {exc}") from exc
         finally:
             conn.close()
+
+    def debugz(
+        self,
+        kind: str = "requests",
+        n: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> ServeResponse:
+        """One flight-recorder view (``requests`` / ``slow`` / ``errors``).
+
+        With ``request_id``, returns that request's detail — summary
+        plus the stitched span tree — regardless of ``kind``.
+        """
+        params = []
+        if request_id:
+            params.append(f"id={request_id}")
+        if n is not None:
+            params.append(f"n={n}")
+        path = f"/debugz/{kind}" + ("?" + "&".join(params) if params else "")
+        return self.request("GET", path)
+
+    def trace_detail(self, request_id: str) -> Dict[str, Any]:
+        """The stitched record for one request id (raises if evicted)."""
+        return self.debugz(request_id=request_id).raise_for_status().result or {}
 
     def _op(self, op: str, body: Dict[str, Any]) -> ServeResponse:
         return self.request("POST", f"/v1/{op}", body)

@@ -314,54 +314,88 @@ OPS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
 }
 
 
-def run_job(payload: Tuple[str, Dict[str, Any], Optional[float]]) -> Dict[str, Any]:
+def run_job(
+    payload: Tuple[str, Dict[str, Any], Optional[float], Optional[Dict[str, Any]]],
+) -> Dict[str, Any]:
     """Pool entry point: run one op under a deadline, observed.
 
-    Returns ``{"status", "result"|"error", "metrics", "elapsed_s"}``;
-    status mirrors the HTTP code the server will send (200/400/500/504).
-    ``where: "worker"`` on a 504 records that the alarm interrupted the
-    job *inside* the worker (vs. the server's backstop timeout).
+    Returns ``{"status", "result"|"error", "metrics", "spans",
+    "elapsed_s"}``; status mirrors the HTTP code the server will send
+    (200/400/500/504).  ``where: "worker"`` on a 504 records that the
+    alarm interrupted the job *inside* the worker (vs. the server's
+    backstop timeout).
+
+    ``trace`` (the 4th payload element) is the request's serialized
+    :class:`~repro.obs.context.TraceContext` — installed as the worker's
+    ambient context so every pipeline span and log line lands under the
+    request's trace — or None when tracing is off, in which case span
+    collection is skipped entirely and only metrics ship home.  On
+    failure the partial span batch is recovered from the collector, so
+    a 504 still reports the phases that ran before the alarm fired.
     """
+    from repro.obs.context import TraceContext
+    from repro.obs.recorder import MAX_SPANS_PER_REQUEST, phases_from_spans
     from repro.parallel import observed_call
 
-    op, body, budget_s = payload
+    op, body, budget_s, trace = payload
+    tracing = trace is not None
+    ctx = TraceContext.from_dict(trace) if tracing else None
     handler = OPS.get(op)
+    collector: Dict[str, Any] = {}
     t0 = time.perf_counter()
     if handler is None:
         return {
             "status": 404,
             "error": f"unknown op {op!r}",
             "metrics": {},
+            "spans": None,
             "elapsed_s": 0.0,
         }
+
+    def _partial_spans():
+        spans = collector.get("spans") or []
+        return spans if tracing else None
+
     try:
         with _deadline_alarm(budget_s):
-            result, snapshot = observed_call(handler, body)
+            result, snapshot, spans = observed_call(
+                handler,
+                body,
+                trace_context=ctx,
+                collector=collector,
+                span_limit=MAX_SPANS_PER_REQUEST if tracing else 0,
+            )
         return {
             "status": 200,
             "result": result,
             "metrics": snapshot,
+            "spans": spans if tracing else None,
             "elapsed_s": time.perf_counter() - t0,
         }
     except JobTimeout:
+        spans = _partial_spans()
         return {
             "status": 504,
             "error": f"deadline exceeded after {budget_s:.3f}s",
             "where": "worker",
-            "metrics": {},
+            "metrics": collector.get("metrics") or {},
+            "spans": spans,
+            "phases": phases_from_spans(spans),
             "elapsed_s": time.perf_counter() - t0,
         }
     except ValueError as exc:
         return {
             "status": 400,
             "error": str(exc),
-            "metrics": {},
+            "metrics": collector.get("metrics") or {},
+            "spans": _partial_spans(),
             "elapsed_s": time.perf_counter() - t0,
         }
     except Exception:
         return {
             "status": 500,
             "error": traceback.format_exc(limit=8),
-            "metrics": {},
+            "metrics": collector.get("metrics") or {},
+            "spans": _partial_spans(),
             "elapsed_s": time.perf_counter() - t0,
         }

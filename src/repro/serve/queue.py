@@ -45,6 +45,15 @@ class Job:
     payload: Dict[str, Any]
     arrival: float
     deadline: Optional[float]  # absolute, on the same clock as arrival
+    #: Serve-tier request id (minted at admission; stable across retries
+    #: of nothing — one id per admitted request).
+    request_id: str = ""
+    #: The request's :class:`repro.obs.context.TraceContext` (None when
+    #: tracing is disabled).
+    ctx: Optional[Any] = None
+    #: When a dispatcher picked the job up (same clock as ``arrival``);
+    #: ``dispatched - arrival`` is the queue wait.
+    dispatched: Optional[float] = None
     future: "asyncio.Future[Dict[str, Any]]" = field(repr=False, default=None)  # type: ignore[assignment]
 
     def remaining(self, now: Optional[float] = None) -> Optional[float]:
@@ -118,6 +127,12 @@ class BoundedRequestQueue:
                 return None
             job = self._items.popleft()
         self._inflight += 1
+        job.dispatched = time.monotonic()
+        registry = self._registry if self._registry is not None else obs_metrics.active()
+        if registry.enabled:
+            registry.histogram("serve.queue_wait_seconds").observe(
+                max(0.0, job.dispatched - job.arrival)
+            )
         self._publish()
         return job
 

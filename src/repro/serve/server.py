@@ -30,15 +30,20 @@ cache, shut the pool down, exit.
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs import context as obs_context
+from repro.obs import log as obs_log
+from repro.obs.metrics import labeled
+from repro.obs.recorder import FlightRecorder, RequestRecord, phases_from_spans
 from repro.serve import protocol
 from repro.serve.jobs import OPS, run_job
 from repro.serve.queue import BoundedRequestQueue, Job, QueueClosed, QueueFull
@@ -85,6 +90,16 @@ class ServeConfig:
     grace_s: float = 2.0
     #: Event-loop lag probe period (0 disables the probe).
     lag_probe_interval_s: float = 0.05
+    #: Request tracing: parse/mint trace contexts, collect worker span
+    #: batches and stitch them into the flight recorder.  Off = request
+    #: ids + metrics only (the overhead benchmark's baseline).
+    tracing: bool = True
+    #: Flight-recorder ring size (recent requests, span trees included).
+    recorder_capacity: int = 128
+    #: Slowest requests pinned beyond the ring.
+    recorder_keep_slow: int = 16
+    #: Erroring requests pinned beyond the ring.
+    recorder_keep_errors: int = 16
 
     def effective_workers(self) -> int:
         return self.workers if self.workers > 0 else (os.cpu_count() or 1)
@@ -102,6 +117,12 @@ class Server:
         self.queue = BoundedRequestQueue(
             self.config.queue_size, registry=self.registry
         )
+        self.recorder = FlightRecorder(
+            capacity=self.config.recorder_capacity,
+            keep_slow=self.config.recorder_keep_slow,
+            keep_errors=self.config.recorder_keep_errors,
+        )
+        self._log = obs_log.get_logger("repro.serve")
         self.draining = False
         self.port: Optional[int] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -269,6 +290,10 @@ class Server:
             if request.query.get("format") == "json":
                 return 200, protocol.ok_envelope(snapshot), None
             return 200, _RawText(render_prometheus(snapshot)), None
+        if path == "/debugz" or path.startswith("/debugz/"):
+            if request.method != "GET":
+                return 405, protocol.error_envelope(405, "use GET"), None
+            return self._debugz(path, request.query)
         if path.startswith("/v1/"):
             op = path[len("/v1/"):]
             if op not in OPS:
@@ -283,8 +308,47 @@ class Server:
                 return exc.status, protocol.error_envelope(
                     exc.status, exc.message
                 ), None
-            return await self._submit(op, body)
+            return await self._submit(op, body, request)
         return 404, protocol.error_envelope(404, f"unknown path {path!r}"), None
+
+    def _debugz(
+        self, path: str, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        """The flight-recorder views (``/debugz/requests|slow|errors``).
+
+        ``?id=<request-id>`` on any view returns that one request's
+        detail (summary + stitched span tree); otherwise ``?n=`` caps
+        the list length (default 32).
+        """
+        kind = path[len("/debugz"):].strip("/") or "requests"
+        if kind not in ("requests", "slow", "errors"):
+            return 404, protocol.error_envelope(
+                404, f"unknown debugz view {kind!r} (have: requests, slow, errors)"
+            ), None
+        request_id = query.get("id")
+        if request_id:
+            rec = self.recorder.get(request_id)
+            if rec is None:
+                return 404, protocol.error_envelope(
+                    404, f"no record for request {request_id!r} "
+                    "(evicted from the flight recorder?)"
+                ), None
+            return 200, protocol.ok_envelope(rec.detail()), None
+        try:
+            n = int(query.get("n", "32"))
+        except ValueError:
+            return 400, protocol.error_envelope(
+                400, f"bad n: {query.get('n')!r}"
+            ), None
+        if kind == "requests":
+            data = self.recorder.recent(n)
+        elif kind == "slow":
+            data = self.recorder.slow(n)
+        else:
+            data = self.recorder.errors(n)
+        return 200, protocol.ok_envelope(
+            {"requests": data, "stats": self.recorder.stats()}
+        ), None
 
     def _health(self) -> Dict[str, Any]:
         return {
@@ -310,35 +374,65 @@ class Server:
         return min(timeout, self.config.max_timeout_s)
 
     async def _submit(
-        self, op: str, body: Dict[str, Any]
+        self, op: str, body: Dict[str, Any],
+        request: Optional[protocol.HttpRequest] = None,
     ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        request_id = obs_context.new_request_id()
+        ctx: Optional[obs_context.TraceContext] = None
+        if self.config.tracing:
+            # Continue the client's trace when it sent a (valid)
+            # traceparent; mint a fresh one otherwise.
+            parent = None
+            if request is not None:
+                parent = obs_context.parse_traceparent(
+                    request.headers.get(obs_context.TRACEPARENT_HEADER)
+                )
+            ctx = (parent or obs_context.new_context()).with_request_id(request_id)
+        headers = {"X-Repro-Request-Id": request_id}
+        t_admit = time.monotonic()
+
         if self.draining:
             self.registry.counter("serve.draining_rejected").inc()
-            return 503, protocol.error_envelope(
-                503, "server is draining"
-            ), {"Retry-After": "1"}
+            headers["Retry-After"] = "1"
+            return self._finish(
+                op, 503, request_id, ctx, t_admit,
+                protocol.error_envelope(503, "server is draining"),
+                headers, error="server is draining",
+            )
         try:
             timeout_s = self._timeout_for(body)
         except protocol.ProtocolError as exc:
-            return exc.status, protocol.error_envelope(exc.status, exc.message), None
-        now = time.monotonic()
+            return self._finish(
+                op, exc.status, request_id, ctx, t_admit,
+                protocol.error_envelope(exc.status, exc.message),
+                headers, error=exc.message,
+            )
         job = Job(
             job_id=next(self._job_ids),
             op=op,
             payload=body,
-            arrival=now,
-            deadline=now + timeout_s,
+            arrival=t_admit,
+            deadline=t_admit + timeout_s,
+            request_id=request_id,
+            ctx=ctx,
         )
         try:
             self.queue.submit(job)
         except QueueFull as exc:
             self.registry.counter("serve.rejected_queue_full").inc()
-            return 429, protocol.error_envelope(429, str(exc)), {"Retry-After": "1"}
+            headers["Retry-After"] = "1"
+            return self._finish(
+                op, 429, request_id, ctx, t_admit,
+                protocol.error_envelope(429, str(exc)), headers, error=str(exc),
+            )
         except QueueClosed:
             self.registry.counter("serve.draining_rejected").inc()
-            return 503, protocol.error_envelope(
-                503, "server is draining"
-            ), {"Retry-After": "1"}
+            headers["Retry-After"] = "1"
+            return self._finish(
+                op, 503, request_id, ctx, t_admit,
+                protocol.error_envelope(503, "server is draining"),
+                headers, error="server is draining",
+            )
         self.registry.counter(f"serve.op.{op}").inc()
         # The dispatcher always resolves the future (worker alarm, then
         # parent backstop); the extra slack here only guards against a
@@ -346,11 +440,15 @@ class Server:
         outcome = await asyncio.wait_for(
             job.future, timeout_s + 2 * self.config.grace_s + 5.0
         )
-        elapsed_ms = (time.monotonic() - job.arrival) * 1000.0
-        self.registry.histogram("serve.request_seconds").observe(
-            elapsed_ms / 1000.0
-        )
+        elapsed_s = time.monotonic() - job.arrival
+        elapsed_ms = elapsed_s * 1000.0
+        self.registry.histogram("serve.request_seconds").observe(elapsed_s)
         status = outcome.get("status", 500)
+        worker_spans = outcome.pop("spans", None)
+        phases = outcome.pop("phases", None) or phases_from_spans(worker_spans)
+        spans = None
+        if worker_spans is not None and ctx is not None:
+            spans = self._stitch(job, worker_spans, outcome, elapsed_s)
         if status == 200:
             envelope = protocol.ok_envelope(
                 outcome.get("result"), elapsed_ms=round(elapsed_ms, 3)
@@ -364,7 +462,127 @@ class Server:
                 where=outcome.get("where"),
             )
             envelope["elapsed_ms"] = round(elapsed_ms, 3)
-        return status, envelope, None
+            if status == 504 and phases:
+                # Where the budget went before the deadline fired.
+                envelope["phases_ms"] = {
+                    k: round(v, 3) for k, v in phases.items()
+                }
+        return self._finish(
+            op, status, request_id, ctx, t_admit, envelope, headers,
+            where=outcome.get("where"), spans=spans, phases=phases,
+            error="" if status == 200 else str(outcome.get("error", ""))[:200],
+        )
+
+    def _finish(
+        self,
+        op: str,
+        status: int,
+        request_id: str,
+        ctx: Optional[obs_context.TraceContext],
+        t_admit: float,
+        envelope: Dict[str, Any],
+        headers: Dict[str, str],
+        *,
+        where: Optional[str] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
+        phases: Optional[Dict[str, float]] = None,
+        error: str = "",
+    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        """Every request's exit ramp: histogram, flight record, access log.
+
+        Early rejections (429/503/bad timeout) come through here too, so
+        the flight recorder sees *every* admission decision, not just
+        jobs that reached a worker.
+        """
+        elapsed_ms = (time.monotonic() - t_admit) * 1000.0
+        trace_id = ctx.trace_id if ctx is not None else ""
+        self.registry.histogram(
+            labeled("serve.endpoint_seconds", endpoint=op, status=status)
+        ).observe(elapsed_ms / 1000.0)
+        if spans:
+            self.registry.counter("serve.traced_requests").inc()
+        self.recorder.record(
+            RequestRecord(
+                request_id=request_id,
+                trace_id=trace_id,
+                op=op,
+                status=status,
+                where=where,
+                elapsed_ms=elapsed_ms,
+                phases=dict(phases or {}),
+                error=error,
+                spans=spans,
+            )
+        )
+        envelope["request_id"] = request_id
+        if trace_id:
+            envelope["trace_id"] = trace_id
+        fields: Dict[str, Any] = {
+            "op": op,
+            "status": status,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "request_id": request_id,
+        }
+        if trace_id:
+            fields["trace_id"] = trace_id
+        if where:
+            fields["where"] = where
+        obs_log.log_event(
+            self._log,
+            logging.INFO if status < 500 else logging.ERROR,
+            "serve.request",
+            f"{op} -> {status} in {elapsed_ms:.1f}ms",
+            **fields,
+        )
+        return status, envelope, headers
+
+    def _stitch(
+        self,
+        job: Job,
+        worker_spans: List[Dict[str, Any]],
+        outcome: Dict[str, Any],
+        elapsed_s: float,
+    ) -> List[Dict[str, Any]]:
+        """One request tree: request root → queue.wait / worker → pipeline.
+
+        Three synthetic server-side spans (ids 1–3) frame the request on
+        the server's timeline; the worker's span batch is appended with
+        ids shifted past them and ``start`` rebased from the worker's
+        clock onto seconds-since-admission (worker t0 ≈ dispatch time,
+        so the rebase offset is the queue wait).
+        """
+        dispatched = job.dispatched if job.dispatched is not None else job.arrival
+        queue_wait = max(0.0, dispatched - job.arrival)
+        worker_elapsed = float(outcome.get("elapsed_s") or 0.0)
+        spans: List[Dict[str, Any]] = [
+            {
+                "span": 1, "parent": None, "name": f"request.{job.op}",
+                "start": 0.0, "dur": round(elapsed_s, 9),
+                "attrs": {"op": job.op, "request_id": job.request_id},
+            },
+            {
+                "span": 2, "parent": 1, "name": "queue.wait",
+                "start": 0.0, "dur": round(queue_wait, 9), "attrs": {},
+            },
+            {
+                "span": 3, "parent": 1, "name": "worker",
+                "start": round(queue_wait, 9), "dur": round(worker_elapsed, 9),
+                "attrs": {},
+            },
+        ]
+        for s in worker_spans:
+            parent = s.get("parent")
+            spans.append(
+                {
+                    "span": int(s.get("span", 0)) + 3,
+                    "parent": int(parent) + 3 if parent is not None else 3,
+                    "name": s.get("name", "?"),
+                    "start": round(queue_wait + float(s.get("start", 0.0)), 9),
+                    "dur": s.get("dur", 0.0),
+                    "attrs": s.get("attrs") or {},
+                }
+            )
+        return spans
 
     # -- dispatchers ---------------------------------------------------------
 
@@ -399,8 +617,9 @@ class Server:
                 "where": "queue",
             }
         assert self._pool is not None and self._loop is not None
+        trace = job.ctx.to_dict() if job.ctx is not None else None
         fut = self._loop.run_in_executor(
-            self._pool, run_job, (job.op, job.payload, remaining)
+            self._pool, run_job, (job.op, job.payload, remaining, trace)
         )
         backstop = None if remaining is None else remaining + self.config.grace_s
         try:
@@ -437,21 +656,28 @@ class _RawText:
 
 def run_server(config: Optional[ServeConfig] = None, *, ready=None) -> int:
     """Blocking entry point (the ``repro serve`` CLI): run until drained."""
+    obs_log.configure()
+    log = obs_log.get_logger("repro.serve")
 
     async def main() -> None:
         server = Server(config)
         await server.start()
         server.install_signal_handlers()
-        print(
-            f"repro serve: listening on {server.config.host}:{server.port} "
+        obs_log.log_event(
+            log, logging.INFO, "serve.start",
+            f"listening on {server.config.host}:{server.port} "
             f"({server.config.effective_workers()} workers, "
             f"queue {server.config.queue_size})",
-            flush=True,
+            host=server.config.host,
+            port=server.port,
+            workers=server.config.effective_workers(),
+            queue_size=server.config.queue_size,
+            tracing=server.config.tracing,
         )
         if ready is not None:
             ready(server)
         await server.serve_forever()
-        print("repro serve: drained, bye", flush=True)
+        obs_log.log_event(log, logging.INFO, "serve.drained", "drained, bye")
 
     try:
         asyncio.run(main())

@@ -1,0 +1,456 @@
+"""End-to-end request observability: context, logs, recorder, /debugz.
+
+The PR-6 acceptance behaviours under test:
+
+- a client-sent W3C ``traceparent`` is honoured end-to-end: the same
+  trace id shows up in the response envelope and the flight recorder,
+  and the worker's pipeline spans (``se.explore``) are stitched under
+  the request's span tree;
+- two concurrent requests never cross-contaminate traces;
+- a deadline kill (504) still reports its trace id and the phases that
+  completed before the alarm fired;
+- the disabled path stays cheap and silent (``tracing=False`` records
+  summaries only, no span trees);
+- the support layers behave: tolerant traceparent parsing, labeled
+  Prometheus exposition with HELP/TYPE metadata, a JsonlWriter that
+  degrades (once, with a structured warning) instead of raising, and a
+  flight recorder whose memory stays bounded by construction.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.obs import context as obs_context
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, labeled
+from repro.obs.recorder import (
+    MAX_SPANS_PER_REQUEST,
+    FlightRecorder,
+    RequestRecord,
+    phases_from_spans,
+    render_span_tree,
+    to_chrome_trace,
+)
+from repro.obs.report import render_prometheus
+from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+
+# -- trace context ------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_traceparent_roundtrip(self):
+        ctx = obs_context.new_context()
+        parsed = obs_context.parse_traceparent(ctx.traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+        assert parsed.sampled
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-span-01",
+            "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",  # forbidden version
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace id
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+        ],
+    )
+    def test_malformed_traceparent_rejected(self, header):
+        assert obs_context.parse_traceparent(header) is None
+
+    def test_child_keeps_trace_changes_span(self):
+        ctx = obs_context.new_context(request_id="req-x")
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.request_id == "req-x"
+
+    def test_dict_roundtrip_crosses_process_boundary(self):
+        ctx = obs_context.new_context().with_request_id("req-abc")
+        back = obs_context.TraceContext.from_dict(ctx.to_dict())
+        assert back.trace_id == ctx.trace_id
+        assert back.request_id == "req-abc"
+
+    def test_ambient_binding_scopes(self):
+        assert obs_context.current() is None
+        ctx = obs_context.new_context()
+        with obs_context.bound(ctx):
+            assert obs_context.current() is ctx
+            with obs_context.bound(None):
+                assert obs_context.current() is None
+            assert obs_context.current() is ctx
+        assert obs_context.current() is None
+
+
+# -- labeled metrics / prometheus exposition ----------------------------------
+
+
+class TestLabeledPrometheus:
+    def test_help_and_type_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            labeled("serve.endpoint_seconds", endpoint="synthesize", status=200)
+        ).observe(0.01)
+        registry.histogram(
+            labeled("serve.endpoint_seconds", endpoint="simulate", status=400)
+        ).observe(0.02)
+        registry.counter("serve.requests_total").inc()
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# HELP repro_serve_endpoint_seconds ") == 1
+        assert text.count("# TYPE repro_serve_endpoint_seconds histogram") == 1
+        assert (
+            'repro_serve_endpoint_seconds_bucket{endpoint="synthesize",'
+            'status="200",le="+Inf"} 1' in text
+        )
+        assert 'repro_serve_endpoint_seconds_count{endpoint="simulate",status="400"} 1' in text
+        # Unlabeled metric names are byte-compatible with the old exposition.
+        assert "\nrepro_serve_requests_total 1\n" in text
+
+    def test_labeled_name_is_sorted_and_stable(self):
+        assert (
+            labeled("f.x", b=2, a="y")
+            == labeled("f.x", a="y", b=2)
+            == 'f.x{a="y",b="2"}'
+        )
+
+
+# -- structured logging -------------------------------------------------------
+
+
+@contextmanager
+def _structured_log():
+    """configure() into a StringIO, restoring stdlib behaviour after."""
+    stream = io.StringIO()
+    handler = obs_log.configure(stream=stream)
+    try:
+        yield stream
+    finally:
+        root = logging.getLogger("repro")
+        root.removeHandler(handler)
+        root.propagate = True
+        obs_log._handler = None
+
+
+class TestStructuredLog:
+    def test_json_line_with_trace_injection(self):
+        with _structured_log() as stream:
+            ctx = obs_context.new_context().with_request_id("req-42")
+            with obs_context.bound(ctx):
+                obs_log.log_event(
+                    obs_log.get_logger("repro.serve"),
+                    logging.INFO,
+                    "serve.request",
+                    "synthesize -> 200",
+                    op="synthesize",
+                    status=200,
+                )
+        line = json.loads(stream.getvalue().strip())
+        assert line["event"] == "serve.request"
+        assert line["trace_id"] == ctx.trace_id
+        assert line["request_id"] == "req-42"
+        assert line["status"] == 200
+        assert line["level"] == "info"
+
+    def test_no_context_no_trace_keys(self):
+        with _structured_log() as stream:
+            obs_log.log_event(
+                obs_log.get_logger("repro.cache"), logging.WARNING,
+                "cache.corrupt", "bad file", path="/x",
+            )
+        line = json.loads(stream.getvalue().strip())
+        assert "trace_id" not in line
+        assert line["path"] == "/x"
+
+
+# -- JsonlWriter degrade ------------------------------------------------------
+
+
+class TestJsonlWriterDegrade:
+    def test_closed_sink_degrades_with_one_warning(self, caplog):
+        fh = io.StringIO()
+        writer = obs_trace.JsonlWriter(fh)
+        writer({"ev": "B", "span": 1})
+        fh.close()
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            writer({"ev": "E", "span": 1})  # must not raise
+            writer({"ev": "B", "span": 2})  # silently dropped
+        warnings = [r for r in caplog.records if "trace sink failed" in r.message]
+        assert len(warnings) == 1
+        writer.close()  # idempotent, exception-tolerant
+
+    def test_tracer_keeps_working_after_sink_breaks(self):
+        fh = io.StringIO()
+        writer = obs_trace.JsonlWriter(fh)
+        tracer = obs_trace.Tracer(sink=writer)
+        fh.close()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.spans] == ["b", "a"]
+        writer.close()
+
+
+# -- flight recorder ----------------------------------------------------------
+
+
+def _rec(i, status=200, elapsed=1.0, spans=None):
+    return RequestRecord(
+        request_id=f"req-{i}", trace_id=f"t{i}", op="synthesize",
+        status=status, elapsed_ms=elapsed, spans=spans,
+    )
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_most_recent_first(self):
+        rec = FlightRecorder(capacity=4, keep_slow=2, keep_errors=2)
+        for i in range(10):
+            rec.record(_rec(i, elapsed=float(i)))
+        recent = rec.recent()
+        assert [r["request_id"] for r in recent] == [
+            "req-9", "req-8", "req-7", "req-6"
+        ]
+        stats = rec.stats()
+        assert stats["recorded_total"] == 10
+        assert stats["recent"] == 4
+
+    def test_slow_pins_beyond_ring(self):
+        rec = FlightRecorder(capacity=2, keep_slow=2, keep_errors=2)
+        rec.record(_rec("slowest", elapsed=500.0))
+        for i in range(6):
+            rec.record(_rec(i, elapsed=1.0))
+        slow_ids = [r["request_id"] for r in rec.slow()]
+        assert slow_ids[0] == "req-slowest"
+        assert rec.get("req-slowest") is not None  # evicted from ring, pinned
+
+    def test_errors_kept_429_excluded(self):
+        rec = FlightRecorder(capacity=8, keep_slow=2, keep_errors=4)
+        rec.record(_rec("ok", status=200))
+        rec.record(_rec("bad", status=500))
+        rec.record(_rec("busy", status=429))
+        rec.record(_rec("late", status=504))
+        err_ids = [r["request_id"] for r in rec.errors()]
+        assert err_ids == ["req-late", "req-bad"]
+
+    def test_span_cap_truncates_and_counts(self):
+        spans = [
+            {"span": i, "parent": None, "name": "s", "start": 0.0, "dur": 0.0,
+             "attrs": {}}
+            for i in range(MAX_SPANS_PER_REQUEST + 50)
+        ]
+        rec = FlightRecorder(capacity=2)
+        rec.record(_rec("big", spans=spans))
+        detail = rec.get("req-big").detail()
+        assert len(detail["spans"]) == MAX_SPANS_PER_REQUEST
+        assert detail["n_spans_dropped"] == 50
+
+    def test_chrome_trace_shape(self):
+        spans = [
+            {"span": 1, "parent": None, "name": "request.x", "start": 0.0,
+             "dur": 0.01, "attrs": {"op": "x"}},
+            {"span": 2, "parent": 1, "name": "worker", "start": 0.001,
+             "dur": 0.008, "attrs": {}},
+        ]
+        rec = _rec("c", spans=spans)
+        chrome = to_chrome_trace(rec.detail())
+        assert len(chrome["traceEvents"]) == 2
+        ev = chrome["traceEvents"][0]
+        assert ev["ph"] == "X" and ev["ts"] == 0.0 and ev["dur"] == 10000.0
+        assert chrome["otherData"]["request_id"] == "req-c"
+        tree = render_span_tree(rec.detail())
+        assert "request.x" in tree and "  worker" in tree
+
+    def test_phases_from_spans(self):
+        spans = [
+            {"name": "phase.parse", "dur": 0.002},
+            {"name": "phase.slice", "dur": 0.001},
+            {"name": "phase.slice", "dur": 0.003},
+            {"name": "se.explore", "dur": 0.5},
+        ]
+        phases = phases_from_spans(spans)
+        assert phases == pytest.approx({"parse": 2.0, "slice": 4.0})
+
+
+# -- integration: real sockets, real workers ----------------------------------
+
+
+@contextmanager
+def serve(monkeypatch, *, workers=1, test_ops=False, **config_kwargs):
+    if test_ops:
+        monkeypatch.setenv("REPRO_SERVE_TEST_OPS", "1")
+    config = ServeConfig(port=0, workers=workers, queue_size=8, **config_kwargs)
+    handle = ServerHandle(config)
+    handle.start()
+    try:
+        yield handle, ServeClient("127.0.0.1", handle.port, timeout=60)
+    finally:
+        handle.stop()
+
+
+def _walk_to_root(spans, span):
+    by_id = {s["span"]: s for s in spans}
+    names = [span["name"]]
+    while span.get("parent") is not None:
+        span = by_id[span["parent"]]
+        names.append(span["name"])
+    return names
+
+
+class TestRequestTracingEndToEnd:
+    def test_client_traceparent_reaches_debugz_and_stitches(self, monkeypatch):
+        with serve(monkeypatch, workers=1) as (handle, client):
+            ctx = obs_context.new_context()
+            response = client.request(
+                "POST", "/v1/synthesize", {"nf": "monitor"}, ctx=ctx
+            ).raise_for_status()
+            assert response.trace_id == ctx.trace_id
+            assert response.request_id.startswith("req-")
+            assert response.payload["trace_id"] == ctx.trace_id
+
+            detail = client.trace_detail(response.request_id)
+            assert detail["trace_id"] == ctx.trace_id
+            assert detail["status"] == 200
+            spans = detail["spans"]
+            assert spans[0]["name"] == "request.synthesize"
+            names = {s["name"] for s in spans}
+            assert {"queue.wait", "worker", "se.explore"} <= names
+            # The worker's pipeline spans are parented under the stitched
+            # worker span, which hangs off the request root.
+            explore = next(s for s in spans if s["name"] == "se.explore")
+            lineage = _walk_to_root(spans, explore)
+            assert lineage[-1] == "request.synthesize"
+            assert "worker" in lineage
+            # Phase breakdown is derived from the same batch.
+            assert "parse" in detail["phases_ms"]
+
+            # The structured summary also lands in /debugz/requests.
+            listing = client.debugz("requests").raise_for_status().result
+            ids = [r["request_id"] for r in listing["requests"]]
+            assert response.request_id in ids
+
+            # Labeled per-endpoint latency histograms are exposed.
+            text = client.metrics_text()
+            assert "# HELP repro_serve_endpoint_seconds" in text
+            assert (
+                'repro_serve_endpoint_seconds_bucket{endpoint="synthesize",'
+                'status="200",le=' in text
+            )
+            assert "repro_serve_queue_wait_seconds_count" in text
+            snapshot = client.metrics()
+            assert snapshot["counters"]["serve.traced_requests"] >= 1
+
+    def test_concurrent_requests_do_not_cross_contaminate(self, monkeypatch):
+        with serve(monkeypatch, workers=2) as (handle, client):
+            ctxs = {
+                "monitor": obs_context.new_context(),
+                "firewall": obs_context.new_context(),
+            }
+            responses = {}
+            lock = threading.Lock()
+
+            def fire(nf):
+                r = client.request(
+                    "POST", "/v1/synthesize", {"nf": nf}, ctx=ctxs[nf]
+                ).raise_for_status()
+                with lock:
+                    responses[nf] = r
+
+            threads = [
+                threading.Thread(target=fire, args=(nf,)) for nf in ctxs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert responses["monitor"].trace_id == ctxs["monitor"].trace_id
+            assert responses["firewall"].trace_id == ctxs["firewall"].trace_id
+            assert (
+                responses["monitor"].request_id
+                != responses["firewall"].request_id
+            )
+            for nf, r in responses.items():
+                detail = client.trace_detail(r.request_id)
+                assert detail["trace_id"] == ctxs[nf].trace_id
+                synth = [
+                    s for s in detail["spans"] if s["name"] == "synthesize"
+                ]
+                assert len(synth) == 1
+                assert synth[0]["attrs"]["nf"] == nf
+
+    def test_deadline_kill_reports_trace_and_partial_phases(self, monkeypatch):
+        with serve(monkeypatch, workers=1, test_ops=True) as (handle, client):
+            ctx = obs_context.new_context()
+            response = client.request(
+                "POST", "/v1/sleep",
+                {"seconds": 5.0, "timeout_s": 0.2}, ctx=ctx,
+            )
+            assert response.status == 504
+            assert response.payload["trace_id"] == ctx.trace_id
+            assert response.payload["error"]["where"] == "worker"
+            assert response.request_id
+
+            detail = client.trace_detail(response.request_id)
+            assert detail["status"] == 504
+            assert detail["spans"][0]["name"] == "request.sleep"
+            errors = client.debugz("errors").raise_for_status().result
+            assert response.request_id in [
+                r["request_id"] for r in errors["requests"]
+            ]
+
+            # A synthesis killed mid-pipeline still reports the phases
+            # that finished before the alarm (retry to dodge timing luck).
+            for _ in range(5):
+                killed = client.request(
+                    "POST", "/v1/synthesize",
+                    {"nf": "snortlite", "timeout_s": 0.03},
+                )
+                if killed.status == 504 and killed.payload.get("phases_ms"):
+                    break
+            if killed.status == 504:
+                assert killed.payload.get("phases_ms", {}) is not None
+
+    def test_tracing_off_records_summaries_only(self, monkeypatch):
+        with serve(monkeypatch, workers=1, tracing=False) as (handle, client):
+            response = client.synthesize("monitor").raise_for_status()
+            assert response.request_id.startswith("req-")
+            assert "trace_id" not in response.payload
+            detail = client.trace_detail(response.request_id)
+            assert detail["trace_id"] == ""
+            assert detail["spans"] is None
+            listing = client.debugz("requests").raise_for_status().result
+            assert listing["requests"][0]["n_spans"] is None
+
+    def test_invalid_traceparent_gets_fresh_trace(self, monkeypatch):
+        with serve(monkeypatch, workers=1, test_ops=True) as (handle, client):
+            import http.client as hc
+
+            conn = hc.HTTPConnection("127.0.0.1", handle.port, timeout=30)
+            try:
+                conn.request(
+                    "POST", "/v1/sleep",
+                    body=json.dumps({"seconds": 0.01}).encode(),
+                    headers={
+                        "Content-Type": "application/json",
+                        "traceparent": "00-zzzz-bad-01",
+                    },
+                )
+                raw = conn.getresponse()
+                payload = json.loads(raw.read())
+            finally:
+                conn.close()
+            assert payload["ok"] is True
+            # Malformed header → server minted a fresh, valid trace.
+            assert len(payload["trace_id"]) == 32
