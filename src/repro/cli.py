@@ -168,11 +168,113 @@ def cmd_categories(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run packets through a synthesized model locally (compiled by default)."""
+    import json
+
+    from repro.net.packet import Packet
+
+    spec = load_spec(args.nf, args.entry)
+    result = synthesize(spec, args.entry)
+    packets = []
+    if args.packet:
+        for text in args.packet:
+            fields = {}
+            for assign in text.split(","):
+                name, sep, value = assign.partition("=")
+                if not sep:
+                    raise SystemExit(
+                        f"error: bad --packet field {assign!r} (want name=value)"
+                    )
+                fields[name.strip()] = int(value, 0)
+            try:
+                packets.append(Packet.from_dict(fields))
+            except (AttributeError, TypeError, ValueError) as exc:
+                raise SystemExit(f"error: bad packet {text!r}: {exc}")
+    else:
+        from repro.net.generator import TrafficGenerator, WorkloadSpec
+
+        workload = WorkloadSpec(
+            n_packets=args.packets, seed=args.seed,
+            interesting=spec.interesting or {},
+        )
+        packets = list(TrafficGenerator(workload).packets())
+
+    compiled = not args.no_compile
+    if compiled:
+        sim = result.make_compiled_simulator()
+        sent_lists = sim.process_many(packets)
+    else:
+        sim = result.make_simulator()
+        sent_lists = [sim.process(pkt) for pkt in packets]
+    stats = sim.stats
+    payload = {
+        "name": result.model.name,
+        "compiled": compiled,
+        "stats": {
+            "packets": stats.packets,
+            "forwarded": stats.forwarded,
+            "dropped_default": stats.dropped_default,
+            "dropped_entry": stats.dropped_entry,
+            "guard_evals": stats.guard_evals,
+            "compiled_dispatches": stats.compiled_dispatches,
+        },
+    }
+    if compiled:
+        cm = result._compiled_model
+        payload["compile"] = {
+            "n_entries": cm.n_entries,
+            "n_live": cm.n_live,
+            "n_pruned": cm.n_pruned,
+            "tree_depth": cm.tree_depth,
+            "compile_seconds": round(cm.compile_seconds, 6),
+        }
+    if args.json:
+        payload["outputs"] = [
+            {
+                "forwarded": bool(sent),
+                "sent": [
+                    {"packet": out.to_dict(), "port": port}
+                    for out, port in sent
+                ],
+            }
+            for sent in sent_lists
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    mode = "compiled" if compiled else "interpreted"
+    print(f"{result.model.name}: {stats.packets} packets ({mode})")
+    print(
+        f"  forwarded {stats.forwarded}  dropped(default) "
+        f"{stats.dropped_default}  dropped(entry) {stats.dropped_entry}"
+    )
+    print(f"  guard evals {stats.guard_evals}", end="")
+    if compiled:
+        cm = result._compiled_model
+        print(
+            f"  dispatches {stats.compiled_dispatches}  "
+            f"[{cm.n_live}/{cm.n_entries} live entries, "
+            f"tree depth {cm.tree_depth}, "
+            f"compiled in {cm.compile_seconds * 1000:.1f} ms]"
+        )
+    else:
+        print()
+    if args.packet:
+        for pkt, sent in zip(packets, sent_lists):
+            verdict = (
+                ", ".join(f"{out} -> port {port}" for out, port in sent)
+                if sent else "drop"
+            )
+            print(f"  {pkt}: {verdict}")
+    return 0
+
+
 def cmd_difftest(args: argparse.Namespace) -> int:
     spec = load_spec(args.nf, args.entry)
     result = synthesize(spec, args.entry)
     report = differential_test(
-        result, n_packets=args.packets, seed=args.seed, interesting=spec.interesting
+        result, n_packets=args.packets, seed=args.seed,
+        interesting=spec.interesting, compiled=args.compiled,
     )
     print(report.summary())
     for mismatch in report.mismatches[:5]:
@@ -336,6 +438,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         default_timeout_s=args.timeout,
         drain_timeout_s=args.drain_timeout,
+        compile_sims=not args.no_compile,
     )
     return run_server(config)
 
@@ -386,6 +489,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             response = client.simulate(
                 source=spec.source, name=spec.name, entry=spec.entry,
                 packets=packets,
+                compile=False if args.no_compile else None,
             )
         elif args.action == "verify":
             if not args.nfs:
@@ -568,9 +672,33 @@ def build_parser() -> argparse.ArgumentParser:
     nf_command("slice", cmd_slice, "print the source with the slice highlighted")
     nf_command("categories", cmd_categories, "print the Table-1 variable categories")
 
+    p = nf_command(
+        "simulate", cmd_simulate,
+        "run packets through the synthesized model (compiled dataplane)",
+    )
+    p.add_argument(
+        "--packet", action="append", metavar="F=V[,F=V...]",
+        help="one packet as field=value pairs (repeatable; default: "
+        "a random workload)",
+    )
+    p.add_argument(
+        "-n", "--packets", type=int, default=1000,
+        help="random workload size when no --packet is given",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--no-compile", action="store_true",
+        help="use the interpreted ModelSimulator instead of the compiler",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
+
     p = nf_command("difftest", cmd_difftest, "model vs. program on random packets")
     p.add_argument("-n", "--packets", type=int, default=1000)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--compiled", action="store_true",
+        help="run the model side through the compiled simulator",
+    )
 
     nf_command("testgen", cmd_testgen, "generate + validate model-guided tests")
 
@@ -625,6 +753,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=60.0,
         help="max seconds SIGTERM drain waits for in-flight requests",
     )
+    p.add_argument(
+        "--no-compile", action="store_true",
+        help="serve simulate requests with the interpreted simulator "
+        "instead of the model compiler",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -652,6 +785,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--packet", action="append", metavar="F=V[,F=V...]",
         help="simulate: one packet as field=value pairs (repeatable)",
+    )
+    p.add_argument(
+        "--no-compile", action="store_true",
+        help="simulate: ask the server for the interpreted simulator",
     )
     p.add_argument("--chain-a", help="compose: comma-separated chain A")
     p.add_argument("--chain-b", help="compose: comma-separated chain B")

@@ -61,19 +61,24 @@ def differential_test(
     spec: Optional[WorkloadSpec] = None,
     interesting: Optional[dict] = None,
     max_mismatches: int = 16,
+    compiled: bool = False,
 ) -> DifferentialReport:
     """Run the paper's random-input accuracy experiment.
 
     ``result`` is a completed synthesis; the reference interpreter and
     the model simulator are created fresh (each with the NF's initial
-    state) and fed the same generated workload.
+    state) and fed the same generated workload.  ``compiled=True``
+    runs the model side through :mod:`repro.model.compile` instead of
+    the interpreted simulator.
     """
     workload = spec or WorkloadSpec(
         n_packets=n_packets, seed=seed, interesting=interesting or {}
     )
     generator = TrafficGenerator(workload)
     reference = result.make_reference()
-    simulator = result.make_simulator()
+    simulator = (
+        result.make_compiled_simulator() if compiled else result.make_simulator()
+    )
 
     report = DifferentialReport(nf_name=result.model.name)
     for index, pkt in enumerate(generator.packets()):

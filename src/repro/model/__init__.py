@@ -14,6 +14,7 @@ from repro.model.matchaction import (
     split_constraints,
 )
 from repro.model.simulator import ModelSimulator
+from repro.model.compile import CompiledModel, CompiledSimulator, compile_model
 from repro.model.fsm import StateMachine, build_fsm
 from repro.model.serialize import model_to_dict, render_model
 from repro.model.lint import LintReport, lint_model
@@ -26,6 +27,9 @@ __all__ = [
     "classify_leaf",
     "split_constraints",
     "ModelSimulator",
+    "CompiledModel",
+    "CompiledSimulator",
+    "compile_model",
     "StateMachine",
     "build_fsm",
     "model_to_dict",

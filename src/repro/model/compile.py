@@ -1,0 +1,674 @@
+"""A model compiler: lower an :class:`NFModel` to fast Python closures.
+
+:class:`~repro.model.simulator.ModelSimulator` interprets every guard
+AST node-by-node via ``eval_symbolic`` on every packet.  This module
+lowers the model **once**, at build time, into a form where the
+per-packet work is a handful of compiled-function calls:
+
+1. **Static config folding** — config-partition conjuncts
+   (``cfg.*``-only guards) reference variables the StateAlyzer proved
+   read-only on the packet path, so they are evaluated once against
+   the initial state.  Entries whose config guard is false (or
+   unevaluable — the interpreter treats both as "never matches") are
+   pruned from the dataplane entirely; the surviving entries drop
+   their config conjuncts and have ``cfg.`` leaves inside the
+   remaining flow/state conjuncts replaced by literal constants.
+
+2. **Decision-tree dispatch** — the single-field exact-match index of
+   the simulator generalizes to a nested tree: each inner node tests
+   one packet field and branches on its concrete value; entries that
+   pin that field to a different value can never match and are absent
+   from the branch.  Pins come from ``pkt.f == const`` conjuncts
+   (directly, inside positive ``and`` chains, or implied by a closed
+   ``lo <= pkt.f <= lo`` interval).
+
+3. **Guard compilation** — each entry's residual conjunction is
+   code-generated into one Python function (``compile()``-ed source),
+   preserving the interpreter's semantics *exactly*: lazy
+   ``and``/``or``/``cond``, ``GuardEvalError`` on missing
+   state/dict-keys/failed ops (guard → no match), and — crucially —
+   **raw propagation** of errors the interpreter does not catch
+   (dict-value path indexing, ``in`` on a non-container).  The
+   :class:`_Raw` wrapper carries those across the generated
+   ``try``/``except`` so they re-raise unchanged.
+
+4. **Action precompilation** — a :class:`CompiledSimulator` owns one
+   reused ``Interpreter``/``Env`` pair instead of building both per
+   packet, and offers :meth:`CompiledSimulator.process_many` to
+   amortize attribute lookups across a packet vector.
+
+The contract is byte-identity of *outcome* with ``ModelSimulator``:
+same matched entry ids, same sent packets, same state evolution, and
+same ``SimStats`` counts for ``packets``/``forwarded``/
+``dropped_default``/``dropped_entry``/``matched_entries``.  Only
+``guard_evals`` legitimately differs (the whole point is doing fewer
+of them); ``compiled_dispatches`` counts tree walks instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.interp.interpreter import Env, Interpreter, NFRuntimeError
+from repro.model.matchaction import CONFIG_NS, NFModel, STATE_NS, TableEntry
+from repro.model.simulator import (
+    GuardEvalError,
+    SimStats,
+    _lookup,
+    _merge_by_position,
+    eval_symbolic,
+)
+from repro.net.packet import PACKET_FIELDS, Packet
+from repro.symbolic.expr import SApp, SDictVal, SVar, _hashable
+from repro.util.hashing import stable_hash
+
+
+class _Raw(Exception):
+    """Carries an exception the interpreter would propagate *uncaught*.
+
+    ``eval_symbolic`` converts op-application failures to
+    ``GuardEvalError`` but lets dict-value path indexing errors and
+    ``in``-on-non-container ``TypeError``s escape raw.  A generated
+    guard wraps its whole body in one ``try``, so those raw errors are
+    smuggled past its ``except`` clauses inside ``_Raw`` and re-raised
+    unchanged.
+    """
+
+    def __init__(self, original: BaseException) -> None:
+        super().__init__(repr(original))
+        self.original = original
+
+
+def _member(state: Dict[str, Any], name: str, key: Any) -> bool:
+    """``member`` op: key presence with the interpreter's exact errors."""
+    holder = _lookup(state, name)
+    if isinstance(key, list):
+        key = tuple(key)
+    try:
+        return key in holder
+    except TypeError as exc:
+        raise _Raw(exc) from None
+
+
+def _dv(state: Dict[str, Any], name: str, key: Any, path: Tuple[int, ...]) -> Any:
+    """``SDictVal`` read: presence check then raw path indexing."""
+    holder = _lookup(state, name)
+    if isinstance(key, list):
+        key = tuple(key)
+    try:
+        present = key in holder
+    except TypeError as exc:
+        raise _Raw(exc) from None
+    if not present:
+        raise GuardEvalError(f"key {key!r} not in {name}")
+    try:
+        out = holder[key]
+        for idx in path:
+            out = out[idx]
+    except Exception as exc:  # the interpreter propagates these raw
+        raise _Raw(exc) from None
+    return out
+
+
+def _hash(value: Any) -> int:
+    return stable_hash(_hashable(value))
+
+
+def _nokey(name: str) -> Any:
+    raise GuardEvalError(f"dict value of {name!r} has no key expression")
+
+
+def _badop(op: str, *args: Any) -> Any:
+    raise GuardEvalError(f"op {op} failed: cannot fold operator {op!r}")
+
+
+#: Binary operators that lower to the identical Python operator text.
+_BINOPS = frozenset(
+    ("+", "-", "*", "/", "//", "%", "<<", ">>", "&", "|", "^", "**",
+     "==", "!=", "<", "<=", ">", ">=")
+)
+
+#: Scalar immutables safe to inline as literals (value-equal under
+#: ``deep_copy``, so folding against the compile-time state stays
+#: correct for every simulator instance created later).
+_FOLDABLE = (bool, int, str, type(None))
+
+
+class _GuardGen:
+    """Code generator for one compiled model's guard module."""
+
+    def __init__(self, init_state: Dict[str, Any], fold_config: bool) -> None:
+        self.init_state = init_state
+        self.fold_config = fold_config
+        self.consts: List[Any] = []
+        self._const_index: Dict[Any, int] = {}
+
+    def const(self, value: Any) -> str:
+        """A reference to ``value`` — inline literal or pool slot."""
+        if type(value) in _FOLDABLE:
+            return f"({value!r})"
+        try:
+            idx = self._const_index[value]
+        except (KeyError, TypeError):
+            idx = len(self.consts)
+            self.consts.append(value)
+            try:
+                self._const_index[value] = idx
+            except TypeError:
+                pass  # unhashable: pool without dedup
+        return f"_K[{idx}]"
+
+    def gen(self, value: Any) -> str:
+        """Python source for ``eval_symbolic(value, state, p)``."""
+        if isinstance(value, SVar):
+            return self._gen_var(value)
+        if isinstance(value, SDictVal):
+            if value.key is None:
+                return f"_nokey({value.dict_name!r})"
+            return (
+                f"_dv(state, {value.dict_name!r}, "
+                f"{self.gen(value.key)}, {value.path!r})"
+            )
+        if isinstance(value, SApp):
+            return self._gen_app(value)
+        if isinstance(value, tuple):
+            inner = "".join(f"{self.gen(v)}, " for v in value)
+            return f"({inner})"
+        if isinstance(value, list):
+            return "[" + ", ".join(self.gen(v) for v in value) + "]"
+        return self.const(value)
+
+    def _gen_var(self, value: SVar) -> str:
+        name = value.name
+        if name.startswith("pkt") and "." in name:
+            fieldname = name.split(".", 1)[1]
+            if fieldname in PACKET_FIELDS or fieldname.isidentifier():
+                return f"p.{fieldname}"
+            return f"getattr(p, {fieldname!r})"
+        if name.startswith(CONFIG_NS):
+            stripped = name[len(CONFIG_NS):]
+            if self.fold_config and stripped in self.init_state:
+                concrete = self.init_state[stripped]
+                if type(concrete) in _FOLDABLE:
+                    return f"({concrete!r})"
+            return f"_sv(state, {stripped!r})"
+        if name.startswith(STATE_NS):
+            return f"_sv(state, {name[len(STATE_NS):]!r})"
+        return f"_sv(state, {name!r})"
+
+    def _gen_app(self, value: SApp) -> str:
+        op, args = value.op, value.args
+        if op == "member":
+            dict_name, key_sym = args
+            return f"_member(state, {dict_name!r}, {self.gen(key_sym)})"
+        if op == "dictlen":
+            return f"len(_sv(state, {args[0]!r}))"
+        if op == "cond":
+            return (
+                f"({self.gen(args[1])} if {self.gen(args[0])}"
+                f" else {self.gen(args[2])})"
+            )
+        if op in ("and", "or"):
+            joiner = f" {op} "
+            return "(" + joiner.join(self.gen(a) for a in args) + ")"
+        if op in _BINOPS and len(args) == 2:
+            return f"({self.gen(args[0])} {op} {self.gen(args[1])})"
+        if op == "neg":
+            return f"(-{self.gen(args[0])})"
+        if op == "~":
+            return f"(~{self.gen(args[0])})"
+        if op == "not":
+            return f"(not {self.gen(args[0])})"
+        if op == "getitem":
+            return f"({self.gen(args[0])}[{self.gen(args[1])}])"
+        if op in ("len", "abs"):
+            return f"{op}({self.gen(args[0])})"
+        if op in ("min", "max"):
+            return f"{op}(" + ", ".join(self.gen(a) for a in args) + ")"
+        if op == "hash":
+            return f"_hash({self.gen(args[0])})"
+        # Unknown op: eval args (error order parity), then GuardEvalError
+        # like _apply_concrete's ValueError would become.
+        arglist = "".join(f", {self.gen(a)}" for a in args)
+        return f"_badop({op!r}{arglist})"
+
+    def guard_source(self, fn_name: str, conjuncts: List[Any]) -> str:
+        """One guard function: lazy conjunction, interpreter error rules."""
+        if conjuncts:
+            body = " and ".join(f"bool({self.gen(c)})" for c in conjuncts)
+        else:
+            body = "True"
+        return (
+            f"def {fn_name}(state, p, _sv=_sv, _dv=_dv, _member=_member,"
+            f" _hash=_hash, _K=_K):\n"
+            f"    try:\n"
+            f"        return {body}\n"
+            f"    except _Raw as exc:\n"
+            f"        raise exc.original from None\n"
+            f"    except GuardEvalError:\n"
+            f"        return False\n"
+            f"    except (TypeError, ValueError, IndexError, KeyError,"
+            f" ZeroDivisionError):\n"
+            f"        return False\n"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dispatch-tree construction
+# ---------------------------------------------------------------------------
+
+_FLIP = {"==": "==", "<=": ">=", ">=": "<=", "<": ">", ">": "<"}
+
+
+def _entry_pins(entry: TableEntry, init_state: Dict[str, Any]) -> Dict[str, int]:
+    """Packet fields the flow match pins to one concrete value.
+
+    Generalizes :func:`~repro.model.simulator._concrete_eq_fields`:
+    besides top-level ``pkt.f == const`` conjuncts it descends into
+    positive ``and`` chains (every arm must hold for the guard to
+    hold) and closes ``lo <= pkt.f`` ∧ ``pkt.f <= lo`` intervals into
+    equalities.  Sound for *skipping*: a pin that is false for a
+    packet means the guard evaluates false (or errors → no match).
+    """
+
+    def resolve(value: Any) -> Optional[int]:
+        if isinstance(value, bool) or not isinstance(value, (int, SVar)):
+            return None
+        if isinstance(value, SVar):
+            if not value.name.startswith(CONFIG_NS):
+                return None
+            concrete = init_state.get(value.name[len(CONFIG_NS):])
+            return concrete if type(concrete) is int else None
+        return value
+
+    def packet_field(value: Any) -> Optional[str]:
+        if isinstance(value, SVar) and value.name.startswith("pkt") \
+                and "." in value.name:
+            return value.name.split(".", 1)[1]
+        return None
+
+    eq: Dict[str, int] = {}
+    lo: Dict[str, int] = {}
+    hi: Dict[str, int] = {}
+
+    def visit(c: Any) -> None:
+        if not isinstance(c, SApp):
+            return
+        if c.op == "and":
+            for arm in c.args:
+                visit(arm)
+            return
+        if c.op not in _FLIP or len(c.args) != 2:
+            return
+        lhs, rhs = c.args
+        for var, const, rel in ((lhs, rhs, c.op), (rhs, lhs, _FLIP[c.op])):
+            fieldname = packet_field(var)
+            value = resolve(const)
+            if fieldname is None or value is None:
+                continue
+            # rel reads with the packet field on the left: pkt.f REL value
+            if rel == "==":
+                eq.setdefault(fieldname, value)
+            elif rel == "<=":
+                hi[fieldname] = min(hi.get(fieldname, value), value)
+            elif rel == ">=":
+                lo[fieldname] = max(lo.get(fieldname, value), value)
+            elif rel == "<":
+                hi[fieldname] = min(hi.get(fieldname, value - 1), value - 1)
+            elif rel == ">":
+                lo[fieldname] = max(lo.get(fieldname, value + 1), value + 1)
+
+    for c in entry.match_flow:
+        visit(c)
+    for fieldname, bound in lo.items():
+        if hi.get(fieldname) == bound:
+            eq.setdefault(fieldname, bound)
+    return eq
+
+
+class CompiledEntry:
+    """One live table entry with its compiled guard."""
+
+    __slots__ = ("entry", "entry_id", "guard", "action_stmts")
+
+    def __init__(self, entry: TableEntry, guard: Callable[..., bool]) -> None:
+        self.entry = entry
+        self.entry_id = entry.entry_id
+        self.guard = guard
+        self.action_stmts = entry.action_stmts
+
+
+class _Node:
+    """Dispatch-tree node: inner (field/branches/miss) or leaf (entries)."""
+
+    __slots__ = ("field", "branches", "miss", "entries")
+
+    def __init__(self) -> None:
+        self.field: Optional[str] = None
+        self.branches: Dict[int, "_Node"] = {}
+        self.miss: Optional["_Node"] = None
+        self.entries: Tuple[CompiledEntry, ...] = ()
+
+
+_Item = Tuple[int, CompiledEntry, Dict[str, int]]
+
+
+def _best_field(coverage: Dict[str, int]) -> Optional[str]:
+    if not coverage:
+        return None
+    max_cov = max(coverage.values())
+    if max_cov < 2:
+        return None  # a split over one entry saves nothing
+    return min(name for name, n in coverage.items() if n == max_cov)
+
+
+def _build_tree(items: List[_Item], used: frozenset) -> _Node:
+    node = _Node()
+    coverage: Dict[str, int] = {}
+    for _pos, _ce, pins in items:
+        for name in pins:
+            if name not in used:
+                coverage[name] = coverage.get(name, 0) + 1
+    split = _best_field(coverage) if len(items) > 1 else None
+    if split is None:
+        node.entries = tuple(ce for _pos, ce, _pins in items)
+        return node
+    node.field = split
+    buckets: Dict[int, List[_Item]] = {}
+    residual: List[_Item] = []
+    for item in items:
+        pins = item[2]
+        if split in pins:
+            buckets.setdefault(pins[split], []).append(item)
+        else:
+            residual.append(item)
+    child_used = used | {split}
+    node.miss = _build_tree(residual, child_used)
+    node.branches = {
+        value: _build_tree(_merge_by_position(bucket, residual), child_used)
+        for value, bucket in buckets.items()
+    }
+    return node
+
+
+def _tree_shape(node: _Node) -> Tuple[int, int]:
+    """(depth, n_leaves) of a dispatch tree."""
+    if node.field is None:
+        return 1, 1
+    children = list(node.branches.values()) + [node.miss]
+    shapes = [_tree_shape(c) for c in children if c is not None]
+    return 1 + max(d for d, _ in shapes), sum(n for _, n in shapes)
+
+
+# ---------------------------------------------------------------------------
+# The compiled model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledModel:
+    """An :class:`NFModel` lowered to compiled guards + dispatch tree.
+
+    Built once via :func:`compile_model`; spawn any number of
+    independent :class:`CompiledSimulator` instances from it (one per
+    concrete state).  Not picklable — the guards are live function
+    objects — so serve-tier caching memoizes per process.
+    """
+
+    model: NFModel
+    pkt_param: str
+    n_entries: int
+    n_live: int
+    n_pruned: int
+    compile_seconds: float
+    dispatch: bool
+    tree_depth: int
+    tree_leaves: int
+    source: str = field(repr=False)
+    _entries: Tuple[CompiledEntry, ...] = field(repr=False)
+    _root: _Node = field(repr=False)
+
+    def simulator(self, init_state: Dict[str, Any]) -> "CompiledSimulator":
+        return CompiledSimulator(self, init_state)
+
+
+def compile_model(
+    model: NFModel,
+    init_state: Dict[str, Any],
+    pkt_param: str = "pkt",
+    dispatch: bool = True,
+    fold_config: bool = True,
+) -> CompiledModel:
+    """Lower ``model`` once against ``init_state``.
+
+    ``init_state`` is only *read* (config resolution); pass the
+    synthesis module environment.  ``dispatch=False`` keeps the flat
+    priority scan (all live entries in one leaf); ``fold_config=False``
+    keeps config conjuncts in the compiled guards and disables both
+    pruning and cfg-literal inlining — the maximally conservative
+    lowering, used by the equivalence tests.
+    """
+    t0 = time.perf_counter()
+    entries = model.all_entries()
+    gen = _GuardGen(init_state, fold_config=fold_config)
+    dummy = Packet()
+
+    live: List[Tuple[int, TableEntry, List[Any]]] = []
+    n_pruned = 0
+    for pos, entry in enumerate(entries):
+        conjuncts: List[Any] = []
+        dead = False
+        if fold_config:
+            # Config conjuncts see only cfg.* leaves (the classifier
+            # guarantees no pkt/state reads), and cfgVars are read-only
+            # on the packet path — so evaluate them once, now.  False
+            # or unevaluable means the interpreter's guard could never
+            # hold for this entry: prune it from the dataplane.
+            for c in entry.config:
+                try:
+                    if not bool(eval_symbolic(c, init_state, dummy)):
+                        dead = True
+                        break
+                except GuardEvalError:
+                    dead = True
+                    break
+        else:
+            conjuncts.extend(entry.config)
+        if dead:
+            n_pruned += 1
+            continue
+        conjuncts.extend(entry.match_flow)
+        conjuncts.extend(entry.match_state)
+        live.append((pos, entry, conjuncts))
+
+    # One generated module holding every guard function.
+    chunks: List[str] = []
+    names: List[str] = []
+    for i, (_pos, _entry, conjuncts) in enumerate(live):
+        name = f"_g{i}"
+        names.append(name)
+        chunks.append(gen.guard_source(name, conjuncts))
+    source = "\n".join(chunks)
+    namespace: Dict[str, Any] = {
+        "GuardEvalError": GuardEvalError,
+        "_Raw": _Raw,
+        "_sv": _lookup,
+        "_dv": _dv,
+        "_member": _member,
+        "_hash": _hash,
+        "_nokey": _nokey,
+        "_badop": _badop,
+        "_K": tuple(gen.consts),
+    }
+    if source:
+        exec(compile(source, "<repro.model.compile>", "exec"), namespace)
+
+    compiled: List[CompiledEntry] = [
+        CompiledEntry(entry, namespace[name])
+        for name, (_pos, entry, _c) in zip(names, live)
+    ]
+    items: List[_Item] = [
+        (pos, ce, _entry_pins(entry, init_state) if fold_config else {})
+        for ce, (pos, entry, _c) in zip(compiled, live)
+    ]
+    if dispatch:
+        root = _build_tree(items, frozenset())
+    else:
+        root = _Node()
+        root.entries = tuple(ce for _pos, ce, _pins in items)
+    depth, leaves = _tree_shape(root)
+    return CompiledModel(
+        model=model,
+        pkt_param=pkt_param,
+        n_entries=len(entries),
+        n_live=len(compiled),
+        n_pruned=n_pruned,
+        compile_seconds=time.perf_counter() - t0,
+        dispatch=dispatch,
+        tree_depth=depth,
+        tree_leaves=leaves,
+        source=source,
+        _entries=tuple(compiled),
+        _root=root,
+    )
+
+
+class CompiledSimulator:
+    """Drop-in :class:`ModelSimulator` replacement over a compiled model.
+
+    Same public surface — ``process``/``match_entry``/``stats``/
+    ``state``/``model``/``pkt_param`` — plus :meth:`process_many`.
+    ``stats.guard_evals`` counts compiled-guard calls (fewer than the
+    interpreter's, by design) and ``stats.compiled_dispatches`` counts
+    dispatch-tree walks.
+    """
+
+    compiled = True
+
+    def __init__(self, compiled_model: CompiledModel, init_state: Dict[str, Any]) -> None:
+        self.compiled_model = compiled_model
+        self.model = compiled_model.model
+        self.state = init_state
+        self.pkt_param = compiled_model.pkt_param
+        self.stats = SimStats()
+        self._root = compiled_model._root
+        # One interpreter + env for the simulator's lifetime; per-packet
+        # reset of sent/steps reproduces the fresh-instance semantics.
+        self._interp = Interpreter()
+        self._env = Env(globals=init_state)
+
+    def match_entry(self, pkt: Packet) -> Optional[TableEntry]:
+        """First live entry whose compiled guard holds (priority order)."""
+        ce = self._match(pkt)
+        return None if ce is None else ce.entry
+
+    def _match(self, pkt: Packet) -> Optional[CompiledEntry]:
+        node = self._root
+        while node.field is not None:
+            node = node.branches.get(getattr(pkt, node.field), node.miss)
+        stats = self.stats
+        stats.compiled_dispatches += 1
+        state = self.state
+        for ce in node.entries:
+            stats.guard_evals += 1
+            if ce.guard(state, pkt):
+                return ce
+        return None
+
+    def process(self, pkt: Packet) -> List[Tuple[Packet, Optional[int]]]:
+        """Run one packet; identical outcome to ``ModelSimulator.process``."""
+        stats = self.stats
+        stats.packets += 1
+        ce = self._match(pkt)
+        if ce is None:
+            stats.dropped_default += 1
+            return []
+        matched = stats.matched_entries
+        matched[ce.entry_id] = matched.get(ce.entry_id, 0) + 1
+        sent = self._apply(ce, pkt)
+        if sent:
+            stats.forwarded += 1
+        else:
+            stats.dropped_entry += 1
+        return sent
+
+    def process_many(
+        self, packets: List[Packet]
+    ) -> List[List[Tuple[Packet, Optional[int]]]]:
+        """Batch API: one sent-list per input packet, stats identical
+        to processing them one at a time."""
+        out: List[List[Tuple[Packet, Optional[int]]]] = []
+        append = out.append
+        state = self.state
+        stats = self.stats
+        root = self._root
+        interp = self._interp
+        env = self._env
+        pkt_param = self.pkt_param
+        matched = stats.matched_entries
+        exec_block = interp.exec_block
+        n = fwd = dde = den = evals = walks = hits = 0
+        try:
+            for pkt in packets:
+                n += 1
+                node = root
+                while node.field is not None:
+                    node = node.branches.get(getattr(pkt, node.field), node.miss)
+                walks += 1
+                hit = None
+                for ce in node.entries:
+                    evals += 1
+                    if ce.guard(state, pkt):
+                        hit = ce
+                        break
+                if hit is None:
+                    dde += 1
+                    append([])
+                    continue
+                eid = hit.entry_id
+                matched[eid] = matched.get(eid, 0) + 1
+                hits += 1
+                interp.sent = []
+                interp.steps = 0
+                state[pkt_param] = pkt.copy()
+                try:
+                    exec_block(hit.action_stmts, env, None)
+                except NFRuntimeError as exc:
+                    raise NFRuntimeError(
+                        f"model action of entry {eid} failed: {exc}"
+                    ) from exc
+                finally:
+                    state.pop(pkt_param, None)
+                sent = interp.sent
+                if sent:
+                    fwd += 1
+                else:
+                    den += 1
+                append(sent)
+        finally:
+            stats.packets += n
+            stats.forwarded += fwd
+            stats.dropped_default += dde
+            stats.dropped_entry += den
+            stats.guard_evals += evals
+            stats.compiled_dispatches += walks
+        return out
+
+    def _apply(
+        self, ce: CompiledEntry, pkt: Packet
+    ) -> List[Tuple[Packet, Optional[int]]]:
+        interp = self._interp
+        interp.sent = []
+        interp.steps = 0
+        self.state[self.pkt_param] = pkt.copy()
+        try:
+            interp.exec_block(ce.action_stmts, self._env, None)
+        except NFRuntimeError as exc:
+            raise NFRuntimeError(
+                f"model action of entry {ce.entry_id} failed: {exc}"
+            ) from exc
+        finally:
+            self.state.pop(self.pkt_param, None)
+        return interp.sent

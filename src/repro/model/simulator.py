@@ -109,7 +109,27 @@ class SimStats:
     dropped_entry: int = 0
     #: Full-guard evaluations — the work the exact-match index avoids.
     guard_evals: int = 0
+    #: Dispatch-tree walks by the compiled simulator (always 0 here).
+    compiled_dispatches: int = 0
     matched_entries: Dict[int, int] = field(default_factory=dict)
+
+
+def _merge_by_position(
+    bucket: List[Tuple[int, Any]], residual: List[Tuple[int, Any]]
+) -> List[Tuple[int, Any]]:
+    """Merge two position-sorted ``(pos, item)`` lists, preserving order."""
+    merged: List[Tuple[int, Any]] = []
+    i = j = 0
+    while i < len(bucket) and j < len(residual):
+        if bucket[i][0] < residual[j][0]:
+            merged.append(bucket[i])
+            i += 1
+        else:
+            merged.append(residual[j])
+            j += 1
+    merged.extend(bucket[i:])
+    merged.extend(residual[j:])
+    return merged
 
 
 def _concrete_eq_fields(
@@ -184,6 +204,8 @@ class ModelSimulator:
         self.index_field: Optional[str] = None
         self._index: Dict[int, List[Tuple[int, TableEntry]]] = {}
         self._residual: List[Tuple[int, TableEntry]] = []
+        self._merged: Dict[int, List[TableEntry]] = {}
+        self._residual_entries: List[TableEntry] = []
         if use_index:
             self._build_index()
 
@@ -197,37 +219,32 @@ class ModelSimulator:
                 coverage[name] = coverage.get(name, 0) + 1
         if not coverage:
             return
-        # Best-covered field wins; name tie-break keeps the choice
-        # deterministic across runs.
-        best = max(sorted(coverage), key=lambda name: coverage[name])
-        if coverage[best] < 2:
+        max_cov = max(coverage.values())
+        if max_cov < 2:
             return  # an index over one entry saves nothing
+        # Best-covered field wins; explicit min-name tie-break keeps the
+        # choice deterministic across runs.
+        best = min(name for name, n in coverage.items() if n == max_cov)
         self.index_field = best
         for pos, (entry, fields) in enumerate(zip(self._entries, pinned)):
             if best in fields:
                 self._index.setdefault(fields[best], []).append((pos, entry))
             else:
                 self._residual.append((pos, entry))
+        # Pre-merge each bucket with the residual once, so the per-packet
+        # lookup is a single dict get instead of a list merge.
+        self._residual_entries = [entry for _pos, entry in self._residual]
+        for value, bucket in self._index.items():
+            self._merged[value] = [
+                entry
+                for _pos, entry in _merge_by_position(bucket, self._residual)
+            ]
 
     def _candidates(self, pkt: Packet) -> List[TableEntry]:
         if self.index_field is None:
             return self._entries
-        bucket = self._index.get(getattr(pkt, self.index_field), [])
-        if not bucket:
-            return [entry for _pos, entry in self._residual]
-        # Merge two already-position-sorted lists back into priority order.
-        merged: List[Tuple[int, TableEntry]] = []
-        i = j = 0
-        while i < len(bucket) and j < len(self._residual):
-            if bucket[i][0] < self._residual[j][0]:
-                merged.append(bucket[i])
-                i += 1
-            else:
-                merged.append(self._residual[j])
-                j += 1
-        merged.extend(bucket[i:])
-        merged.extend(self._residual[j:])
-        return [entry for _pos, entry in merged]
+        merged = self._merged.get(getattr(pkt, self.index_field))
+        return merged if merged is not None else self._residual_entries
 
     def match_entry(self, pkt: Packet) -> Optional[TableEntry]:
         """The first entry whose guard holds for ``pkt`` and current state."""

@@ -145,6 +145,25 @@ class SynthesisResult:
             self.model, deep_copy(self.module_env), pkt_param=self.pkt_param
         )
 
+    def make_compiled_simulator(self, dispatch: bool = True):
+        """A fresh compiled simulator (see :mod:`repro.model.compile`).
+
+        The :class:`~repro.model.compile.CompiledModel` is memoized on
+        the result, so repeated calls pay the lowering cost once.
+        """
+        from repro.model.compile import compile_model
+
+        compiled = getattr(self, "_compiled_model", None)
+        if compiled is None or compiled.dispatch != dispatch:
+            compiled = compile_model(
+                self.model,
+                self.module_env,
+                pkt_param=self.pkt_param,
+                dispatch=dispatch,
+            )
+            self._compiled_model = compiled
+        return compiled.simulator(deep_copy(self.module_env))
+
     def make_reference(self) -> Interpreter:
         """A fresh concrete interpreter of the original program."""
         interp = Interpreter(program=self.program)

@@ -133,11 +133,15 @@ def _op_synthesize(body: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _sim_bundle(body: Dict[str, Any]) -> Tuple[Any, Dict[str, Any], str]:
-    """(model, module_env, pkt_param), served from the ``sim`` tier.
+def _sim_bundle(
+    body: Dict[str, Any],
+) -> Tuple[Optional[str], Tuple[Any, Dict[str, Any], str]]:
+    """(cache key, (model, module_env, pkt_param)) from the ``sim`` tier.
 
     Key = the model-tier key, so source/config/schema-version changes
-    invalidate both tiers together.
+    invalidate both tiers together.  The key also identifies the
+    in-process compiled-model memo (compiled guards hold live function
+    objects, so they can never go to the pickle-based disk tier).
     """
     from repro.nfactor.algorithm import (
         NFactor,
@@ -155,18 +159,44 @@ def _sim_bundle(body: Dict[str, Any]) -> Tuple[Any, Dict[str, Any], str]:
         )
         hit = store.get_object("sim", key)
         if hit is not None:
-            return hit
+            return key, hit
     result = NFactor(source, name=name, entry=entry, config=config).synthesize()
     bundle = (result.model, result.module_env, result.pkt_param)
     if key is not None:
         store.put_object("sim", key, bundle)
-    return bundle
+    return key, bundle
+
+
+#: Per-worker memo of compiled models, keyed on the sim-tier key.
+#: Bounded: a worker serves a handful of distinct models at a time.
+_COMPILED_MEMO: Dict[str, Any] = {}
+_COMPILED_MEMO_MAX = 8
+
+
+def _compiled_for(key: Optional[str], model: Any, module_env: Dict[str, Any],
+                  pkt_param: str) -> Any:
+    """The compiled form of ``model``, memoized per worker process."""
+    from repro.model.compile import compile_model
+    from repro.obs import metrics as obs_metrics
+
+    if key is not None and key in _COMPILED_MEMO:
+        return _COMPILED_MEMO[key]
+    compiled = compile_model(model, module_env, pkt_param=pkt_param)
+    obs_metrics.histogram("sim.compile_seconds").observe(
+        compiled.compile_seconds
+    )
+    if key is not None:
+        if len(_COMPILED_MEMO) >= _COMPILED_MEMO_MAX:
+            _COMPILED_MEMO.pop(next(iter(_COMPILED_MEMO)))
+        _COMPILED_MEMO[key] = compiled
+    return compiled
 
 
 def _op_simulate(body: Dict[str, Any]) -> Dict[str, Any]:
     from repro.interp.values import deep_copy
     from repro.model.simulator import ModelSimulator
     from repro.net.packet import Packet
+    from repro.obs import metrics as obs_metrics
 
     raw_packets = body.get("packets")
     if not isinstance(raw_packets, list) or not raw_packets:
@@ -182,28 +212,42 @@ def _op_simulate(body: Dict[str, Any]) -> Dict[str, Any]:
         except (AttributeError, TypeError, ValueError) as exc:
             raise ValueError(f"packet #{i}: {exc}")
 
-    model, module_env, pkt_param = _sim_bundle(body)
-    sim = ModelSimulator(model, deep_copy(module_env), pkt_param=pkt_param)
-    outputs = []
-    for pkt in packets:
-        sent = sim.process(pkt)
-        outputs.append(
-            {
-                "forwarded": bool(sent),
-                "sent": [
-                    {"packet": out.to_dict(), "port": port} for out, port in sent
-                ],
-            }
-        )
+    use_compiled = bool(body.get("compile", True))
+    key, (model, module_env, pkt_param) = _sim_bundle(body)
+    if use_compiled:
+        compiled = _compiled_for(key, model, module_env, pkt_param)
+        sim = compiled.simulator(deep_copy(module_env))
+        sent_lists = sim.process_many(packets)
+        obs_metrics.counter("sim.compiled").inc()
+    else:
+        sim = ModelSimulator(model, deep_copy(module_env), pkt_param=pkt_param)
+        sent_lists = [sim.process(pkt) for pkt in packets]
+    outputs = [
+        {
+            "forwarded": bool(sent),
+            "sent": [
+                {"packet": out.to_dict(), "port": port} for out, port in sent
+            ],
+        }
+        for sent in sent_lists
+    ]
     stats = sim.stats
+    obs_metrics.counter("sim.packets").inc(stats.packets)
+    obs_metrics.counter("sim.guard_evals").inc(stats.guard_evals)
+    obs_metrics.counter("sim.compiled_dispatches").inc(
+        stats.compiled_dispatches
+    )
     return {
         "name": model.name,
+        "compiled": use_compiled,
         "outputs": outputs,
         "stats": {
             "packets": stats.packets,
             "forwarded": stats.forwarded,
             "dropped_default": stats.dropped_default,
             "dropped_entry": stats.dropped_entry,
+            "guard_evals": stats.guard_evals,
+            "compiled_dispatches": stats.compiled_dispatches,
         },
     }
 

@@ -94,6 +94,10 @@ class ServeConfig:
     #: batches and stitch them into the flight recorder.  Off = request
     #: ids + metrics only (the overhead benchmark's baseline).
     tracing: bool = True
+    #: Serve simulate requests from the model compiler
+    #: (:mod:`repro.model.compile`); ``--no-compile`` forces the
+    #: interpreted ``ModelSimulator`` (the escape hatch).
+    compile_sims: bool = True
     #: Flight-recorder ring size (recent requests, span trees included).
     recorder_capacity: int = 128
     #: Slowest requests pinned beyond the ring.
@@ -114,6 +118,14 @@ class Server:
     ) -> None:
         self.config = config or ServeConfig()
         self.registry = registry or MetricsRegistry()
+        # Pre-register the simulator counters so /metrics and the
+        # flight-recorder breakdowns show them from the first scrape —
+        # the workers' snapshots merge into these by name.
+        self.registry.counter("sim.packets")
+        self.registry.counter("sim.guard_evals")
+        self.registry.counter("sim.compiled_dispatches")
+        self.registry.counter("sim.compiled")
+        self.registry.histogram("sim.compile_seconds")
         self.queue = BoundedRequestQueue(
             self.config.queue_size, registry=self.registry
         )
@@ -378,6 +390,9 @@ class Server:
         request: Optional[protocol.HttpRequest] = None,
     ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
         request_id = obs_context.new_request_id()
+        if op == "simulate" and not self.config.compile_sims:
+            body = dict(body)
+            body["compile"] = False
         ctx: Optional[obs_context.TraceContext] = None
         if self.config.tracing:
             # Continue the client's trace when it sent a (valid)

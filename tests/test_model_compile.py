@@ -1,0 +1,441 @@
+"""Differential tests for the model compiler (:mod:`repro.model.compile`).
+
+The compiler's contract is byte-identity of outcome with the
+interpreted :class:`ModelSimulator`: same matched-entry sequence, same
+sent packets, same state evolution, same ``SimStats`` counts for
+everything except ``guard_evals`` (which the compiler exists to
+reduce).  The main test here is a seeded-random fuzz driving ≥10k
+packets per NF through both simulators across the full corpus; the
+rest pins the error-path semantics (missing dict keys → no match,
+raw-error propagation) and the dispatch/index construction details.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from tests.conftest import synthesize_cached
+from repro.model.compile import (
+    CompiledSimulator,
+    _best_field,
+    _entry_pins,
+    compile_model,
+)
+from repro.model.matchaction import NFModel, TableEntry
+from repro.model.simulator import ModelSimulator
+from repro.net.generator import TrafficGenerator, WorkloadSpec
+from repro.net.packet import Packet
+from repro.nfs import get_nf, nf_names
+from repro.symbolic.expr import SApp, SDictVal, SVar, mk_app
+
+N_FUZZ_PACKETS = 10_000
+
+
+def make_entry(entry_id, config=(), flow=(), state=()):
+    return TableEntry(
+        entry_id=entry_id,
+        config=list(config),
+        match_flow=list(flow),
+        match_state=list(state),
+        action_stmts=[],
+        pkt_action_stmts=[],
+        state_action_stmts=[],
+        sent=[],
+        path_id=entry_id,
+    )
+
+
+def make_model(*entries):
+    model = NFModel(name="t")
+    for entry in entries:
+        model.add_entry(entry)
+    return model
+
+
+class _RecordingInterp(ModelSimulator):
+    """Interpreted simulator recording the matched-entry sequence."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seq = []
+
+    def match_entry(self, pkt):
+        entry = super().match_entry(pkt)
+        self.seq.append(None if entry is None else entry.entry_id)
+        return entry
+
+
+class _RecordingCompiled(CompiledSimulator):
+    """Compiled simulator recording the matched-entry sequence."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seq = []
+
+    def _match(self, pkt):
+        ce = super()._match(pkt)
+        self.seq.append(None if ce is None else ce.entry_id)
+        return ce
+
+
+def _outcome_stats(stats):
+    """The SimStats fields the compiler must reproduce exactly."""
+    return (
+        stats.packets,
+        stats.forwarded,
+        stats.dropped_default,
+        stats.dropped_entry,
+        stats.matched_entries,
+    )
+
+
+def _workload(name, n_packets, seed):
+    spec = get_nf(name)
+    workload = WorkloadSpec(
+        n_packets=n_packets, seed=seed, interesting=spec.interesting or {}
+    )
+    return list(TrafficGenerator(workload).packets())
+
+
+class TestCorpusDifferentialFuzz:
+    """Compiled vs. interpreted over the whole corpus, ≥10k packets each."""
+
+    @pytest.mark.parametrize("name", nf_names())
+    def test_compiled_matches_interpreted(self, name):
+        result = synthesize_cached(name)
+        packets = _workload(name, N_FUZZ_PACKETS, seed=20_260_808)
+
+        interp = _RecordingInterp(
+            result.model,
+            copy.deepcopy(result.module_env),
+            pkt_param=result.pkt_param,
+        )
+        compiled_model = compile_model(
+            result.model, result.module_env, pkt_param=result.pkt_param
+        )
+        comp = _RecordingCompiled(
+            compiled_model, copy.deepcopy(result.module_env)
+        )
+
+        for i, pkt in enumerate(packets):
+            sent_i = interp.process(pkt.copy())
+            sent_c = comp.process(pkt.copy())
+            assert sent_i == sent_c, (
+                f"{name}: sent packets diverge at packet #{i}: "
+                f"{sent_i} vs {sent_c}"
+            )
+        assert interp.seq == comp.seq, f"{name}: matched-entry sequences diverge"
+        assert _outcome_stats(interp.stats) == _outcome_stats(comp.stats)
+        assert interp.state == comp.state, f"{name}: end states diverge"
+        # The dispatch walk happened for every packet.
+        assert comp.stats.compiled_dispatches == len(packets)
+
+    @pytest.mark.parametrize("name", nf_names())
+    def test_index_and_dispatch_switches(self, name):
+        """use_index / dispatch on-off: all four lowerings agree."""
+        result = synthesize_cached(name)
+        packets = _workload(name, 1000, seed=99)
+
+        sims = {
+            "scan": ModelSimulator(
+                result.model,
+                copy.deepcopy(result.module_env),
+                pkt_param=result.pkt_param,
+                use_index=False,
+            ),
+            "indexed": ModelSimulator(
+                result.model,
+                copy.deepcopy(result.module_env),
+                pkt_param=result.pkt_param,
+            ),
+            "compiled-flat": compile_model(
+                result.model,
+                result.module_env,
+                pkt_param=result.pkt_param,
+                dispatch=False,
+            ).simulator(copy.deepcopy(result.module_env)),
+            "compiled-tree": compile_model(
+                result.model, result.module_env, pkt_param=result.pkt_param
+            ).simulator(copy.deepcopy(result.module_env)),
+        }
+        for pkt in packets:
+            outs = {k: sim.process(pkt.copy()) for k, sim in sims.items()}
+            assert len({repr(o) for o in outs.values()}) == 1, outs
+        baseline = _outcome_stats(sims["scan"].stats)
+        for key, sim in sims.items():
+            assert _outcome_stats(sim.stats) == baseline, key
+            assert sim.state == sims["scan"].state, key
+
+    def test_batch_equals_sequential(self):
+        result = synthesize_cached("nat")
+        packets = _workload("nat", 2000, seed=5)
+        cm = compile_model(
+            result.model, result.module_env, pkt_param=result.pkt_param
+        )
+        seq = cm.simulator(copy.deepcopy(result.module_env))
+        bat = cm.simulator(copy.deepcopy(result.module_env))
+        one_by_one = [seq.process(p.copy()) for p in packets]
+        batched = bat.process_many([p.copy() for p in packets])
+        assert one_by_one == batched
+        assert _outcome_stats(seq.stats) == _outcome_stats(bat.stats)
+        assert seq.stats.guard_evals == bat.stats.guard_evals
+        assert seq.state == bat.state
+
+    def test_conservative_lowering_agrees(self):
+        """fold_config=False (no pruning, no cfg inlining) is equivalent."""
+        result = synthesize_cached("firewall")
+        packets = _workload("firewall", 2000, seed=13)
+        plain = compile_model(
+            result.model,
+            result.module_env,
+            pkt_param=result.pkt_param,
+            fold_config=False,
+        )
+        folded = compile_model(
+            result.model, result.module_env, pkt_param=result.pkt_param
+        )
+        assert plain.n_pruned == 0
+        assert folded.n_live <= plain.n_live
+        sim_p = plain.simulator(copy.deepcopy(result.module_env))
+        sim_f = folded.simulator(copy.deepcopy(result.module_env))
+        for pkt in packets:
+            assert sim_p.process(pkt.copy()) == sim_f.process(pkt.copy())
+        assert _outcome_stats(sim_p.stats) == _outcome_stats(sim_f.stats)
+
+
+PKT_DPORT = SVar("pkt.dport", 0, 65535)
+PKT_SPORT = SVar("pkt.sport", 0, 65535)
+PKT_PROTO = SVar("pkt.proto", 0, 255)
+CFG_MODE = SVar("cfg.mode", 0, 3)
+ST_X = SVar("st.x", 0, 100)
+
+
+def _both_sims(model, state, **compile_kwargs):
+    interp = ModelSimulator(model, copy.deepcopy(state))
+    comp = compile_model(model, state, **compile_kwargs).simulator(
+        copy.deepcopy(state)
+    )
+    return interp, comp
+
+
+class TestGuardErrorPaths:
+    """The interpreter's error taxonomy survives compilation exactly."""
+
+    def test_missing_dict_key_means_no_match(self):
+        entry = make_entry(
+            1, state=[mk_app("==", SDictVal("tbl", "k", key=PKT_DPORT), 7)]
+        )
+        interp, comp = _both_sims(make_model(entry), {"tbl": {80: 7}})
+        hit, miss = Packet(dport=80), Packet(dport=81)
+        for sim in (interp, comp):
+            assert sim.match_entry(hit) is entry
+            assert sim.match_entry(miss) is None  # GuardEvalError -> no match
+            assert sim.process(miss.copy()) == []
+        assert interp.stats.dropped_default == comp.stats.dropped_default == 1
+
+    def test_missing_state_variable_means_no_match(self):
+        entry = make_entry(1, state=[mk_app("==", ST_X, 1)])
+        interp, comp = _both_sims(make_model(entry), {})
+        for sim in (interp, comp):
+            assert sim.match_entry(Packet()) is None
+
+    def test_failed_op_means_no_match(self):
+        # "str" + int raises TypeError inside the op application, which
+        # the interpreter converts to GuardEvalError -> guard false.
+        entry = make_entry(
+            1, state=[SApp("==", (SApp("+", (ST_X, 1)), 2))]
+        )
+        interp, comp = _both_sims(make_model(entry), {"x": "oops"})
+        for sim in (interp, comp):
+            assert sim.match_entry(Packet()) is None
+
+    def test_member_on_non_container_raises_raw(self):
+        # `key in 5` is a TypeError the interpreter does NOT catch; the
+        # compiled guard must propagate it raw, not eat it as no-match.
+        entry = make_entry(1, state=[SApp("member", ("tbl", PKT_DPORT))])
+        interp, comp = _both_sims(make_model(entry), {"tbl": 5})
+        for sim in (interp, comp):
+            with pytest.raises(TypeError):
+                sim.process(Packet(dport=80))
+
+    def test_dict_value_path_error_raises_raw(self):
+        # Presence check passes, then tuple path indexing fails: raw
+        # IndexError from both simulators.
+        entry = make_entry(
+            1,
+            state=[
+                mk_app(
+                    "==", SDictVal("tbl", "k", path=(5,), key=PKT_DPORT), 1
+                )
+            ],
+        )
+        interp, comp = _both_sims(make_model(entry), {"tbl": {80: (1, 2)}})
+        for sim in (interp, comp):
+            with pytest.raises(IndexError):
+                sim.process(Packet(dport=80))
+
+    def test_lazy_and_guards_dict_read(self):
+        # The classic alias-chain shape: membership test guards the
+        # read, so missing keys never error out the conjunct.
+        read = mk_app("==", SDictVal("tbl", "k", key=PKT_DPORT), 1)
+        guard = SApp("and", (SApp("member", ("tbl", PKT_DPORT)), read))
+        entry = make_entry(1, state=[guard])
+        interp, comp = _both_sims(make_model(entry), {"tbl": {80: 1}})
+        for sim in (interp, comp):
+            assert sim.match_entry(Packet(dport=80)) is entry
+            assert sim.match_entry(Packet(dport=9)) is None
+
+
+class TestConfigFolding:
+    def test_false_config_prunes_entry(self):
+        live = make_entry(1, config=[mk_app("==", CFG_MODE, 1)],
+                          flow=[mk_app("==", PKT_DPORT, 80)])
+        dead = make_entry(2, config=[mk_app("==", CFG_MODE, 2)],
+                          flow=[mk_app("==", PKT_DPORT, 80)])
+        model = make_model(live, dead)
+        cm = compile_model(model, {"mode": 1})
+        assert cm.n_live == 1 and cm.n_pruned == 1
+        interp, comp = _both_sims(model, {"mode": 1})
+        assert interp.match_entry(Packet(dport=80)) is live
+        assert comp.match_entry(Packet(dport=80)) is live
+
+    def test_unevaluable_config_prunes_entry(self):
+        # Missing config var -> interpreter guard is always
+        # GuardEvalError -> never matches; the compiler prunes it.
+        entry = make_entry(1, config=[mk_app("==", SVar("cfg.gone"), 1)])
+        cm = compile_model(make_model(entry), {})
+        assert cm.n_live == 0 and cm.n_pruned == 1
+        interp, comp = _both_sims(make_model(entry), {})
+        assert interp.match_entry(Packet()) is None
+        assert comp.match_entry(Packet()) is None
+
+    def test_corpus_pruning_is_substantial_on_snortlite(self):
+        result = synthesize_cached("snortlite")
+        cm = compile_model(
+            result.model, result.module_env, pkt_param=result.pkt_param
+        )
+        assert cm.n_entries == cm.n_live + cm.n_pruned
+        assert cm.n_live < cm.n_entries  # config partitions really fold
+        assert cm.compile_seconds > 0.0
+
+
+class TestDispatchTree:
+    def test_tie_break_picks_min_name(self):
+        coverage = {"sport": 2, "dport": 2, "proto": 1}
+        assert _best_field(coverage) == "dport"
+        assert _best_field({"a": 1, "b": 1}) is None
+        assert _best_field({}) is None
+
+    def test_index_field_tie_break_is_min_name(self):
+        # Satellite pin: equal coverage on sport/dport must pick the
+        # alphabetically smallest field, deterministically.
+        entries = [
+            make_entry(1, flow=[mk_app("==", PKT_DPORT, 80),
+                                mk_app("==", PKT_SPORT, 1)]),
+            make_entry(2, flow=[mk_app("==", PKT_DPORT, 443),
+                                mk_app("==", PKT_SPORT, 2)]),
+        ]
+        sim = ModelSimulator(make_model(*entries), {})
+        assert sim.index_field == "dport"
+        cm = compile_model(make_model(*entries), {})
+        assert cm._root.field == "dport"
+
+    def test_pins_from_and_chains_and_closed_intervals(self):
+        entry = make_entry(
+            1,
+            flow=[
+                SApp("and", (
+                    SApp("==", (PKT_PROTO, 6)),
+                    SApp("<=", (23, PKT_DPORT)),
+                    SApp("<=", (PKT_DPORT, 23)),
+                )),
+            ],
+        )
+        pins = _entry_pins(entry, {})
+        assert pins == {"proto": 6, "dport": 23}
+
+    def test_negated_and_or_arms_do_not_pin(self):
+        entry = make_entry(
+            1,
+            flow=[
+                SApp("not", (SApp("==", (PKT_PROTO, 6)),)),
+                SApp("or", (SApp("==", (PKT_DPORT, 80)),
+                            SApp("==", (PKT_DPORT, 443)))),
+            ],
+        )
+        assert _entry_pins(entry, {}) == {}
+
+    def test_multi_field_dispatch_preserves_priority(self):
+        entries = [
+            make_entry(1, flow=[mk_app("==", PKT_PROTO, 6),
+                                mk_app("==", PKT_DPORT, 80)]),
+            make_entry(2, flow=[mk_app("==", PKT_PROTO, 6),
+                                mk_app("==", PKT_DPORT, 443)]),
+            make_entry(3, flow=[mk_app("==", PKT_PROTO, 17)]),
+            make_entry(4, flow=[]),  # residual catch-all
+        ]
+        model = make_model(*entries)
+        interp, comp = _both_sims(model, {})
+        for pkt in (
+            Packet(proto=6, dport=80),
+            Packet(proto=6, dport=443),
+            Packet(proto=6, dport=22),
+            Packet(proto=17, dport=80),
+            Packet(proto=1),
+        ):
+            a = interp.match_entry(pkt)
+            b = comp.match_entry(pkt)
+            assert a is b, (pkt, a, b)
+        # The catch-all wins only when nothing more specific matches.
+        assert comp.match_entry(Packet(proto=1)) is entries[3]
+
+
+class TestPremergedIndex:
+    def test_candidates_is_single_dict_get(self):
+        entries = [
+            make_entry(1, flow=[mk_app("==", PKT_DPORT, 80)]),
+            make_entry(2, flow=[]),
+            make_entry(3, flow=[mk_app("==", PKT_DPORT, 443)]),
+        ]
+        sim = ModelSimulator(make_model(*entries), {})
+        assert sim.index_field == "dport"
+        # Bucket hit: the premerged list object itself, no per-packet merge.
+        got = sim._candidates(Packet(dport=80))
+        assert got is sim._merged[80]
+        assert [e.entry_id for e in got] == [1, 2]
+        assert [e.entry_id for e in sim._candidates(Packet(dport=443))] == [2, 3]
+        # Bucket miss: the shared residual list.
+        miss = sim._candidates(Packet(dport=9))
+        assert miss is sim._residual_entries
+        assert [e.entry_id for e in miss] == [2]
+
+
+class TestServeSimulate:
+    def test_compiled_and_interpreted_handlers_agree(self):
+        from repro.serve.jobs import _op_simulate
+
+        body = {
+            "nf": "firewall",
+            "packets": [
+                {"proto": 6, "dport": 80, "tcp_flags": 2},
+                {"proto": 17, "dport": 53},
+                {},
+            ],
+        }
+        fast = _op_simulate(dict(body))
+        slow = _op_simulate(dict(body, compile=False))
+        assert fast["compiled"] is True
+        assert slow["compiled"] is False
+        assert fast["outputs"] == slow["outputs"]
+        for key in ("packets", "forwarded", "dropped_default", "dropped_entry"):
+            assert fast["stats"][key] == slow["stats"][key]
+        assert fast["stats"]["compiled_dispatches"] == 3
+        assert slow["stats"]["compiled_dispatches"] == 0
+
+    def test_serve_config_escape_hatch_default(self):
+        from repro.serve.server import ServeConfig
+
+        assert ServeConfig().compile_sims is True
+        assert ServeConfig(compile_sims=False).compile_sims is False
