@@ -35,6 +35,7 @@ from repro.cache.store import (
     configure,
     default_directory,
     get_store,
+    parse_peers,
     store_token,
 )
 from repro.cache import store as _store_mod
@@ -48,6 +49,7 @@ __all__ = [
     "get_store",
     "is_enabled",
     "override",
+    "parse_peers",
     "stable_fingerprint",
     "store_token",
 ]
@@ -60,7 +62,9 @@ def is_enabled() -> bool:
 
 @contextmanager
 def override(
-    directory: Any = _store_mod._UNSET, enabled: Optional[bool] = None
+    directory: Any = _store_mod._UNSET,
+    enabled: Optional[bool] = None,
+    peers: Any = _store_mod._UNSET,
 ) -> Iterator[None]:
     """Temporarily reconfigure the ambient store (restores on exit).
 
@@ -69,12 +73,14 @@ def override(
     """
     prev_dir = _store_mod._override_dir
     prev_enabled = _store_mod._override_enabled
-    configure(directory=directory, enabled=enabled)
+    prev_peers = _store_mod._override_peers
+    configure(directory=directory, enabled=enabled, peers=peers)
     try:
         yield
     finally:
         with _store_mod._config_lock:
             _store_mod._override_dir = prev_dir
             _store_mod._override_enabled = prev_enabled
+            _store_mod._override_peers = prev_peers
             _store_mod._store = None
             _store_mod._store_key = None

@@ -43,6 +43,7 @@ breakdown.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Tuple
@@ -429,8 +430,11 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cache.store import parse_peers
     from repro.serve.server import ServeConfig, run_server
 
+    if args.cluster > 0:
+        return _cmd_serve_cluster(args)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -439,8 +443,73 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=args.timeout,
         drain_timeout_s=args.drain_timeout,
         compile_sims=not args.no_compile,
+        peers=parse_peers(args.join) if args.join else (),
+        cache_dir=args.cache_dir,
+        warmup=not args.no_warmup,
     )
     return run_server(config)
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve --cluster N``: N shards + router in one process."""
+    import signal
+    import threading
+
+    from repro.serve.cluster import ClusterHandle
+    from repro.serve.server import ServeConfig
+
+    base = ServeConfig(
+        default_timeout_s=args.timeout,
+        drain_timeout_s=args.drain_timeout,
+        compile_sims=not args.no_compile,
+    )
+    workers = args.workers
+    if workers <= 0:
+        # Split the CPUs across shards rather than oversubscribing
+        # N shards × N cores worth of worker processes.
+        workers = max(1, (os.cpu_count() or 1) // args.cluster)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    with ClusterHandle(
+        shards=args.cluster,
+        workers_per_shard=workers,
+        host=args.host,
+        cache_root=args.cache_dir,
+        warmup=not args.no_warmup,
+        queue_size=args.queue_size,
+        router_port=args.port,
+        base_config=base,
+    ) as cluster:
+        shards = " ".join(
+            f"{args.host}:{p}" for p in cluster.shard_ports
+        )
+        print(
+            f"cluster up: router {args.host}:{cluster.router_port} -> "
+            f"{args.cluster} shards ({shards}), {workers} workers each",
+            flush=True,
+        )
+        stop.wait()
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    from repro.cache.store import parse_peers
+    from repro.serve.router import RouterConfig, run_router
+
+    shards = parse_peers(args.shards)
+    if not shards:
+        raise SystemExit(
+            f"error: --shards needs host:port[,host:port...], got {args.shards!r}"
+        )
+    return run_router(
+        RouterConfig(
+            host=args.host,
+            port=args.port,
+            shards=shards,
+            health_interval_s=args.health_interval,
+        )
+    )
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -758,7 +827,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve simulate requests with the interpreted simulator "
         "instead of the model compiler",
     )
+    p.add_argument(
+        "--cluster", type=int, default=0, metavar="N",
+        help="run N shard servers behind a consistent-hash router "
+        "(--port is the router; shards get ephemeral ports)",
+    )
+    p.add_argument(
+        "--join", metavar="HOST:PORT[,HOST:PORT...]",
+        help="cache peers: artifact-cache misses peer-fill from these "
+        "shards, and the model registry of the first reachable one "
+        "pre-warms this shard on start",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="private artifact-cache directory for this shard "
+        "(--cluster: the root; each shard gets DIR/shard-<i>)",
+    )
+    p.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip replica warm-up from --join peers",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "route",
+        help="run the cluster router in front of running shard servers",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8100, help="0 = ephemeral")
+    p.add_argument(
+        "--shards", required=True, metavar="HOST:PORT[,HOST:PORT...]",
+        help="the shard servers to route across",
+    )
+    p.add_argument(
+        "--health-interval", type=float, default=1.0,
+        help="seconds between shard health probes (0 disables)",
+    )
+    p.set_defaults(func=cmd_route)
 
     p = sub.add_parser(
         "query", help="query a running repro serve instance"

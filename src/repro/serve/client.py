@@ -1,9 +1,13 @@
 """Blocking client library for :mod:`repro.serve`.
 
 Used by the ``repro query`` CLI subcommand, the lifecycle tests and
-``benchmarks/bench_serve.py``.  Thread-safe by construction: every call
-opens its own :class:`http.client.HTTPConnection`, so N loadgen threads
-can share one :class:`ServeClient`.
+``benchmarks/bench_serve.py``.  Connections are **kept alive and
+reused** across sequential requests — per *thread*, so N loadgen
+threads can still share one :class:`ServeClient` (each gets its own
+socket).  A request that trips over a stale socket (server idled it
+out, draining server closed it) transparently reconnects and retries
+once; every op is a deterministic cached computation, so the retry can
+never double-run side effects.
 
 >>> client = ServeClient("127.0.0.1", 8000)          # doctest: +SKIP
 >>> client.synthesize("nat").result["name"]          # doctest: +SKIP
@@ -14,6 +18,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -38,6 +43,9 @@ class ServeResponse:
     #: The distributed trace id this request ran under (the one the
     #: client sent, echoed back in the envelope when tracing is on).
     trace_id: Optional[str] = None
+    #: Which shard served this request (``X-Repro-Shard``, stamped by
+    #: the cluster router; None when talking to a shard directly).
+    shard: Optional[str] = None
 
     @property
     def result(self) -> Any:
@@ -56,6 +64,11 @@ class ServeResponse:
     @property
     def elapsed_ms(self) -> Optional[float]:
         return self.payload.get("elapsed_ms")
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        """The jittered backoff hint on 429/503 rejections."""
+        return self.payload.get("retry_after_s")
 
     def raise_for_status(self) -> "ServeResponse":
         if not self.ok:
@@ -86,36 +99,66 @@ class ServeClient:
         self.port = port
         self.timeout = timeout
         self.tracing = tracing
+        self._local = threading.local()
 
     # -- transport -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        """This thread's kept-alive connection (created on first use)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            try:
+                conn.close()
+            except (OSError, http.client.HTTPException):
+                pass
+
+    def close(self) -> None:
+        """Close the calling thread's kept-alive connection (idempotent)."""
+        self._drop_connection()
 
     def request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None,
         ctx: Optional[obs_context.TraceContext] = None,
     ) -> ServeResponse:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
         if ctx is None and self.tracing:
             ambient = obs_context.current()
             ctx = ambient.child() if ambient is not None else obs_context.new_context()
-        try:
-            payload = None
-            headers = {}
-            if ctx is not None:
-                headers[obs_context.TRACEPARENT_HEADER] = ctx.traceparent()
-            if body is not None:
-                payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            status = response.status
-            request_id = response.getheader("X-Repro-Request-Id")
-        except (OSError, http.client.HTTPException) as exc:
-            raise ServeError(f"{method} {path} failed: {exc}") from exc
-        finally:
-            conn.close()
+        payload = None
+        headers: Dict[str, str] = {}
+        if ctx is not None:
+            headers[obs_context.TRACEPARENT_HEADER] = ctx.traceparent()
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # Attempt 0 rides the kept-alive socket; if that socket went
+        # stale (idled out, server drained), reconnect and retry once on
+        # a fresh one.  Deterministic idempotent ops make this safe.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+                request_id = response.getheader("X-Repro-Request-Id")
+                shard = response.getheader("X-Repro-Shard")
+                if response.will_close:
+                    self._drop_connection()
+                break
+            except (OSError, http.client.HTTPException) as exc:
+                self._drop_connection()
+                if attempt == 1:
+                    raise ServeError(f"{method} {path} failed: {exc}") from exc
         ok, decoded = parse_client_response(status, raw)
         return ServeResponse(
             status=status,
@@ -124,6 +167,7 @@ class ServeClient:
             request_id=decoded.get("request_id") or request_id,
             trace_id=decoded.get("trace_id")
             or (ctx.trace_id if ctx is not None else None),
+            shard=shard,
         )
 
     # -- endpoints -----------------------------------------------------------

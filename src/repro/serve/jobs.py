@@ -38,12 +38,31 @@ from repro import cache as artifact_cache
 TEST_OPS_ENV = "REPRO_SERVE_TEST_OPS"
 
 
-class JobTimeout(Exception):
-    """Raised inside the worker when the request deadline fires."""
+class JobTimeout(BaseException):
+    """Raised inside the worker when the request deadline fires.
+
+    Deliberately a ``BaseException``: the pipeline's errors-are-data
+    layers (engine frontier loops, cache tiers, batch outcomes) wrap
+    work in ``except Exception`` — a deadline that happens to fire
+    inside one of those blocks must cancel the job, not be folded into
+    a partial result and kept running.  Only :func:`run_job` catches
+    it.
+    """
+
+
+#: Retry cadence for the deadline timer (see :class:`_deadline_alarm`).
+ALARM_RETRY_INTERVAL_S = 0.05
+
+# True only between __enter__ and __exit__ of the active alarm; a tick
+# that lands after disarm (the flag was already tripped when setitimer
+# cleared) must be a no-op, not a JobTimeout escaping run_job's handler.
+# Workers are single-threaded, so a plain module flag is enough.
+_alarm_active = False
 
 
 def _alarm_handler(signum, frame):  # pragma: no cover - signal plumbing
-    raise JobTimeout()
+    if _alarm_active:
+        raise JobTimeout()
 
 
 class _deadline_alarm:
@@ -52,6 +71,14 @@ class _deadline_alarm:
     Usable only on the main thread of a POSIX process — exactly what a
     ``ProcessPoolExecutor`` worker is.  Previous handler and timer are
     restored on exit so nested/looped jobs compose.
+
+    The timer repeats every :data:`ALARM_RETRY_INTERVAL_S` after the
+    budget expires.  A one-shot alarm is lossy: if the tick happens to
+    land while the interpreter is running a weakref callback or
+    ``__del__`` (GC housekeeping — surprisingly common mid-synthesis),
+    the raised :class:`JobTimeout` is *unraisable* — CPython swallows
+    it and the job keeps running.  With an interval timer the next tick
+    simply tries again until one lands in ordinary code and propagates.
     """
 
     def __init__(self, budget_s: Optional[float]) -> None:
@@ -68,13 +95,19 @@ class _deadline_alarm:
         if usable:
             if self.budget_s <= 0:
                 raise JobTimeout()
+            global _alarm_active
             self._previous = signal.signal(signal.SIGALRM, _alarm_handler)
-            signal.setitimer(signal.ITIMER_REAL, self.budget_s)
+            _alarm_active = True
+            signal.setitimer(
+                signal.ITIMER_REAL, self.budget_s, ALARM_RETRY_INTERVAL_S
+            )
             self.armed = True
         return self
 
     def __exit__(self, *exc) -> None:
         if self.armed:
+            global _alarm_active
+            _alarm_active = False
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, self._previous)
         return None
@@ -167,10 +200,52 @@ def _sim_bundle(
     return key, bundle
 
 
+class _LruMemo:
+    """A small LRU memo for per-worker compiled models.
+
+    Replaces the earlier FIFO eviction: under FIFO, a hot model that a
+    shard serves on every request was evicted by arrival order the
+    moment eight one-off models passed through, forcing a recompile of
+    the *busiest* model.  Here :meth:`get` refreshes recency, so steady
+    traffic pins its model and eviction lands on the coldest entry.
+    """
+
+    __slots__ = ("capacity", "_items")
+
+    def __init__(self, capacity: int) -> None:
+        from collections import OrderedDict
+
+        self.capacity = max(1, capacity)
+        self._items: "OrderedDict[str, Any]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[Any]:
+        try:
+            self._items.move_to_end(key)
+        except KeyError:
+            return None
+        return self._items[key]
+
+    def put(self, key: str, value: Any) -> None:
+        if key in self._items:
+            self._items.move_to_end(key)
+        elif len(self._items) >= self.capacity:
+            self._items.popitem(last=False)
+        self._items[key] = value
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+
 #: Per-worker memo of compiled models, keyed on the sim-tier key.
 #: Bounded: a worker serves a handful of distinct models at a time.
-_COMPILED_MEMO: Dict[str, Any] = {}
 _COMPILED_MEMO_MAX = 8
+_COMPILED_MEMO = _LruMemo(_COMPILED_MEMO_MAX)
 
 
 def _compiled_for(key: Optional[str], model: Any, module_env: Dict[str, Any],
@@ -179,16 +254,16 @@ def _compiled_for(key: Optional[str], model: Any, module_env: Dict[str, Any],
     from repro.model.compile import compile_model
     from repro.obs import metrics as obs_metrics
 
-    if key is not None and key in _COMPILED_MEMO:
-        return _COMPILED_MEMO[key]
+    if key is not None:
+        hit = _COMPILED_MEMO.get(key)
+        if hit is not None:
+            return hit
     compiled = compile_model(model, module_env, pkt_param=pkt_param)
     obs_metrics.histogram("sim.compile_seconds").observe(
         compiled.compile_seconds
     )
     if key is not None:
-        if len(_COMPILED_MEMO) >= _COMPILED_MEMO_MAX:
-            _COMPILED_MEMO.pop(next(iter(_COMPILED_MEMO)))
-        _COMPILED_MEMO[key] = compiled
+        _COMPILED_MEMO.put(key, compiled)
     return compiled
 
 
@@ -369,6 +444,15 @@ def run_job(
     alarm interrupted the job *inside* the worker (vs. the server's
     backstop timeout).
 
+    The payload may carry a 5th element: the absolute
+    ``time.monotonic()`` deadline stamped by the server at dispatch.
+    CLOCK_MONOTONIC is system-wide, so it is meaningful in a forked
+    worker — the alarm is armed for the time *actually left*, not the
+    budget as of dispatch.  A job that spent its whole budget queued
+    behind a busy CPU then times out immediately here (``where:
+    "worker"``) instead of arming a stale full-length alarm and losing
+    the race to the parent's backstop.
+
     ``trace`` (the 4th payload element) is the request's serialized
     :class:`~repro.obs.context.TraceContext` — installed as the worker's
     ambient context so every pipeline span and log line lands under the
@@ -381,7 +465,10 @@ def run_job(
     from repro.obs.recorder import MAX_SPANS_PER_REQUEST, phases_from_spans
     from repro.parallel import observed_call
 
-    op, body, budget_s, trace = payload
+    op, body, budget_s, trace = payload[:4]
+    deadline = payload[4] if len(payload) > 4 else None
+    if deadline is not None and budget_s is not None:
+        budget_s = deadline - time.monotonic()
     tracing = trace is not None
     ctx = TraceContext.from_dict(trace) if tracing else None
     handler = OPS.get(op)
@@ -420,7 +507,7 @@ def run_job(
         spans = _partial_spans()
         return {
             "status": 504,
-            "error": f"deadline exceeded after {budget_s:.3f}s",
+            "error": f"deadline exceeded after {max(budget_s, 0.0):.3f}s",
             "where": "worker",
             "metrics": collector.get("metrics") or {},
             "spans": spans,

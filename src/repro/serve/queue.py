@@ -20,12 +20,29 @@ loop, so plain collections + one ``asyncio.Condition`` suffice.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Optional
 
 from repro.obs import metrics as obs_metrics
+
+#: Retry-After jitter bounds (seconds).  A fixed hint synchronizes every
+#: backed-off client into retrying at the same instant — the thundering
+#: herd re-fills the queue and earns itself another 429.
+RETRY_AFTER_MIN_S = 0.5
+RETRY_AFTER_MAX_S = 1.5
+
+
+def retry_after_jitter() -> float:
+    """A uniformly jittered retry hint in [0.5, 1.5] seconds.
+
+    Goes into the 429/503 envelope as ``retry_after_s`` (the precise
+    hint) and, rounded up, into the integer ``Retry-After`` header
+    (RFC 7231 allows only whole seconds).
+    """
+    return random.uniform(RETRY_AFTER_MIN_S, RETRY_AFTER_MAX_S)
 
 
 class QueueFull(Exception):

@@ -1,0 +1,563 @@
+"""The cluster router: consistent-hash request routing with failover.
+
+One asyncio process in front of N shard servers.  Each request is
+routed by its **artifact key material** — the same ``(nf, source,
+entry)`` / chain material the cache keys hash — so every request for a
+given model always lands on the same shard, keeping that shard's
+constraint cache, artifact tiers and compiled-model memo hot (the
+entire point of sharding a cache-heavy workload; docs/internals.md
+§13).
+
+The router is deliberately thin:
+
+- it never parses result payloads — a shard's response bytes are
+  relayed verbatim (envelopes are byte-identical to single-node,
+  which the cluster bench asserts);
+- it holds no synthesis state, so it needs no drain beyond closing its
+  listener;
+- every proxy hop opens a fresh upstream connection
+  (``Connection: close``) — boring, allocation-cheap at serve scale,
+  and immune to stale-socket states.
+
+Failover: shards are health-checked in the background
+(``GET /healthz``); a shard that fails :attr:`RouterConfig.down_after`
+consecutive probes is marked down and taken out of the ring-walk.  On
+a *connection-level* failure mid-request the router retries the next
+shard in the key's preference list (safe: every op is a deterministic,
+idempotent computation) and counts ``serve.cluster.failover``.  A dead
+shard therefore spills its key range to the next ring node — degraded
+(cold caches), never a hung request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cache.keys import stable_fingerprint
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs import log as obs_log
+from repro.serve import protocol
+from repro.serve.ring import DEFAULT_VNODES, HashRing
+
+
+def _version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def routing_key(op: str, body: Dict[str, Any]) -> str:
+    """The consistent-hash key for one request.
+
+    Mirrors the cache-key material of :mod:`repro.serve.jobs`: two
+    requests that would share cached artifacts hash to the same shard.
+    Op-independent on purpose — a ``synthesize`` and a ``simulate`` of
+    the same NF share the model tier, so they belong together.
+    """
+    if op in ("verify", "compose"):
+        material: Any = (
+            "chain",
+            body.get("chain"),
+            body.get("chain_a"),
+            body.get("chain_b"),
+        )
+    else:
+        material = (
+            "target",
+            body.get("nf") or body.get("name"),
+            body.get("source"),
+            body.get("entry"),
+        )
+    try:
+        return stable_fingerprint(material)
+    except (TypeError, ValueError):
+        # Un-encodable bodies (bad request shapes) still need *a* shard
+        # to produce the 400; route on the op name.
+        return stable_fingerprint(("op", op))
+
+
+@dataclass
+class ShardState:
+    """One shard as the router sees it."""
+
+    host: str
+    port: int
+    #: Consecutive failed health probes.
+    failures: int = 0
+    healthy: bool = True
+    #: Last /healthz status string ("ok", "draining", "down").
+    status: str = "ok"
+
+    @property
+    def name(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class RouterConfig:
+    host: str = "127.0.0.1"
+    port: int = 8100
+    #: ``(host, port)`` of every shard.
+    shards: Tuple[Tuple[str, int], ...] = ()
+    vnodes: int = DEFAULT_VNODES
+    #: Health-probe period (0 disables probing — tests drive health
+    #: transitions through connection failures instead).
+    health_interval_s: float = 1.0
+    #: Consecutive probe failures before a shard is marked down.
+    down_after: int = 2
+    #: Per-hop upstream timeouts.
+    connect_timeout_s: float = 2.0
+    #: Response wait: generous — the shard owns request deadlines.
+    response_timeout_s: float = 630.0
+    #: How many preference-list nodes to try per request.
+    attempts: int = 3
+
+
+class Router:
+    """The routing proxy (one per cluster)."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not config.shards:
+            raise ValueError("router needs at least one shard")
+        self.config = config
+        self.registry = registry or MetricsRegistry()
+        self.shards: Dict[str, ShardState] = {
+            f"{host}:{port}": ShardState(host, port)
+            for host, port in config.shards
+        }
+        self.ring = HashRing(self.shards.keys(), vnodes=config.vnodes)
+        self._log = obs_log.get_logger("repro.serve.router")
+        self.port: Optional[int] = None
+        self.draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        self.registry.gauge("serve.cluster.shards").set(len(self.shards))
+        self.registry.gauge("serve.cluster.healthy_shards").set(len(self.shards))
+        if self.config.health_interval_s > 0:
+            self._health_task = asyncio.get_running_loop().create_task(
+                self._health_loop()
+            )
+
+    async def serve_forever(self) -> None:
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._health_task is not None:
+            self._health_task.cancel()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- health checking -----------------------------------------------------
+
+    async def _probe(self, shard: ShardState) -> bool:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(shard.host, shard.port),
+                self.config.connect_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            writer.write(protocol.render_request("GET", "/healthz"))
+            await writer.drain()
+            response = await asyncio.wait_for(
+                protocol.read_response(reader), self.config.connect_timeout_s
+            )
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            protocol.ProtocolError,
+        ):
+            return False
+        finally:
+            writer.close()
+        if response is None or response.status != 200:
+            return False
+        # Draining shards answer 200 but advertise it; stop routing new
+        # work there while the drain finishes its in-flight jobs.
+        if b'"draining"' in response.body:
+            shard.status = "draining"
+            return False
+        shard.status = "ok"
+        return True
+
+    def _mark(self, shard: ShardState, up: bool) -> None:
+        if up:
+            shard.failures = 0
+            if not shard.healthy:
+                shard.healthy = True
+                self.registry.counter("serve.cluster.shard_up").inc()
+                obs_log.log_event(
+                    self._log, logging.INFO, "serve.cluster.shard_up",
+                    f"shard {shard.name} back in the ring", shard=shard.name,
+                )
+            return
+        shard.failures += 1
+        if shard.healthy and shard.failures >= self.config.down_after:
+            shard.healthy = False
+            if shard.status != "draining":
+                shard.status = "down"
+            self.registry.counter("serve.cluster.shard_down").inc()
+            obs_log.log_event(
+                self._log, logging.WARNING, "serve.cluster.shard_down",
+                f"shard {shard.name} marked down "
+                f"({shard.failures} consecutive probe failures)",
+                shard=shard.name,
+            )
+        self._publish_health()
+
+    def _publish_health(self) -> None:
+        self.registry.gauge("serve.cluster.healthy_shards").set(
+            sum(1 for s in self.shards.values() if s.healthy)
+        )
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.health_interval_s)
+            results = await asyncio.gather(
+                *(self._probe(s) for s in self.shards.values()),
+                return_exceptions=True,
+            )
+            for shard, up in zip(self.shards.values(), results):
+                self._mark(shard, up is True)
+            self._publish_health()
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.registry.counter("serve.connections").inc()
+        try:
+            while True:
+                try:
+                    request = await protocol.read_request(reader)
+                except protocol.ProtocolError as exc:
+                    writer.write(
+                        protocol.json_response(
+                            exc.status,
+                            protocol.error_envelope(exc.status, exc.message),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self._route(request)
+                writer.write(payload)
+                await writer.drain()
+                self.registry.counter(f"serve.status.{status}").inc()
+                if not request.keep_alive or self.draining:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while parked on a keep-alive read — routine
+            # since clients hold connections open between requests.
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, request: protocol.HttpRequest
+    ) -> Tuple[int, bytes]:
+        """(status, fully rendered response bytes) for one request."""
+        self.registry.counter("serve.requests_total").inc()
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            return self._json(200, protocol.ok_envelope(self._health()))
+        if path == "/metrics":
+            snapshot = self.registry.snapshot()
+            if request.query.get("format") == "json":
+                return self._json(200, protocol.ok_envelope(snapshot))
+            body = render_prometheus(snapshot).encode("utf-8")
+            return 200, protocol.render_response(
+                200, body,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/ringz":
+            return self._json(200, protocol.ok_envelope(self._ringz()))
+        if path.startswith("/v1/"):
+            op = path[len("/v1/"):]
+            try:
+                body = request.json()
+            except protocol.ProtocolError as exc:
+                return self._json(
+                    exc.status, protocol.error_envelope(exc.status, exc.message)
+                )
+            return await self._proxy(op, request, routing_key(op, body))
+        return self._json(
+            404, protocol.error_envelope(404, f"unknown path {path!r}")
+        )
+
+    def _json(
+        self, status: int, envelope: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
+        return status, protocol.json_response(
+            status, envelope, extra_headers=headers
+        )
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "router",
+            "version": _version(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "shards": {
+                name: {"healthy": s.healthy, "status": s.status}
+                for name, s in self.shards.items()
+            },
+        }
+
+    def _ringz(self) -> Dict[str, Any]:
+        return {
+            "vnodes": self.config.vnodes,
+            "share": self.ring.share(),
+            "healthy": [n for n, s in self.shards.items() if s.healthy],
+        }
+
+    def _preference(self, key: str) -> List[ShardState]:
+        """Healthy shards to try, in ring order; down shards spill over."""
+        names = self.ring.preference(key, n=len(self.shards))
+        ordered = [self.shards[n] for n in names]
+        healthy = [s for s in ordered if s.healthy]
+        # Unhealthy shards go to the back rather than vanishing: when
+        # *everything* is marked down (a probe blackout), trying the
+        # nominal owner beats refusing outright.
+        return (healthy + [s for s in ordered if not s.healthy])[
+            : max(1, self.config.attempts)
+        ]
+
+    async def _proxy(
+        self, op: str, request: protocol.HttpRequest, key: str
+    ) -> Tuple[int, bytes]:
+        candidates = self._preference(key)
+        upstream = protocol.render_request(
+            request.method, request.path, request.body,
+            headers={
+                name: value
+                for name, value in request.headers.items()
+                if name in ("traceparent", "content-type")
+            },
+        )
+        last_error = "no shard available"
+        for attempt, shard in enumerate(candidates):
+            if attempt > 0:
+                self.registry.counter("serve.cluster.failover").inc()
+                obs_log.log_event(
+                    self._log, logging.WARNING, "serve.cluster.failover",
+                    f"{op}: failing over to {shard.name} ({last_error})",
+                    op=op, shard=shard.name, attempt=attempt,
+                )
+            try:
+                response = await self._forward(shard, upstream)
+            except _UpstreamDown as exc:
+                # Connection-level failure: the shard never produced a
+                # response, so retrying elsewhere cannot double-run
+                # side effects (there are none — ops are deterministic
+                # cached computations).  Nudge health state so the ring
+                # reacts faster than the next probe tick.
+                last_error = str(exc)
+                self._mark(shard, False)
+                continue
+            except protocol.ProtocolError as exc:
+                return self._json(
+                    exc.status,
+                    protocol.error_envelope(
+                        exc.status, f"shard {shard.name}: {exc.message}"
+                    ),
+                )
+            self._mark(shard, True)
+            self.registry.counter(
+                f"serve.cluster.routed.{shard.name}"
+            ).inc()
+            headers = {"X-Repro-Shard": shard.name}
+            if attempt > 0:
+                headers["X-Repro-Failover"] = str(attempt)
+            # Relay the shard's body verbatim: byte-identical envelopes.
+            return response.status, protocol.render_response(
+                response.status,
+                response.body,
+                content_type=response.headers.get(
+                    "content-type", "application/json"
+                ),
+                keep_alive=True,
+                extra_headers=headers,
+            )
+        self.registry.counter("serve.cluster.unrouted").inc()
+        return self._json(
+            503,
+            protocol.error_envelope(
+                503, f"no healthy shard for this key ({last_error})"
+            ),
+        )
+
+    async def _forward(
+        self, shard: ShardState, payload: bytes
+    ) -> protocol.HttpResponse:
+        """One proxy hop; raises :class:`_UpstreamDown` on transport failure."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(shard.host, shard.port),
+                self.config.connect_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise _UpstreamDown(f"{shard.name}: connect failed ({exc!r})")
+        try:
+            writer.write(payload)
+            await writer.drain()
+            response = await asyncio.wait_for(
+                protocol.read_response(reader), self.config.response_timeout_s
+            )
+        except (OSError, ConnectionError) as exc:
+            raise _UpstreamDown(f"{shard.name}: connection lost ({exc!r})")
+        except asyncio.TimeoutError:
+            raise _UpstreamDown(f"{shard.name}: response timeout")
+        except asyncio.IncompleteReadError:
+            raise _UpstreamDown(f"{shard.name}: truncated response")
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        if response is None:
+            raise _UpstreamDown(f"{shard.name}: closed before responding")
+        return response
+
+
+class _UpstreamDown(Exception):
+    """A transport-level shard failure; the request may fail over."""
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_router(config: RouterConfig, *, ready=None) -> int:
+    """Blocking entry point (the ``repro route`` CLI)."""
+    obs_log.configure()
+    log = obs_log.get_logger("repro.serve.router")
+
+    async def main() -> None:
+        router = Router(config)
+        await router.start()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(router.stop())
+                )
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+        obs_log.log_event(
+            log, logging.INFO, "serve.router.start",
+            f"routing on {router.config.host}:{router.port} for "
+            f"{len(router.shards)} shards",
+            port=router.port, shards=sorted(router.shards),
+        )
+        if ready is not None:
+            ready(router)
+        await router.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class RouterHandle:
+    """A router on a background thread (tests, benchmarks)."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.config = config
+        self.router: Optional[Router] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        assert self.router is not None and self.router.port is not None
+        return self.router.port
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        assert self.router is not None
+        return self.router.registry
+
+    def start(self, timeout: float = 30.0) -> "RouterHandle":
+        def runner() -> None:
+            async def main() -> None:
+                self.router = Router(self.config)
+                await self.router.start()
+                self._loop = asyncio.get_running_loop()
+                self._ready.set()
+                await self.router.serve_forever()
+
+            try:
+                asyncio.run(main())
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("router did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"router failed to start: {self._error!r}")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self.router is not None and self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(
+                    lambda: asyncio.ensure_future(self.router.stop())
+                )
+            except RuntimeError:
+                pass
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "RouterHandle":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -46,7 +46,13 @@ from repro.obs.metrics import labeled
 from repro.obs.recorder import FlightRecorder, RequestRecord, phases_from_spans
 from repro.serve import protocol
 from repro.serve.jobs import OPS, run_job
-from repro.serve.queue import BoundedRequestQueue, Job, QueueClosed, QueueFull
+from repro.serve.queue import (
+    BoundedRequestQueue,
+    Job,
+    QueueClosed,
+    QueueFull,
+    retry_after_jitter,
+)
 
 
 def _version() -> str:
@@ -55,18 +61,42 @@ def _version() -> str:
     return repro.__version__
 
 
-def _worker_warmup() -> None:
+def _pool_ready() -> None:
+    """No-op pool task (see Server.prepare_pool)."""
+
+
+def _worker_warmup(
+    peers: Tuple[Tuple[str, int], ...] = (),
+    cache_dir: Optional[str] = None,
+) -> None:
     """Pool initializer: pre-import the pipeline in each worker.
 
     The first job in a fresh worker otherwise pays ~100 ms of lazy
     imports — visible as a p95 outlier on an otherwise ~2 ms warm
     ``synthesize``.  Runs once per worker process at pool start.
+
+    ``peers``/``cache_dir`` carry the shard's cluster identity into the
+    worker process explicitly (not via the parent's environment, which
+    in-process multi-shard harnesses share): ``cache_dir`` pins this
+    shard's private artifact directory, ``peers`` arms the store's
+    remote tier so a local miss peer-fills before paying a cold
+    synthesis.
     """
     import repro.apps.testing  # noqa: F401
     import repro.apps.verify  # noqa: F401
     import repro.equiv.differential  # noqa: F401
     import repro.nfactor.algorithm  # noqa: F401
     import repro.parallel  # noqa: F401
+
+    if cache_dir is not None or peers:
+        from repro import cache as artifact_cache
+
+        if cache_dir is not None:
+            artifact_cache.configure(
+                directory=cache_dir, enabled=True, peers=peers
+            )
+        else:
+            artifact_cache.configure(peers=peers)
 
 
 @dataclass
@@ -86,8 +116,11 @@ class ServeConfig:
     max_timeout_s: float = 600.0
     #: How long drain waits for in-flight work before giving up.
     drain_timeout_s: float = 60.0
-    #: Parent-side backstop beyond the worker's own alarm.
-    grace_s: float = 2.0
+    #: Parent-side backstop beyond the worker's own alarm.  Wide on
+    #: purpose: the worker's SIGALRM is the precise cancel; the parent
+    #: only abandons the slot when the alarm truly failed, so racing it
+    #: under CPU pressure just misattributes the 504.
+    grace_s: float = 4.0
     #: Event-loop lag probe period (0 disables the probe).
     lag_probe_interval_s: float = 0.05
     #: Request tracing: parse/mint trace contexts, collect worker span
@@ -104,6 +137,18 @@ class ServeConfig:
     recorder_keep_slow: int = 16
     #: Erroring requests pinned beyond the ring.
     recorder_keep_errors: int = 16
+    #: Cluster cache peers as ``(host, port)`` pairs (``--join``): armed
+    #: in every worker's artifact store (miss → peer-fill → recompute)
+    #: and used for replica warm-up at startup.
+    peers: Tuple[Tuple[str, int], ...] = ()
+    #: Private artifact-cache directory for this shard (cluster mode
+    #: gives every shard its own; None = the ambient store config).
+    cache_dir: Optional[str] = None
+    #: Pre-populate this shard from a peer's model registry on start.
+    warmup: bool = True
+    #: Identity reported in /healthz and cluster views (default
+    #: ``host:port`` once the listener is bound).
+    shard_name: Optional[str] = None
 
     def effective_workers(self) -> int:
         return self.workers if self.workers > 0 else (os.cpu_count() or 1)
@@ -147,17 +192,47 @@ class Server:
         self._started_at = time.monotonic()
         self._job_ids = iter(range(1, 1 << 62))
         self._abandoned = 0
+        self._cas_store: Optional[Any] = None
+        self._warmup_thread: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------------
+
+    def prepare_pool(self) -> None:
+        """Create the worker pool and fork every worker *now*.
+
+        Must run before any listener binds in this process.  A forked
+        worker inherits copies of every open FD, including listening
+        sockets; as long as any process holds a listener FD the kernel
+        keeps accepting connections into a backlog nobody drains, so a
+        crashed shard's port would black-hole new connects instead of
+        refusing them and the router could not fail over promptly.
+        ``ClusterHandle`` calls this for every shard before starting
+        any of them, since shards share one parent process there.
+        """
+        if self._pool is not None:
+            return
+        workers = self.config.effective_workers()
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_warmup,
+            initargs=(self.config.peers, self.config.cache_dir),
+        )
+        spawn = getattr(self._pool, "_adjust_process_count", None)
+        if spawn is not None:  # eager fork; idle workers park on the queue
+            for _ in range(workers):
+                spawn()
+        # One throwaway submit starts the executor's manager thread.
+        # Without it, a pool that never runs a job has nobody to send
+        # exit sentinels to the pre-forked workers at shutdown, and
+        # they would outlive the process's exit joins.
+        self._pool.submit(_pool_ready)
 
     async def start(self) -> None:
         """Bind, spin up the pool, dispatchers and the lag probe."""
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
         workers = self.config.effective_workers()
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_warmup
-        )
+        self.prepare_pool()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -169,6 +244,15 @@ class Server:
         if self.config.lag_probe_interval_s > 0:
             self._lag_task = self._loop.create_task(self._lag_probe())
         self.registry.gauge("serve.workers").set(workers)
+        if self.config.peers and self.config.warmup:
+            # Replica warm-up: copy a peer's recent artifacts into this
+            # shard's store on a daemon thread (serving starts now).
+            from repro.serve import peers as serve_peers
+
+            counter = self.registry.counter("serve.warmup.artifacts")
+            self._warmup_thread = serve_peers.start_warmup_thread(
+                self.cas_store(), self.config.peers, on_done=counter.inc
+            )
 
     def install_signal_handlers(self) -> bool:
         """SIGTERM/SIGINT → graceful drain.  Best effort (main thread only)."""
@@ -219,6 +303,37 @@ class Server:
         if self._stopped is not None:
             self._stopped.set()
 
+    # -- shard identity / CAS store ------------------------------------------
+
+    @property
+    def shard_name(self) -> str:
+        if self.config.shard_name:
+            return self.config.shard_name
+        return f"{self.config.host}:{self.port or self.config.port}"
+
+    def cas_store(self):
+        """The artifact store behind this shard's ``/cas`` endpoints.
+
+        Always **peer-less**: a shard serves only what it holds locally,
+        so two shards missing the same key can never chase each other in
+        a fetch loop.  With ``cache_dir`` set (cluster mode) it is a
+        dedicated store over the shard's private directory; otherwise a
+        peer-stripped twin of the ambient store.
+        """
+        if self._cas_store is None:
+            from repro.cache.store import ArtifactStore
+            from repro import cache as artifact_cache
+
+            if self.config.cache_dir:
+                self._cas_store = ArtifactStore(self.config.cache_dir)
+            else:
+                base = artifact_cache.get_store()
+                self._cas_store = ArtifactStore(
+                    str(base.directory) if base.directory else None,
+                    enabled=base.enabled,
+                )
+        return self._cas_store
+
     # -- event-loop health ---------------------------------------------------
 
     async def _lag_probe(self) -> None:
@@ -240,6 +355,9 @@ class Server:
     # -- connection handling -------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        # One increment per TCP connection, however many requests ride
+        # it — the client keep-alive test reads reuse off this counter.
+        self.registry.counter("serve.connections").inc()
         try:
             while True:
                 try:
@@ -258,7 +376,15 @@ class Server:
                     break
                 status, envelope, headers = await self._route(request)
                 keep_alive = request.keep_alive and not self.draining
-                if isinstance(envelope, _RawText):
+                if isinstance(envelope, _RawBytes):
+                    payload = protocol.render_response(
+                        status,
+                        envelope.body,
+                        content_type=envelope.content_type,
+                        keep_alive=keep_alive,
+                        extra_headers=headers,
+                    )
+                elif isinstance(envelope, _RawText):
                     payload = protocol.render_response(
                         status,
                         envelope.text.encode("utf-8"),
@@ -277,6 +403,10 @@ class Server:
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while parked on a keep-alive read — routine
+            # since clients hold connections open between requests.
             pass
         finally:
             # No wait_closed(): at loop shutdown the handler task may
@@ -306,6 +436,12 @@ class Server:
             if request.method != "GET":
                 return 405, protocol.error_envelope(405, "use GET"), None
             return self._debugz(path, request.query)
+        if path.startswith("/cas/"):
+            return self._cas(request, path)
+        if path == "/registry":
+            if request.method != "GET":
+                return 405, protocol.error_envelope(405, "use GET"), None
+            return self._registry(request.query)
         if path.startswith("/v1/"):
             op = path[len("/v1/"):]
             if op not in OPS:
@@ -373,7 +509,78 @@ class Server:
             "inflight": self.queue.inflight,
         }
 
+    # -- cluster CAS exchange ------------------------------------------------
+
+    def _cas(
+        self, request: protocol.HttpRequest, path: str
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """``GET/PUT /cas/<kind>/<key>`` — raw framed artifact exchange.
+
+        GET streams the on-disk framed bytes **unverified** (one read,
+        no decompress); the fetching peer runs the checksum, so damage
+        anywhere on the path is its logged miss, not our crash.  PUT is
+        the inverse: the body is verified *here* before it is stored.
+        """
+        from repro.serve.peers import valid_cas_path
+
+        parts = path.split("/")  # ['', 'cas', kind, key]
+        if len(parts) != 4 or not valid_cas_path(parts[2], parts[3]):
+            return 404, protocol.error_envelope(
+                404, f"bad CAS path {path!r} (want /cas/<kind>/<hexkey>)"
+            ), None
+        kind, key = parts[2], parts[3]
+        if request.method == "GET":
+            raw = self.cas_store().get_raw(kind, key)
+            if raw is None:
+                self.registry.counter("serve.cas.misses").inc()
+                return 404, protocol.error_envelope(
+                    404, f"no {kind}/{key} on this shard"
+                ), None
+            self.registry.counter("serve.cas.reads").inc()
+            self.registry.counter("serve.cas.bytes_read").inc(len(raw))
+            return 200, _RawBytes(raw), None
+        if request.method == "PUT":
+            if self.cas_store().put_raw(kind, key, request.body):
+                self.registry.counter("serve.cas.writes").inc()
+                return 200, protocol.ok_envelope({"stored": True}), None
+            return 400, protocol.error_envelope(
+                400, f"rejected {kind}/{key}: bad frame or checksum"
+            ), None
+        return 405, protocol.error_envelope(405, "use GET or PUT"), None
+
+    def _registry(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        """``GET /registry`` — the shard's recent artifacts, for warm-up."""
+        from repro.serve.peers import WARMUP_KINDS, WARMUP_LIMIT
+
+        kinds_text = query.get("kinds", "")
+        kinds = tuple(
+            k for k in (part.strip() for part in kinds_text.split(",")) if k
+        ) or WARMUP_KINDS
+        try:
+            limit = max(0, int(query.get("limit", str(WARMUP_LIMIT))))
+        except ValueError:
+            return 400, protocol.error_envelope(
+                400, f"bad limit: {query.get('limit')!r}"
+            ), None
+        artifacts = self.cas_store().list_objects(kinds=kinds, limit=limit)
+        return 200, protocol.ok_envelope(
+            {"shard": self.shard_name, "artifacts": artifacts}
+        ), None
+
     # -- job submission ------------------------------------------------------
+
+    def _backoff(
+        self, envelope: Dict[str, Any], headers: Dict[str, str]
+    ) -> Dict[str, Any]:
+        """Stamp a jittered retry hint on a 429/503 rejection."""
+        import math
+
+        retry_s = retry_after_jitter()
+        headers["Retry-After"] = str(max(1, math.ceil(retry_s)))
+        envelope["retry_after_s"] = round(retry_s, 3)
+        return envelope
 
     def _timeout_for(self, body: Dict[str, Any]) -> float:
         raw = body.get("timeout_s", self.config.default_timeout_s)
@@ -408,10 +615,11 @@ class Server:
 
         if self.draining:
             self.registry.counter("serve.draining_rejected").inc()
-            headers["Retry-After"] = "1"
             return self._finish(
                 op, 503, request_id, ctx, t_admit,
-                protocol.error_envelope(503, "server is draining"),
+                self._backoff(
+                    protocol.error_envelope(503, "server is draining"), headers
+                ),
                 headers, error="server is draining",
             )
         try:
@@ -435,17 +643,18 @@ class Server:
             self.queue.submit(job)
         except QueueFull as exc:
             self.registry.counter("serve.rejected_queue_full").inc()
-            headers["Retry-After"] = "1"
             return self._finish(
                 op, 429, request_id, ctx, t_admit,
-                protocol.error_envelope(429, str(exc)), headers, error=str(exc),
+                self._backoff(protocol.error_envelope(429, str(exc)), headers),
+                headers, error=str(exc),
             )
         except QueueClosed:
             self.registry.counter("serve.draining_rejected").inc()
-            headers["Retry-After"] = "1"
             return self._finish(
                 op, 503, request_id, ctx, t_admit,
-                protocol.error_envelope(503, "server is draining"),
+                self._backoff(
+                    protocol.error_envelope(503, "server is draining"), headers
+                ),
                 headers, error="server is draining",
             )
         self.registry.counter(f"serve.op.{op}").inc()
@@ -633,8 +842,14 @@ class Server:
             }
         assert self._pool is not None and self._loop is not None
         trace = job.ctx.to_dict() if job.ctx is not None else None
+        # Absolute deadline (CLOCK_MONOTONIC is system-wide, so the
+        # forked worker can read it): the worker arms its alarm for the
+        # time actually left, so a job that starts late under CPU
+        # pressure still cancels in-worker instead of handing the 504
+        # to the parent backstop.
+        deadline = None if remaining is None else time.monotonic() + remaining
         fut = self._loop.run_in_executor(
-            self._pool, run_job, (job.op, job.payload, remaining, trace)
+            self._pool, run_job, (job.op, job.payload, remaining, trace, deadline)
         )
         backstop = None if remaining is None else remaining + self.config.grace_s
         try:
@@ -661,6 +876,18 @@ class _RawText:
         content_type: str = "text/plain; version=0.0.4; charset=utf-8",
     ) -> None:
         self.text = text
+        self.content_type = content_type
+
+
+class _RawBytes:
+    """A binary response body (framed CAS blobs on ``GET /cas/...``)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(
+        self, body: bytes, content_type: str = "application/octet-stream"
+    ) -> None:
+        self.body = body
         self.content_type = content_type
 
 
@@ -730,10 +957,23 @@ class ServerHandle:
         assert self.server is not None
         return self.server.registry
 
+    def prepare(self) -> "ServerHandle":
+        """Fork the worker pool before any listener binds.
+
+        Optional for a lone server (``start()`` forks before its own
+        bind anyway); required across shards sharing a process — see
+        :meth:`Server.prepare_pool`.
+        """
+        if self.server is None:
+            self.server = Server(self.config)
+        self.server.prepare_pool()
+        return self
+
     def start(self, timeout: float = 30.0) -> "ServerHandle":
         def runner() -> None:
             async def main() -> None:
-                self.server = Server(self.config)
+                if self.server is None:
+                    self.server = Server(self.config)
                 await self.server.start()
                 self._loop = asyncio.get_running_loop()
                 self._ready.set()
@@ -763,6 +1003,9 @@ class ServerHandle:
     def stop(self, timeout: float = 60.0) -> None:
         """Drain and join the server thread."""
         if self._thread is None:
+            # prepare()d but never started: only the pool exists.
+            if self.server is not None and self.server._pool is not None:
+                self.server._pool.shutdown(wait=False, cancel_futures=True)
             return
         if self.server is not None and self._loop is not None:
             try:
@@ -772,6 +1015,52 @@ class ServerHandle:
         self._thread.join(timeout)
         if self._thread.is_alive():
             raise RuntimeError("server thread did not stop in time")
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Stop abruptly — no drain, in-flight work abandoned.
+
+        The failover tests' stand-in for a crashed shard: the listener
+        closes, every task is cancelled, the pool is torn down.  Clients
+        see connection resets, exactly like ``kill -9``.
+
+        Worker processes are killed outright, not just asked to exit:
+        forked workers inherit a copy of the listening socket, and as
+        long as any process holds that FD the kernel keeps accepting
+        connections into a backlog nobody drains — new connects would
+        hang instead of being refused, and the router could not fail
+        over promptly.
+        """
+        if self._thread is None or not self._thread.is_alive():
+            return
+        server, loop = self.server, self._loop
+
+        def slam() -> None:
+            assert server is not None
+            server.draining = True
+            if server._server is not None:
+                server._server.close()
+            for task in asyncio.all_tasks():
+                task.cancel()
+            if server._stopped is not None:
+                server._stopped.set()
+
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(slam)
+            except RuntimeError:
+                pass
+        if server is not None and server._pool is not None:
+            pool = server._pool
+            workers = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in workers:
+                try:
+                    proc.kill()
+                except (OSError, ValueError):
+                    pass
+            for proc in workers:
+                proc.join(timeout)
+        self._thread.join(timeout)
 
     def __enter__(self) -> "ServerHandle":
         return self.start()
