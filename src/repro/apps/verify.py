@@ -93,6 +93,41 @@ class HeaderSpace:
         )
 
 
+def push_space(
+    model: NFModel, space: HeaderSpace, ns: str, solver: Solver
+) -> List[HeaderSpace]:
+    """All output spaces one model produces from ``space``.
+
+    The per-edge transfer function shared by the linear
+    :class:`NetworkVerifier` and the DAG :class:`repro.netverify`
+    verifier (which memoizes its results per ``(model, space)`` pair):
+    every entry whose guard is feasible against the input space yields
+    one output space with the entry's rewrites applied and the guard
+    recorded as extra input/state constraints.  ``ns`` namespaces the
+    model's state leaves so the same NF at two points in the network
+    keeps distinct state.
+    """
+    out: List[HeaderSpace] = []
+    for entry in model.all_entries():
+        guard = [subst_fields(c, space.fields, ns) for c in entry.guard()]
+        combined = space.constraints + guard
+        if not solver.check(combined).feasible:
+            continue
+        if entry.drops:
+            continue
+        rewritten = dict(space.fields)
+        for name, value in entry.flow_transform().items():
+            rewritten[name] = subst_fields(value, space.fields, ns)
+        out.append(
+            HeaderSpace(
+                fields=rewritten,
+                constraints=combined,
+                trace=space.trace + [(model.name, entry.entry_id)],
+            )
+        )
+    return out
+
+
 class NetworkVerifier:
     """Pushes header spaces through a chain of synthesized models."""
 
@@ -104,25 +139,7 @@ class NetworkVerifier:
         self, model: NFModel, space: HeaderSpace, ns: str
     ) -> List[HeaderSpace]:
         """All output spaces one model produces from ``space``."""
-        out: List[HeaderSpace] = []
-        for entry in model.all_entries():
-            guard = [subst_fields(c, space.fields, ns) for c in entry.guard()]
-            combined = space.constraints + guard
-            if not self.solver.check(combined).feasible:
-                continue
-            if entry.drops:
-                continue
-            rewritten = dict(space.fields)
-            for name, value in entry.flow_transform().items():
-                rewritten[name] = subst_fields(value, space.fields, ns)
-            out.append(
-                HeaderSpace(
-                    fields=rewritten,
-                    constraints=combined,
-                    trace=space.trace + [(model.name, entry.entry_id)],
-                )
-            )
-        return out
+        return push_space(model, space, ns, self.solver)
 
     def reachable(self, space: Optional[HeaderSpace] = None) -> List[HeaderSpace]:
         """Spaces that traverse the whole chain (none ⇒ chain blackholes)."""

@@ -403,6 +403,145 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _chain_models_local(names: list) -> list:
+    """[(name, model)] for a chain of corpus names / .py paths (local)."""
+    chain = []
+    for item in names:
+        spec = load_spec(item)
+        ms = synthesize_model_cached(spec.source, name=spec.name, entry=spec.entry)
+        chain.append((spec.name, ms.model))
+    return chain
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Local chain verification (no server needed)."""
+    import json
+
+    from repro.apps.verify import NetworkVerifier
+
+    chain = _chain_models_local(list(args.nfs))
+    verifier = NetworkVerifier(chain)
+    spaces = verifier.reachable()
+    payload = {
+        "chain": [name for name, _ in chain],
+        "can_reach": bool(spaces),
+        "n_spaces": len(spaces),
+        "traces": [
+            [[name, entry_id] for name, entry_id in space.trace]
+            for space in spaces[: args.max_traces]
+        ],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    arrow = " -> ".join(payload["chain"])
+    verdict = "reachable" if payload["can_reach"] else "BLACKHOLED"
+    print(f"{arrow}: {verdict} ({payload['n_spaces']} space(s))")
+    for trace in payload["traces"]:
+        print("  " + " -> ".join(f"{nf}#{entry}" for nf, entry in trace))
+    return 0 if payload["can_reach"] else 1
+
+
+def cmd_compose(args: argparse.Namespace) -> int:
+    """Local chain composition analysis (no server needed)."""
+    import json
+
+    from repro.apps.compose import compose_chains
+
+    chain_a = _chain_models_local(args.chain_a.split(","))
+    chain_b = _chain_models_local(args.chain_b.split(","))
+    ranked = compose_chains(chain_a, chain_b)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "recommended": list(ranked[0].order),
+                    "orders": [
+                        {
+                            "order": list(an.order),
+                            "n_conflicts": an.n_conflicts,
+                            "conflicts": [
+                                {
+                                    "upstream": a,
+                                    "downstream": b,
+                                    "fields": sorted(fields),
+                                }
+                                for a, b, fields in an.conflicts
+                            ],
+                        }
+                        for an in ranked
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"recommended: {' -> '.join(ranked[0].order)}")
+    for an in ranked:
+        print(f"  {' -> '.join(an.order)}: {an.n_conflicts} conflict(s)")
+        for a, b, fields in an.conflicts:
+            print(f"    {a} rewrites {{{', '.join(sorted(fields))}}} read by {b}")
+    return 0
+
+
+def cmd_verify_graph(args: argparse.Namespace) -> int:
+    """Verify a DAG service graph locally (edge-summary cached)."""
+    import json
+
+    from repro.netverify import (
+        GraphVerifier,
+        GraphVerifyConfig,
+        build_graph,
+        generate_graph,
+    )
+
+    if args.generate:
+        graph = generate_graph(args.generate, seed=args.seed, width=args.width)
+    else:
+        if not args.node:
+            raise SystemExit(
+                "error: give --node NAME=NF (repeatable) or --generate N"
+            )
+        nodes = []
+        for text in args.node:
+            name, sep, nf = text.partition("=")
+            if not sep:
+                raise SystemExit(f"error: bad --node {text!r} (want NAME=NF)")
+            nodes.append((name.strip(), nf.strip()))
+        edges = []
+        for text in args.edge or []:
+            src, sep, dst = text.partition(":")
+            if not sep:
+                raise SystemExit(f"error: bad --edge {text!r} (want SRC:DST)")
+            edges.append((src.strip(), dst.strip()))
+        try:
+            graph = build_graph(nodes, edges)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+
+    config = GraphVerifyConfig(
+        use_cache=artifact_cache.is_enabled(), jobs=args.jobs
+    )
+    try:
+        verdict = GraphVerifier(graph, config=config).verify()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    stats = verdict.stats
+    if args.json:
+        payload = json.loads(verdict.to_json())
+        payload["stats"] = stats.as_dict()
+        print(json.dumps(payload, indent=2))
+        return 0 if verdict.can_reach else 1
+    print(graph.summary())
+    print(verdict.summary())
+    for witness in verdict.witnesses[:3]:
+        path = " -> ".join(f"{nf}#{e}" for nf, e in witness["trace"])
+        print(f"  witness @ {witness['sink']}: {path}")
+    if stats.truncated_spaces:
+        print(f"  (truncated {stats.truncated_spaces} fan-in space(s))")
+    return 0 if verdict.can_reach else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     store = artifact_cache.get_store()
     if args.action == "path":
@@ -799,6 +938,55 @@ def build_parser() -> argparse.ArgumentParser:
     nf_command(
         "profile", cmd_profile, "synthesize with tracing on, print the profile"
     )
+
+    p = sub.add_parser(
+        "verify",
+        help="verify a linear NF chain locally (no server needed)",
+    )
+    p.add_argument(
+        "nfs", nargs="+",
+        help="the chain, in order: corpus NF names or NFPy .py paths",
+    )
+    p.add_argument("--max-traces", type=int, default=10)
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "compose",
+        help="rank safe interleavings of two NF chains locally",
+    )
+    p.add_argument("chain_a", help="comma-separated chain A")
+    p.add_argument("chain_b", help="comma-separated chain B")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=cmd_compose)
+
+    p = sub.add_parser(
+        "verify-graph",
+        help="verify a DAG service graph (per-edge summary cache)",
+    )
+    p.add_argument(
+        "--node", action="append", metavar="NAME=NF",
+        help="one node bound to a corpus NF (repeatable)",
+    )
+    p.add_argument(
+        "--edge", action="append", metavar="SRC:DST",
+        help="one directed edge between named nodes (repeatable)",
+    )
+    p.add_argument(
+        "--generate", type=int, default=0, metavar="N",
+        help="instead of --node/--edge: a seeded N-node layered DAG "
+        "over the corpus",
+    )
+    p.add_argument("--seed", type=int, default=7, help="--generate seed")
+    p.add_argument(
+        "--width", type=int, default=5, help="--generate layer width"
+    )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for independent edges (same bytes as -j 1)",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=cmd_verify_graph)
 
     p = sub.add_parser(
         "serve",

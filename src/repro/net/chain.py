@@ -25,11 +25,20 @@ class PacketProcessor(Protocol):
 
 @dataclass
 class HopRecord:
-    """What one NF did to one packet."""
+    """What one NF did to the packets that reached it.
+
+    A hop downstream of a flooding NF receives several packets;
+    ``packets_in`` records them all.  ``packet_in`` stays as an alias
+    for the first (the common single-packet case).
+    """
 
     nf: str
-    packet_in: Packet
+    packets_in: List[Packet]
     packets_out: List[Packet]
+
+    @property
+    def packet_in(self) -> Optional[Packet]:
+        return self.packets_in[0] if self.packets_in else None
 
     @property
     def dropped(self) -> bool:
@@ -106,7 +115,7 @@ class ServiceChain:
                 for out_pkt, _port in processor(p.copy()):
                     emitted.append(out_pkt)
             trace.hops.append(
-                HopRecord(nf=name, packet_in=current[0] if current else pkt,
+                HopRecord(nf=name, packets_in=list(current),
                           packets_out=list(emitted))
             )
             if emitted:

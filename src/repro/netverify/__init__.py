@@ -1,0 +1,41 @@
+"""Network-wide verification over DAG service graphs (ROADMAP item 4a).
+
+:mod:`repro.apps.verify` pushes header spaces through a *linear* chain
+from scratch on every call; this package scales that to SymNet-style
+service graphs — dozens of NFs with branches and joins — and makes
+re-verification incremental:
+
+* :mod:`repro.netverify.graph` — :class:`ServiceGraph`, the DAG of
+  model-bound nodes, plus builders (``build_graph`` from explicit
+  node/edge lists, ``generate_graph`` for seeded layered topologies).
+* :mod:`repro.netverify.verify` — :class:`GraphVerifier`, whose hot
+  path is a per-edge transfer-summary cache: each
+  ``(model key, input-space fingerprint)`` pair memoizes the symbolic
+  output spaces of pushing that space through that model, persisted as
+  the ``edge`` tier of the artifact store.  A warm re-verification
+  after a single NF edit or topology rewire recomputes only the edges
+  downstream of the dirty node; independent edges are explored in
+  parallel worker processes with a deterministic merge, byte-identical
+  to the sequential order.
+
+See docs/internals.md §14 for the architecture and the determinism
+argument.
+"""
+
+from repro.netverify.graph import ServiceGraph, build_graph, generate_graph
+from repro.netverify.verify import (
+    GraphVerdict,
+    GraphVerifier,
+    GraphVerifyConfig,
+    VerifyStats,
+)
+
+__all__ = [
+    "ServiceGraph",
+    "build_graph",
+    "generate_graph",
+    "GraphVerifier",
+    "GraphVerifyConfig",
+    "GraphVerdict",
+    "VerifyStats",
+]

@@ -54,6 +54,7 @@ __all__ = [
     "synthesize_many",
     "resolve_targets",
     "explore_frontier_parts",
+    "compute_edge_summaries",
     "observed_call",
     "default_jobs",
 ]
@@ -305,6 +306,66 @@ def explore_frontier_parts(
         if registry.enabled and snapshot:
             registry.merge(snapshot)
         out.append((finished, stats))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Graph-verification edge workers (repro.netverify)
+# ---------------------------------------------------------------------------
+
+
+def _edge_worker(payload: Tuple[Any, ...]) -> Tuple[Any, Dict[str, Any], str]:
+    """Compute one edge transfer summary in a fresh solver.
+
+    The payload is ``(model, ns, space, solver_cache)``; the summary is
+    a pure function of it (the solver derives its samples from the
+    constraint set, not from process state), so relocating the call
+    into a worker cannot change the bytes.  Never raises — errors come
+    home as formatted tracebacks for the parent to surface coherently.
+    """
+    from repro import obs
+    from repro.netverify.verify import compute_edge_summary
+    from repro.symbolic.solver import Solver
+
+    model, ns, space, solver_cache = payload
+    try:
+        with obs.observed() as (_tracer, registry):
+            summary = compute_edge_summary(
+                model, ns, space, Solver(cache=solver_cache)
+            )
+            snapshot = registry.snapshot()
+        return summary, snapshot, ""
+    except Exception:
+        return None, {}, traceback.format_exc(limit=8)
+
+
+def compute_edge_summaries(
+    payloads: Sequence[Tuple[Any, ...]], jobs: int
+) -> List[Any]:
+    """Fan edge tasks out over a process pool; summaries in input order.
+
+    Mirrors :func:`explore_frontier_parts`: worker metrics snapshots
+    fold into the parent's ambient registry, a worker failure raises in
+    the parent, and ``jobs<=1`` degenerates to the in-process loop so
+    the parallel path has a same-code-path determinism reference.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    jobs = min(len(payloads), max(1, jobs))
+    if jobs <= 1:
+        raw = [_edge_worker(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            raw = list(pool.map(_edge_worker, payloads))
+
+    registry = obs_metrics.active()
+    out: List[Any] = []
+    for summary, snapshot, error in raw:
+        if error:
+            raise RuntimeError(f"edge worker failed:\n{error}")
+        if registry.enabled and snapshot:
+            registry.merge(snapshot)
+        out.append(summary)
     return out
 
 

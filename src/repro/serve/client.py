@@ -21,7 +21,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import context as obs_context
 from repro.serve.protocol import parse_client_response
@@ -275,6 +275,29 @@ class ServeClient:
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
         return self._op("verify", body)
+
+    def verify_graph(
+        self,
+        nodes: Optional[List[Tuple[str, str]]] = None,
+        edges: Optional[List[Tuple[str, str]]] = None,
+        generate: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> ServeResponse:
+        """Verify a DAG service graph (``POST /v1/verify_graph``).
+
+        Either pass ``nodes`` ([(name, corpus_nf), ...]) + ``edges``
+        ([(src, dst), ...]), or ``generate`` ({"n": ..., "seed": ...})
+        for a seeded topology built server-side.
+        """
+        body: Dict[str, Any] = {}
+        if nodes is not None:
+            body["nodes"] = [list(pair) for pair in nodes]
+            body["edges"] = [list(pair) for pair in edges or []]
+        if generate is not None:
+            body["generate"] = generate
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._op("verify_graph", body)
 
     def compose(
         self,

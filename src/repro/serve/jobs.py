@@ -358,6 +358,78 @@ def _op_verify(body: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _graph_from_body(body: Dict[str, Any]) -> Any:
+    """A :class:`~repro.netverify.graph.ServiceGraph` from request JSON.
+
+    Two shapes: explicit ``{"nodes": [[name, nf], ...], "edges":
+    [[src, dst], ...]}``, or ``{"generate": {"n": N, "seed": S,
+    "width": W}}`` for the seeded benchmark topology.  Graph-shape
+    errors (unknown NF, dangling edge, cycle) surface as 400s.
+    """
+    from repro.netverify import build_graph, generate_graph
+
+    gen = body.get("generate")
+    if gen is not None:
+        if not isinstance(gen, dict):
+            raise ValueError("'generate' must be an object")
+        n = int(gen.get("n", 12))
+        if not 1 <= n <= 200:
+            raise ValueError("'generate.n' must be in [1, 200]")
+        return generate_graph(
+            n, seed=int(gen.get("seed", 7)), width=int(gen.get("width", 5))
+        )
+    nodes = body.get("nodes")
+    edges = body.get("edges", [])
+    if not isinstance(nodes, list) or not nodes:
+        raise ValueError(
+            "request needs 'nodes' ([[name, nf], ...]) or 'generate'"
+        )
+    if not isinstance(edges, list):
+        raise ValueError("'edges' must be a list of [src, dst] pairs")
+    try:
+        node_pairs = [(str(n), str(nf)) for n, nf in nodes]
+        edge_pairs = [(str(a), str(b)) for a, b in edges]
+    except (TypeError, ValueError):
+        raise ValueError("'nodes'/'edges' entries must be 2-element pairs")
+    return build_graph(node_pairs, edge_pairs)
+
+
+def _op_verify_graph(body: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.netverify import GraphVerifier, GraphVerifyConfig
+
+    graph = _graph_from_body(body)
+    # jobs pinned to 1: this already runs inside a pool worker, and
+    # daemonic pool processes cannot fork grandchildren.  The serve
+    # tier's parallelism is across requests/shards, not within one.
+    config = GraphVerifyConfig(use_cache=bool(body.get("cache", True)), jobs=1)
+    try:
+        verdict = GraphVerifier(graph, config=config).verify()
+    except ValueError as exc:
+        raise ValueError(str(exc))
+    max_traces = int(body.get("max_traces", 10))
+    max_witnesses = int(body.get("max_witnesses", 8))
+    stats = verdict.stats
+    return {
+        "graph": verdict.graph_fingerprint,
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "sinks": sorted(verdict.reachable),
+        "can_reach": verdict.can_reach,
+        "n_spaces": verdict.n_spaces,
+        "traces": [
+            [[name, entry_id] for name, entry_id in trace]
+            for trace in verdict.traces(limit=max_traces)
+        ],
+        "witnesses": verdict.witnesses[:max_witnesses],
+        "cache": {
+            "edges": stats.edges,
+            "hits": stats.cache_hits,
+            "misses": stats.cache_misses,
+            "dirty_edges": stats.dirty_edges,
+        },
+    }
+
+
 def _op_compose(body: Dict[str, Any]) -> Dict[str, Any]:
     from repro.apps.compose import compose_chains
 
@@ -427,6 +499,7 @@ OPS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "synthesize": _op_synthesize,
     "simulate": _op_simulate,
     "verify": _op_verify,
+    "verify_graph": _op_verify_graph,
     "compose": _op_compose,
     "testgen": _op_testgen,
     "sleep": _op_sleep,

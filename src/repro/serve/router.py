@@ -59,8 +59,17 @@ def routing_key(op: str, body: Dict[str, Any]) -> str:
     Op-independent on purpose — a ``synthesize`` and a ``simulate`` of
     the same NF share the model tier, so they belong together.
     """
-    if op in ("verify", "compose"):
+    if op == "verify_graph":
+        # Route on topology + model bindings: repeated verifications of
+        # one graph land on the shard whose edge-summary cache is hot.
         material: Any = (
+            "graph",
+            body.get("nodes"),
+            body.get("edges"),
+            body.get("generate"),
+        )
+    elif op in ("verify", "compose"):
+        material = (
             "chain",
             body.get("chain"),
             body.get("chain_a"),

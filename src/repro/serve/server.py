@@ -171,6 +171,12 @@ class Server:
         self.registry.counter("sim.compiled_dispatches")
         self.registry.counter("sim.compiled")
         self.registry.histogram("sim.compile_seconds")
+        # Graph-verification counters (repro.netverify): scrapable from
+        # the first request, merged from worker snapshots by name.
+        self.registry.counter("verify.edges")
+        self.registry.counter("verify.cache.hits")
+        self.registry.counter("verify.cache.misses")
+        self.registry.counter("verify.dirty_edges")
         self.queue = BoundedRequestQueue(
             self.config.queue_size, registry=self.registry
         )

@@ -591,7 +591,7 @@ class Solver:
         if not sym_vars(piece):
             # Leaf-free tree (e.g. after substitution): decidable by
             # direct evaluation.
-            if not bool(eval_sym(piece, {})):
+            if not _eval_bool(piece, {}):
                 ctx.conflict = True
             return
         key = canon(piece)
@@ -923,7 +923,7 @@ class Solver:
             return assignment
 
         def ok(assignment: Assignment) -> bool:
-            return all(bool(eval_sym(c, assignment)) for c in constraints)
+            return all(_eval_bool(c, assignment) for c in constraints)
 
         # Attempt 1: the deterministic "pool" assignment.
         def pool_draw(key: str, dom: _Domain) -> int:
@@ -961,6 +961,22 @@ class Solver:
             if ok(candidate):
                 return candidate
         return None
+
+
+def _eval_bool(c: Any, assignment: Assignment) -> bool:
+    """``bool(eval_sym(...))`` with evaluation failures counting as False.
+
+    A sampled candidate can drive a concrete fold outside its partial
+    function's domain — e.g. a ``getitem`` whose index draw exceeds the
+    tuple it indexes (deep NF compositions substitute free index
+    expressions into concrete backend tuples).  Such a candidate does
+    not satisfy the constraint; rejecting it is the correct and
+    deterministic outcome, crashing the check is not.
+    """
+    try:
+        return bool(eval_sym(c, assignment))
+    except Exception:
+        return False
 
 
 def _expand_conjunction(c: Any, out: List[Any]) -> None:

@@ -9,7 +9,9 @@ from repro.net.chain import ServiceChain
 from repro.net.generator import TrafficGenerator, WorkloadSpec
 from repro.net.packet import Packet, TCP_ACK, TCP_SYN
 from repro.nfactor.algorithm import NFactor
-from repro.nfs import get_nf
+from repro.nfs import get_nf, nf_names
+
+from tests.conftest import synthesize_cached
 
 
 class TestServiceChain:
@@ -69,6 +71,76 @@ class TestServiceChain:
         chain = ServiceChain.of_references([monitor_result, monitor_result])
         trace = chain.process(Packet())
         assert len(trace.delivered) == 1
+
+    def test_hop_records_full_fan_in(self):
+        """Regression: a hop after a flooding NF records *all* inputs.
+
+        ``packets_in`` used to keep only ``current[0]``, silently losing
+        the rest of the fan-in."""
+
+        def duplicate(pkt):
+            return [(pkt.copy(), 0), (pkt.copy(), 1)]
+
+        def forward(pkt):
+            return [(pkt, 0)]
+
+        chain = ServiceChain([("dup", duplicate), ("fwd", forward)])
+        trace = chain.process(Packet(sport=42))
+        dup_hop, fwd_hop = trace.hops
+        assert len(dup_hop.packets_in) == 1
+        assert len(dup_hop.packets_out) == 2
+        assert len(fwd_hop.packets_in) == 2          # the whole fan-in
+        assert all(p.sport == 42 for p in fwd_hop.packets_in)
+        assert fwd_hop.packet_in == fwd_hop.packets_in[0]  # alias intact
+
+    def test_hop_record_alias_on_empty_input(self):
+        from repro.net.chain import HopRecord
+
+        hop = HopRecord(nf="x", packets_in=[], packets_out=[])
+        assert hop.packet_in is None
+        assert hop.dropped
+
+
+class TestCorpusDifferentialIdentity:
+    """Compiled simulator chains == reference chains, whole corpus."""
+
+    @pytest.mark.parametrize("name", nf_names())
+    def test_single_nf_chain_identical(self, name):
+        result = synthesize_cached(name)
+        spec = get_nf(name)
+        workload = list(
+            TrafficGenerator(
+                WorkloadSpec(
+                    n_packets=120, seed=13, interesting=spec.interesting
+                )
+            ).packets()
+        )
+        ref_chain = ServiceChain.of_references([result])
+        sim_chain = ServiceChain.of_simulators([result], compiled=True)
+        for pkt in workload:
+            ref = ref_chain.process(pkt.copy())
+            sim = sim_chain.process(pkt.copy())
+            assert ref.delivered == sim.delivered, (name, pkt)
+            assert ref.dropped_at == sim.dropped_at, (name, pkt)
+
+    def test_multi_hop_chain_identical(self):
+        names = ["firewall", "nat", "monitor", "l2switch"]
+        results = [synthesize_cached(n) for n in names]
+        spec = get_nf("firewall")
+        workload = list(
+            TrafficGenerator(
+                WorkloadSpec(
+                    n_packets=150, seed=21, interesting=spec.interesting
+                )
+            ).packets()
+        )
+        ref_chain = ServiceChain.of_references(results)
+        sim_chain = ServiceChain.of_simulators(results, compiled=True)
+        for pkt in workload:
+            ref = ref_chain.process(pkt.copy())
+            sim = sim_chain.process(pkt.copy())
+            assert ref.delivered == sim.delivered, pkt
+            assert ref.dropped_at == sim.dropped_at, pkt
 
 
 class TestModelDiff:
