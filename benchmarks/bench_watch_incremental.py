@@ -1,0 +1,193 @@
+"""Watch-loop incremental re-synthesis benchmark (docs/internals.md §15).
+
+The scenario ``repro watch`` lives for: one multi-handler NF source
+file, each handler its own synthesis target.  Editing a single handler
+must re-synthesize ≥5× faster than the whole-file cold pass, because
+function-level frontend keys leave every untouched sibling a pure
+model-tier hit — only the edited handler's slices/model recompute.
+
+Also asserts the non-negotiable identity property: the incremental
+path changes nothing but speed — the edited target's model is
+byte-identical to a fresh no-cache synthesis of the edited source.
+
+Run as a script (CI perf-smoke uses ``--quick``) or under pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from common import print_table, write_bench_json
+from repro import cache as artifact_cache
+from repro.nfactor.algorithm import NFactorConfig, synthesize_model_cached
+from repro.symbolic.solver import clear_global_cache
+
+HANDLERS_FULL = 10
+HANDLERS_QUICK = 8
+SPEEDUP_GATE = 5.0
+
+#: Default output path, anchored at the repo root (not the CWD).
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_watch.json"
+
+
+def build_source(k: int) -> str:
+    """A k-handler NFPy file; handler ``h_i`` reads only its own state."""
+    parts = ["MODE = 1", ""]
+    for i in range(k):
+        parts.append(
+            f"st_{i} = {{}}\n"
+            "\n"
+            f"def h_{i}(pkt):\n"
+            "    if pkt.proto != 6:\n"
+            "        if MODE == 1:\n"
+            "            return\n"
+            "        send_packet(pkt)\n"
+            "        return\n"
+            "    key = (pkt.ip_src, pkt.sport)\n"
+            f"    if pkt.dport == {1000 + i}:\n"
+            f"        if key in st_{i}:\n"
+            f"            st_{i}[key] = st_{i}[key] + 1\n"
+            "            send_packet(pkt)\n"
+            "            return\n"
+            f"        st_{i}[key] = 1\n"
+            "        return\n"
+            f"    if pkt.dport == {2000 + i}:\n"
+            f"        if key in st_{i}:\n"
+            f"            del st_{i}[key]\n"
+            "        return\n"
+            f"    if pkt.dport == {3000 + i}:\n"
+            f"        if key in st_{i}:\n"
+            f"            if st_{i}[key] > {5 + i}:\n"
+            "                send_packet(pkt)\n"
+            "                return\n"
+            f"            st_{i}[key] = st_{i}[key] + 2\n"
+            "        return\n"
+            f"    if pkt.sport == {4000 + i}:\n"
+            f"        if key in st_{i}:\n"
+            "            send_packet(pkt)\n"
+            "        return\n"
+            "    send_packet(pkt)\n"
+        )
+    return "\n".join(parts)
+
+
+def run_targets(source: str, k: int) -> Tuple[List[Any], float]:
+    """Synthesize all k targets; returns (CachedModels, seconds)."""
+    clear_global_cache()  # no in-process solver carryover between passes
+    t0 = time.perf_counter()
+    models = [
+        synthesize_model_cached(source, name=f"multi.h_{i}", entry=f"h_{i}")
+        for i in range(k)
+    ]
+    return models, time.perf_counter() - t0
+
+
+def measure(k: int) -> Dict[str, Any]:
+    source = build_source(k)
+    edited = source.replace("== 1000:", "== 999:", 1)  # h_0's guard only
+    assert edited != source
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with artifact_cache.override(directory=cache_dir, enabled=True):
+            cold_models, t_cold = run_targets(source, k)
+            store = artifact_cache.get_store()
+            before = dict(store.counters)
+            incr_models, t_incr = run_targets(edited, k)
+            after = dict(store.counters)
+    fresh = synthesize_model_cached(
+        edited, name="multi.h_0", entry="h_0",
+        config=NFactorConfig(artifact_cache=False),
+    )
+    return {
+        "handlers": k,
+        "cold_s": round(t_cold, 4),
+        "incremental_s": round(t_incr, 4),
+        "speedup": round(t_cold / t_incr, 2) if t_incr > 0 else float("inf"),
+        "cold_misses": sum(1 for m in cold_models if not m.cached),
+        "incremental_rebuilds": sum(1 for m in incr_models if not m.cached),
+        "incremental_model_hits": sum(1 for m in incr_models if m.cached),
+        "model_tier_hits": after.get("kind.model.hits", 0)
+        - before.get("kind.model.hits", 0),
+        "identical_models": incr_models[0].model_json == fresh.model_json,
+    }
+
+
+def check(row: Dict[str, Any]) -> List[str]:
+    failures = []
+    k = row["handlers"]
+    if not row["identical_models"]:
+        failures.append(
+            "incremental model differs from a fresh batch synthesis"
+        )
+    if row["incremental_rebuilds"] != 1:
+        failures.append(
+            f"edit rebuilt {row['incremental_rebuilds']} targets, expected 1"
+        )
+    if row["incremental_model_hits"] != k - 1:
+        failures.append(
+            f"model-tier hits {row['incremental_model_hits']}/{k - 1}"
+        )
+    if row["speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"incremental speedup {row['speedup']}x < {SPEEDUP_GATE}x"
+        )
+    return failures
+
+
+def report(row: Dict[str, Any]) -> None:
+    print_table(
+        "watch incremental re-synthesis (single-handler edit)",
+        ["handlers", "cold s", "incr s", "speedup", "rebuilds", "hits", "identical"],
+        [[
+            row["handlers"], row["cold_s"], row["incremental_s"],
+            f"{row['speedup']}x", row["incremental_rebuilds"],
+            row["incremental_model_hits"], row["identical_models"],
+        ]],
+    )
+
+
+# -- pytest entry -------------------------------------------------------------
+
+
+def test_incremental_edit_speedup():
+    row = measure(HANDLERS_QUICK)
+    assert not check(row), check(row)
+
+
+# -- script entry (CI perf-smoke) ---------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"{HANDLERS_QUICK} handlers instead of {HANDLERS_FULL} (CI smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        "--json",
+        dest="out",
+        default=DEFAULT_OUT,
+        type=Path,
+        help=f"result JSON path (default: {DEFAULT_OUT.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    row = measure(HANDLERS_QUICK if args.quick else HANDLERS_FULL)
+    row["mode"] = "quick" if args.quick else "full"
+    report(row)
+    write_bench_json(args.out, "watch_incremental", row)
+
+    failures = check(row)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
-from repro.cache.keys import SCHEMA_VERSION, artifact_key, stable_fingerprint
+from repro.cache.keys import (
+    SCHEMA_VERSION,
+    artifact_key,
+    changed_units,
+    frontend_key_material,
+    source_units,
+    stable_fingerprint,
+)
 from repro.cache.store import (
     ArtifactStore,
     configure,
@@ -44,12 +51,15 @@ __all__ = [
     "SCHEMA_VERSION",
     "ArtifactStore",
     "artifact_key",
+    "changed_units",
     "configure",
     "default_directory",
+    "frontend_key_material",
     "get_store",
     "is_enabled",
     "override",
     "parse_peers",
+    "source_units",
     "stable_fingerprint",
     "store_token",
 ]

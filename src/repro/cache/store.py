@@ -335,6 +335,7 @@ class ArtifactStore:
                 self._count("disk.misses")
                 data = self._peer_read(kind, key)
                 if data is None:
+                    self._count(f"kind.{kind}.misses")
                     return None
             else:
                 self._count("disk.hits")
@@ -348,6 +349,7 @@ class ArtifactStore:
                 kind=kind, key=key, error=str(exc),
             )
             self._mem_drop(key)
+            self._count(f"kind.{kind}.misses")
             return None
         self._count(f"kind.{kind}.hits")
         return obj

@@ -560,11 +560,85 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     print(f"directory: {stats['directory']}")
     print(f"enabled:   {stats['enabled']}")
-    for kind, entry in stats["kinds"].items():
+    # Canonical tiers always print (zero rows included) so a watch
+    # run's invalidation pattern is inspectable at a glance; any other
+    # kinds on disk follow.
+    tier_order = ("frontend", "prep", "slices", "model", "sim", "edge")
+    kinds = stats["kinds"]
+    for kind in tier_order + tuple(sorted(set(kinds) - set(tier_order))):
+        entry = kinds.get(kind, {"count": 0, "bytes": 0})
         print(f"  {kind:10s} {entry['count']:6d} entries  {entry['bytes']:10d} bytes")
     for name, size in stats["blobs"].items():
         print(f"  {name + ' (blob)':25s} {size:10d} bytes")
     print(f"total:     {stats['total_bytes']} bytes on disk")
+    return 0
+
+
+def _watch_line(event: dict) -> str:
+    """One human-readable line per watch event (non-``--json`` mode)."""
+    kind = event["event"]
+    if kind == "skip":
+        changed = ", ".join(event.get("changed") or []) or "no reachable units"
+        return f"skip     {event['name']}  (edit outside target: {changed})"
+    parts = [
+        f"rebuild  {event['name']}",
+        "hit" if event.get("cached") else f"{event['elapsed_s']:.2f}s",
+    ]
+    if event.get("diff_summary"):
+        parts.append(f"diff {event['diff_summary']}")
+    for shard in event.get("serve") or []:
+        if shard.get("error"):
+            parts.append(f"{shard['shard']} ERROR {shard['error']}")
+        else:
+            parts.append(f"{shard['shard']} v{shard['version']}")
+    return "  ".join(parts)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    import json
+    import signal
+    import threading
+
+    from repro.cache.store import parse_peers
+    from repro.watch import WatchDaemon, WatchOptions, parse_target
+
+    targets = []
+    for spec in args.targets:
+        target = parse_target(spec)
+        if not os.path.exists(target.path):
+            raise SystemExit(f"error: {target.path}: no such file")
+        targets.append(target)
+    serve = parse_peers(args.serve) if args.serve else ()
+
+    def emit(event: dict) -> None:
+        if args.json:
+            print(json.dumps(event, sort_keys=True), flush=True)
+        else:
+            print(_watch_line(event), flush=True)
+
+    daemon = WatchDaemon(
+        targets,
+        WatchOptions(
+            interval_s=args.interval,
+            serve=tuple(serve),
+            push_artifacts=not args.no_push,
+        ),
+        emit=emit,
+    )
+    daemon.baseline()
+    if args.once:
+        return 0
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    while not stop.is_set():
+        stop.wait(args.interval)
+        if stop.is_set():
+            break
+        daemon.poll_once()
     return 0
 
 
@@ -651,6 +725,23 @@ def cmd_route(args: argparse.Namespace) -> int:
     )
 
 
+def _query_spec(target: str) -> Optional[NFSpec]:
+    """Resolve a query target locally, or None to send the bare name.
+
+    A name that is neither a corpus NF nor an existing ``.py`` file may
+    still be a target registered on the server by ``repro watch``
+    (``POST /v1/reload``) — pass it through as ``nf`` and let the
+    server's model registry resolve it.
+    """
+    path = Path(target)
+    if path.suffix == ".py" and path.exists():
+        return load_spec(target)
+    try:
+        return get_nf(target)
+    except KeyError:
+        return None
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     import json
 
@@ -683,22 +774,31 @@ def cmd_query(args: argparse.Namespace) -> int:
             print(client.metrics_text(), end="")
             return 0
         elif args.action == "synthesize":
-            spec = load_spec(args.nfs[0]) if args.nfs else None
-            if spec is None:
+            if not args.nfs:
                 raise SystemExit("error: query synthesize needs an NF")
-            response = client.synthesize(
-                source=spec.source, name=spec.name, entry=spec.entry
-            )
+            spec = _query_spec(args.nfs[0])
+            if spec is None:
+                response = client.synthesize(nf=args.nfs[0])
+            else:
+                response = client.synthesize(
+                    source=spec.source, name=spec.name, entry=spec.entry
+                )
         elif args.action == "simulate":
             if not args.nfs:
                 raise SystemExit("error: query simulate needs an NF")
-            spec = load_spec(args.nfs[0])
+            spec = _query_spec(args.nfs[0])
             packets = packet_args(args.packet or []) or [{}]
-            response = client.simulate(
-                source=spec.source, name=spec.name, entry=spec.entry,
-                packets=packets,
-                compile=False if args.no_compile else None,
-            )
+            if spec is None:
+                response = client.simulate(
+                    nf=args.nfs[0], packets=packets,
+                    compile=False if args.no_compile else None,
+                )
+            else:
+                response = client.simulate(
+                    source=spec.source, name=spec.name, entry=spec.entry,
+                    packets=packets,
+                    compile=False if args.no_compile else None,
+                )
         elif args.action == "verify":
             if not args.nfs:
                 raise SystemExit("error: query verify needs a chain of NFs")
@@ -1124,6 +1224,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit stats as JSON")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "watch",
+        help="watch NF sources, re-synthesize incrementally, hot-swap serve shards",
+    )
+    p.add_argument(
+        "targets", nargs="+", metavar="PATH[:ENTRY]",
+        help="NFPy source files to watch; PATH.py:entry pins the entry "
+        "function (several entries in one file are separate targets)",
+    )
+    p.add_argument(
+        "--serve", metavar="HOST:PORT[,...]", default=None,
+        help="serve shards to peer-fill and hot-swap on every rebuild",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.5, help="poll interval in seconds"
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="baseline build (and push) every target, then exit",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit one JSON event per line"
+    )
+    p.add_argument(
+        "--no-push", action="store_true",
+        help="hot-swap shards without peer-filling artifacts first",
+    )
+    p.set_defaults(func=cmd_watch)
     return parser
 
 

@@ -16,8 +16,9 @@ included to explain *where* two NFs differ.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from repro.net.generator import TrafficGenerator, WorkloadSpec
 from repro.net.packet import Packet
@@ -113,3 +114,149 @@ def diff_models(
                 Divergence(index=index, packet=pkt, out_a=out_a, out_b=out_b)
             )
     return diff
+
+
+# ---------------------------------------------------------------------------
+# Structural changelog (``model.diff`` for the watch loop)
+# ---------------------------------------------------------------------------
+#
+# ``diff_models`` above answers "do two *different* NFs behave alike" by
+# running workloads.  The watch daemon needs the other question: between
+# two *versions* of the same NF, which table entries were added, removed
+# or changed?  That is a structural diff over the canonical serialized
+# form (:func:`repro.model.serialize.model_to_dict`), cheap enough to
+# run on every rebuild and stable enough to log.
+
+
+def _entry_fields(entry: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "match.flow": entry["match"]["flow"],
+        "match.state": entry["match"]["state"],
+        "action.flow": entry["action"]["flow"],
+        "action.state": entry["action"]["state"],
+        "drops": entry["drops"],
+    }
+
+
+def _entry_signature(entry: Dict[str, Any]) -> Tuple:
+    return tuple(sorted(_entry_fields(entry).items()))
+
+
+@dataclass
+class ChangelogEntry:
+    """One added/removed/changed entry in a :class:`ModelChangelog`."""
+
+    kind: str  # "added" | "removed" | "changed"
+    config: str
+    entry_id: int
+    #: For "changed": field name -> {"old": ..., "new": ...} deltas over
+    #: guard (match.*) and action (action.*, drops) texts.
+    fields: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind, "config": self.config, "entry_id": self.entry_id,
+        }
+        if self.fields:
+            out["fields"] = {k: dict(v) for k, v in sorted(self.fields.items())}
+        return out
+
+
+@dataclass
+class ModelChangelog:
+    """Entry-level delta between two versions of one model."""
+
+    name: str
+    added: List[ChangelogEntry] = field(default_factory=list)
+    removed: List[ChangelogEntry] = field(default_factory=list)
+    changed: List[ChangelogEntry] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "added": [e.to_dict() for e in self.added],
+            "removed": [e.to_dict() for e in self.removed],
+            "changed": [e.to_dict() for e in self.changed],
+            "unchanged": self.unchanged,
+        }
+
+    def to_json(self) -> str:
+        """Stable JSON: fixed list order (config, entry id), sorted keys."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added)} -{len(self.removed)} ~{len(self.changed)} "
+            f"={self.unchanged}"
+        )
+
+
+def _as_model_dict(model: Any) -> Dict[str, Any]:
+    if isinstance(model, str):
+        return json.loads(model)
+    if isinstance(model, dict):
+        return model
+    from repro.model.serialize import model_to_dict
+
+    return model_to_dict(model)
+
+
+def model_changelog(old: Any, new: Any) -> ModelChangelog:
+    """Structural diff of two serialized models (dict, JSON str or model).
+
+    Per config table: entries whose full (guard, action, drops) signature
+    appears on both sides pair off as unchanged — a reorder-only edit
+    yields an empty changelog.  Leftovers sharing an entry id within the
+    same table are reported as *changed* with per-field old/new deltas
+    (so a guard-identical action edit shows only action fields); the
+    rest are added/removed — an id vanishing from one table and
+    appearing in another is a removal plus an addition, not a change.
+    """
+    old_dict, new_dict = _as_model_dict(old), _as_model_dict(new)
+    log = ModelChangelog(name=new_dict.get("name") or old_dict.get("name") or "")
+    old_tables = {t["config"]: list(t["entries"]) for t in old_dict["tables"]}
+    new_tables = {t["config"]: list(t["entries"]) for t in new_dict["tables"]}
+    for config in sorted(set(old_tables) | set(new_tables), key=repr):
+        old_entries = old_tables.get(config, [])
+        new_entries = new_tables.get(config, [])
+        old_by_sig: Dict[Tuple, List[Dict[str, Any]]] = {}
+        for entry in old_entries:
+            old_by_sig.setdefault(_entry_signature(entry), []).append(entry)
+        rest_new: List[Dict[str, Any]] = []
+        for entry in new_entries:
+            bucket = old_by_sig.get(_entry_signature(entry))
+            if bucket:
+                bucket.pop()  # paired: identical content, position ignored
+                log.unchanged += 1
+            else:
+                rest_new.append(entry)
+        rest_old = [e for bucket in old_by_sig.values() for e in bucket]
+        old_by_id = {e["entry_id"]: e for e in rest_old}
+        for entry in rest_new:
+            prev = old_by_id.pop(entry["entry_id"], None)
+            if prev is None:
+                log.added.append(
+                    ChangelogEntry("added", config, entry["entry_id"])
+                )
+                continue
+            deltas = {
+                name: {"old": before, "new": after}
+                for (name, before), after in zip(
+                    sorted(_entry_fields(prev).items()),
+                    (v for _, v in sorted(_entry_fields(entry).items())),
+                )
+                if before != after
+            }
+            log.changed.append(
+                ChangelogEntry("changed", config, entry["entry_id"], deltas)
+            )
+        for entry_id in old_by_id:
+            log.removed.append(ChangelogEntry("removed", config, entry_id))
+    for bucket in (log.added, log.removed, log.changed):
+        bucket.sort(key=lambda e: (e.config, e.entry_id))
+    return log

@@ -277,8 +277,12 @@ class NFactor:
         self.config = config or NFactorConfig()
         self._frontend_key: Optional[str] = None
         if isinstance(program, str) and self.config.artifact_cache:
+            # Keyed on function-level source units, not the raw text: an
+            # edit to a handler this target never reaches derives the
+            # same key (docs/internals.md §15).
             self._frontend_key = artifact_cache.artifact_key(
-                "frontend", (program, name, entry)
+                "frontend",
+                artifact_cache.frontend_key_material(program, name, entry),
             )
             cached = artifact_cache.get_store().get_object(
                 "frontend", self._frontend_key
@@ -701,10 +705,43 @@ class CachedModel:
 def _model_key(
     source: str, name: str, entry: Optional[str], config: NFactorConfig
 ) -> str:
-    frontend = artifact_cache.artifact_key("frontend", (source, name, entry))
+    frontend = artifact_cache.artifact_key(
+        "frontend", artifact_cache.frontend_key_material(source, name, entry)
+    )
     return artifact_cache.artifact_key(
         "model", (frontend, _full_config_fingerprint(config))
     )
+
+
+def target_artifact_keys(
+    source: str,
+    name: str = "<nf>",
+    entry: Optional[str] = None,
+    config: Optional[NFactorConfig] = None,
+) -> Dict[str, str]:
+    """Every cache-tier key one synthesis target derives, by kind.
+
+    The watch daemon uses this to know exactly which artifacts to push
+    to serve shards before asking them to flip versions; the sim key
+    matches :func:`repro.serve.jobs._sim_bundle`'s derivation.
+    """
+    config = config or NFactorConfig()
+    frontend = artifact_cache.artifact_key(
+        "frontend", artifact_cache.frontend_key_material(source, name, entry)
+    )
+    prep = artifact_cache.artifact_key(
+        "prep", (frontend, _prep_config_fingerprint(config))
+    )
+    model = artifact_cache.artifact_key(
+        "model", (frontend, _full_config_fingerprint(config))
+    )
+    return {
+        "frontend": frontend,
+        "prep": prep,
+        "slices": artifact_cache.artifact_key("slices", prep),
+        "model": model,
+        "sim": artifact_cache.artifact_key("sim", (model,)),
+    }
 
 
 def synthesize_model_cached(

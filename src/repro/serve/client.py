@@ -318,6 +318,34 @@ class ServeClient:
             body["timeout_s"] = timeout_s
         return self._op("testgen", body)
 
+    def reload(
+        self,
+        name: str,
+        source: str,
+        entry: Optional[str] = None,
+        note: Optional[str] = None,
+    ) -> ServeResponse:
+        """Hot-swap ``name`` to ``source`` (``POST /v1/reload``).
+
+        The result carries the registered version number and model key;
+        ``updated`` is False when the source was already current.
+        """
+        body: Dict[str, Any] = {"name": name, "source": source}
+        if entry is not None:
+            body["entry"] = entry
+        if note is not None:
+            body["note"] = note
+        return self.request("POST", "/v1/reload", body)
+
+    def models(self) -> Dict[str, Any]:
+        """The shard's loaded model-registry versions (from ``/healthz``).
+
+        ``{name: {"version": ..., "model_key": ..., ...}}`` — comparing
+        this across shards confirms a hot-swap landed everywhere.
+        """
+        response = self.healthz().raise_for_status()
+        return (response.result or {}).get("models", {})
+
     # -- convenience ---------------------------------------------------------
 
     def wait_until_up(self, timeout: float = 30.0, interval: float = 0.1) -> bool:

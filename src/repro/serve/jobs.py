@@ -158,12 +158,17 @@ def _op_synthesize(body: Dict[str, Any]) -> Dict[str, Any]:
 
     name, source, entry = _resolve_target(body)
     ms = synthesize_model_cached(source, name=name, entry=entry)
-    return {
+    out = {
         "name": name,
         "model": json.loads(ms.model_json),
         "cached": ms.cached,
         "stats": _stats_dict(ms.stats),
     }
+    if "model_version" in body:
+        # Stamped at admission by the hot-swap registry; echoing it
+        # back lets callers observe the exact old->new flip boundary.
+        out["model_version"] = body["model_version"]
+    return out
 
 
 def _sim_bundle(
@@ -312,7 +317,7 @@ def _op_simulate(body: Dict[str, Any]) -> Dict[str, Any]:
     obs_metrics.counter("sim.compiled_dispatches").inc(
         stats.compiled_dispatches
     )
-    return {
+    out = {
         "name": model.name,
         "compiled": use_compiled,
         "outputs": outputs,
@@ -325,6 +330,9 @@ def _op_simulate(body: Dict[str, Any]) -> Dict[str, Any]:
             "compiled_dispatches": stats.compiled_dispatches,
         },
     }
+    if "model_version" in body:
+        out["model_version"] = body["model_version"]
+    return out
 
 
 def _chain_models(names: Any, what: str) -> List[Tuple[str, Any]]:

@@ -46,6 +46,7 @@ from repro.obs.metrics import labeled
 from repro.obs.recorder import FlightRecorder, RequestRecord, phases_from_spans
 from repro.serve import protocol
 from repro.serve.jobs import OPS, run_job
+from repro.serve.registry import ModelRegistry
 from repro.serve.queue import (
     BoundedRequestQueue,
     Job,
@@ -177,6 +178,10 @@ class Server:
         self.registry.counter("verify.cache.hits")
         self.registry.counter("verify.cache.misses")
         self.registry.counter("verify.dirty_edges")
+        # Hot-swap (docs/internals.md §15): registered targets and the
+        # reload counter, scrapable before the first reload lands.
+        self.models = ModelRegistry()
+        self.registry.counter("serve.reloads")
         self.queue = BoundedRequestQueue(
             self.config.queue_size, registry=self.registry
         )
@@ -448,6 +453,16 @@ class Server:
             if request.method != "GET":
                 return 405, protocol.error_envelope(405, "use GET"), None
             return self._registry(request.query)
+        if path == "/v1/reload":
+            if request.method != "POST":
+                return 405, protocol.error_envelope(405, "use POST"), None
+            try:
+                body = request.json()
+            except protocol.ProtocolError as exc:
+                return exc.status, protocol.error_envelope(
+                    exc.status, exc.message
+                ), None
+            return self._reload(body)
         if path.startswith("/v1/"):
             op = path[len("/v1/"):]
             if op not in OPS:
@@ -513,7 +528,49 @@ class Server:
             "queue_depth": self.queue.depth,
             "queue_capacity": self.queue.maxsize,
             "inflight": self.queue.inflight,
+            "models": self.models.versions(),
         }
+
+    def _reload(
+        self, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        """``POST /v1/reload`` — register/flip a hot-swappable target.
+
+        Handled inline on the event loop (registry state lives in the
+        parent, key derivation is sub-millisecond): the version flip is
+        atomic relative to admission, so in-flight jobs drain on the
+        version they were admitted with.
+        """
+        name = body.get("name") or body.get("nf")
+        source = body.get("source")
+        entry = body.get("entry")
+        note = body.get("note") or ""
+        if not isinstance(name, str) or not name:
+            return 400, protocol.error_envelope(400, "'name' is required"), None
+        if not isinstance(source, str) or not source:
+            return 400, protocol.error_envelope(400, "'source' is required"), None
+        if entry is not None and not isinstance(entry, str):
+            return 400, protocol.error_envelope(400, f"bad entry: {entry!r}"), None
+        mv, updated = self.models.load(name, source, entry, note=str(note))
+        if updated:
+            self.registry.counter("serve.reloads").inc()
+            self.registry.gauge(
+                labeled("serve.model_version", nf=name)
+            ).set(mv.version)
+            obs_log.log_event(
+                self._log, logging.INFO, "serve.reload",
+                f"reload {name} -> v{mv.version}",
+                nf=name, version=mv.version, model_key=mv.model_key,
+            )
+        return 200, protocol.ok_envelope(
+            {
+                "name": name,
+                "version": mv.version,
+                "updated": updated,
+                "model_key": mv.model_key,
+                "fingerprint": mv.fingerprint,
+            }
+        ), None
 
     # -- cluster CAS exchange ------------------------------------------------
 
@@ -603,6 +660,11 @@ class Server:
         request: Optional[protocol.HttpRequest] = None,
     ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
         request_id = obs_context.new_request_id()
+        # Hot-swap resolution happens here, at admission on the event
+        # loop: the job snapshots the registered source/version it was
+        # admitted with, so a concurrent reload never changes a request
+        # mid-flight (in-flight jobs drain on the old version).
+        body = self.models.resolve(op, body)
         if op == "simulate" and not self.config.compile_sims:
             body = dict(body)
             body["compile"] = False

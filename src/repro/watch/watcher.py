@@ -1,0 +1,113 @@
+"""File watching for ``repro watch`` (stdlib polling, no new deps).
+
+Two-stage change detection per registered file: a cheap ``stat`` pass
+(mtime_ns + size) runs every poll, and only when the stat signature
+moved is the file read and content-fingerprinted with BLAKE2b.  Editors
+that rewrite files without changing content (touch, save-without-edit,
+atomic-rename saves) therefore never trigger a rebuild, and a genuine
+edit is detected within one poll interval.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WatchTarget:
+    """One synthesis target: a source file plus an optional entry."""
+
+    path: str
+    name: str
+    entry: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.path}:{self.entry}" if self.entry else self.path
+
+
+def parse_target(spec: str) -> WatchTarget:
+    """``PATH.py`` or ``PATH.py:entry`` → :class:`WatchTarget`.
+
+    The target name is the file stem, suffixed with the entry when one
+    is given (two entries in one file are two distinct serve targets).
+    """
+    path, entry = spec, None
+    if ":" in spec and not spec.endswith(".py"):
+        head, _, tail = spec.rpartition(":")
+        if head.endswith(".py"):
+            path, entry = head, tail or None
+    stem = os.path.splitext(os.path.basename(path))[0]
+    name = f"{stem}.{entry}" if entry else stem
+    return WatchTarget(path=os.path.abspath(path), name=name, entry=entry)
+
+
+@dataclass(frozen=True)
+class SourceChange:
+    """One detected content change."""
+
+    path: str
+    source: str
+    digest: str
+
+
+def _digest(source: str) -> str:
+    return hashlib.blake2b(source.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class SourceWatcher:
+    """Polls registered files; :meth:`poll` reports content changes."""
+
+    def __init__(self) -> None:
+        #: path -> ((mtime_ns, size), content digest)
+        self._files: Dict[str, Tuple[Optional[Tuple[int, int]], str]] = {}
+
+    def register(self, path: str) -> str:
+        """Track ``path``; returns its current source text."""
+        path = os.path.abspath(path)
+        source = self._read(path)
+        self._files[path] = (self._stat_sig(path), _digest(source))
+        return source
+
+    @property
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+    @staticmethod
+    def _read(path: str) -> str:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+
+    @staticmethod
+    def _stat_sig(path: str) -> Optional[Tuple[int, int]]:
+        try:
+            st = os.stat(path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def poll(self) -> List[SourceChange]:
+        """Changed files since the last poll/register, in path order.
+
+        A vanished file (mid-save rename window) is skipped this round
+        and picked up on the next poll once it is back; a stat change
+        with identical content just refreshes the signature.
+        """
+        changes: List[SourceChange] = []
+        for path in sorted(self._files):
+            last_sig, last_digest = self._files[path]
+            sig = self._stat_sig(path)
+            if sig is None or sig == last_sig:
+                continue
+            try:
+                source = self._read(path)
+            except OSError:
+                continue
+            digest = _digest(source)
+            self._files[path] = (sig, digest)
+            if digest != last_digest:
+                changes.append(SourceChange(path=path, source=source, digest=digest))
+        return changes

@@ -95,8 +95,17 @@ def test_source_edit_is_a_miss(store_dir):
     cold = _synthesize()
     assert not cold.cached
     assert _synthesize().cached  # unchanged source: model-tier hit
-    edited = get_nf("nat").source + "\n# a trailing comment\n"
+    edited = get_nf("nat").source.replace("EXT_IP = ", "EXT_IP = 1 + ")
     assert not _synthesize(source=edited).cached
+
+
+def test_comment_outside_units_is_a_hit(store_dir):
+    # Function-level keys (§15): a trailing comment touches no source
+    # unit the target reads, so the same key derives — pure hit.
+    cold = _synthesize()
+    assert not cold.cached
+    commented = get_nf("nat").source + "\n# a trailing comment\n"
+    assert _synthesize(source=commented).cached
 
 
 def test_config_change_is_a_miss(store_dir):
